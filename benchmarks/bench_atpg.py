@@ -1,0 +1,73 @@
+"""Benchmarks of the ATPG substrate (the test-set source).
+
+Not a paper table by itself, but the paper's inputs come from ATPG
+flows ([30] for stuck-at, TIP for path delay); these benches track the
+cost of producing a test set from a netlist with our from-scratch
+stack and record coverage/X-density in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atpg.path_delay import generate_path_delay_tests
+from repro.atpg.stuck_at import generate_stuck_at_tests
+from repro.circuits.generator import random_netlist
+from repro.circuits.library import load_circuit
+
+
+@pytest.mark.parametrize("name", ["c17", "s27", "gen_small"])
+def test_stuck_at_generation(benchmark, name):
+    netlist = load_circuit(name)
+    result = benchmark.pedantic(
+        generate_stuck_at_tests, args=(netlist,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["patterns"] = result.test_set.n_patterns
+    benchmark.extra_info["x_density"] = round(result.test_set.x_density(), 3)
+    benchmark.extra_info["coverage"] = round(result.fault_coverage, 4)
+    assert result.fault_coverage > 0.9
+
+
+@pytest.mark.parametrize("name", ["c17", "s27"])
+def test_path_delay_generation(benchmark, name):
+    netlist = load_circuit(name)
+    result = benchmark.pedantic(
+        generate_path_delay_tests,
+        args=(netlist,),
+        kwargs={"max_paths": 60},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["tests"] = len(result.tests)
+    benchmark.extra_info["robust_coverage"] = round(result.robust_coverage, 3)
+    assert result.tests
+
+
+def test_medium_generated_circuit_flow(benchmark):
+    """End to end: generate circuit -> ATPG -> 9C vs EA compression."""
+    from repro.core.config import CompressionConfig, EAParameters
+    from repro.core.nine_c import compress_nine_c
+    from repro.core.optimizer import EAMVOptimizer
+
+    def flow():
+        netlist = random_netlist(24, 150, seed=42)
+        atpg = generate_stuck_at_tests(netlist, max_backtracks=300)
+        test_set = atpg.test_set
+        nine_c = compress_nine_c(test_set.blocks(8)).rate
+        config = CompressionConfig(
+            block_length=12,
+            n_vectors=32,
+            runs=1,
+            ea=EAParameters(stagnation_limit=15, max_evaluations=500),
+        )
+        ea = EAMVOptimizer(config, seed=1).optimize(test_set.blocks(12))
+        return nine_c, ea.best_rate, test_set
+
+    nine_c_rate, ea_rate, test_set = benchmark.pedantic(
+        flow, rounds=1, iterations=1
+    )
+    benchmark.extra_info["nine_c_rate"] = round(nine_c_rate, 2)
+    benchmark.extra_info["ea_rate"] = round(ea_rate, 2)
+    benchmark.extra_info["x_density"] = round(test_set.x_density(), 3)
+    # On genuine ATPG cubes the EA must beat the fixed 9C code.
+    assert ea_rate > nine_c_rate

@@ -1,0 +1,63 @@
+"""Benchmark: what filling don't-cares costs every compression method.
+
+The paper's formulation exploits X positions via matching; a tester
+flow that fills X before compression throws that freedom away.  This
+bench compresses the same calibrated test set unfilled and under each
+fill policy, for 9C, 9C+HC and the EA — quantifying the premise of
+the paper's Section 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CompressionConfig, EAParameters
+from repro.core.nine_c import compress_nine_c
+from repro.core.optimizer import EAMVOptimizer
+from repro.testdata.calibration import calibrate_spec
+from repro.testdata.fill import FILL_STRATEGIES, fill_test_set
+from repro.testdata.registry import TABLE1_STUCK_AT, row_by_name
+from repro.testdata.synthetic import SyntheticSpec
+
+
+def test_fill_policy_cost(benchmark):
+    row = row_by_name(TABLE1_STUCK_AT, "s953")
+    spec = SyntheticSpec(
+        name=row.circuit,
+        n_patterns=row.n_patterns,
+        pattern_bits=row.pattern_bits,
+        care_density=0.5,
+        seed=2005,
+    )
+    test_set = calibrate_spec(spec, row.published["9C"]).test_set
+    config = CompressionConfig(
+        block_length=12,
+        n_vectors=32,
+        runs=1,
+        ea=EAParameters(stagnation_limit=20, max_evaluations=800),
+    )
+
+    def run():
+        outcome = {}
+        variants = {"unfilled": test_set}
+        variants.update(
+            {
+                strategy: fill_test_set(test_set, strategy, seed=1)
+                for strategy in FILL_STRATEGIES
+            }
+        )
+        for label, variant in variants.items():
+            nine_c = compress_nine_c(variant.blocks(8)).rate
+            ea = EAMVOptimizer(config, seed=5).optimize(variant.blocks(12))
+            outcome[label] = {
+                "9C": round(nine_c, 2),
+                "EA": round(ea.best_rate, 2),
+            }
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(outcome)
+    # Every fill policy must cost compression relative to the cubes.
+    for strategy in FILL_STRATEGIES:
+        assert outcome["unfilled"]["9C"] >= outcome[strategy]["9C"] - 1e-9
+        assert outcome["unfilled"]["EA"] >= outcome[strategy]["EA"] - 2.0

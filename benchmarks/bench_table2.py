@@ -1,0 +1,65 @@
+"""Benchmark: reproduce Table 2 (path-delay compression rates).
+
+Table 2 compares 9C, 9C+HC, EA1 (K=8, L=9) and EA2 (K=12, L=64) on
+path-delay test sets (vector pairs).  One benchmark per circuit row
+plus a subset-average shape check: EA2 > EA1 ≳ 9C+HC > 9C.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_row
+from repro.experiments.tables import DEFAULT_QUICK_TABLE2
+from repro.testdata.registry import TABLE2_PATH_DELAY
+
+from .conftest import full_tables, selected_budget
+
+_ROWS = [
+    row
+    for row in TABLE2_PATH_DELAY
+    if full_tables() or row.circuit in DEFAULT_QUICK_TABLE2
+]
+
+
+@pytest.mark.parametrize("row", _ROWS, ids=lambda row: row.circuit)
+def test_table2_row(benchmark, row):
+    budget = selected_budget()
+
+    result = benchmark.pedantic(
+        run_row,
+        args=(row, "path-delay"),
+        kwargs={"budget": budget, "seed": 2005},
+        rounds=1,
+        iterations=1,
+    )
+
+    benchmark.extra_info["circuit"] = row.circuit
+    benchmark.extra_info["test_set_bits"] = row.test_set_bits
+    for column in ("9C", "9C+HC", "EA1", "EA2"):
+        benchmark.extra_info[f"measured_{column}"] = round(
+            result.measured[column], 2
+        )
+        benchmark.extra_info[f"published_{column}"] = row.published[column]
+
+    assert abs(result.measured["9C"] - row.published["9C"]) <= 1.5
+    assert result.measured["9C+HC"] >= result.measured["9C"] - 1e-9
+
+
+def test_table2_average_shape(benchmark):
+    """EA2 beats EA1 and 9C+HC on the benched subset average."""
+    budget = selected_budget()
+
+    def build():
+        from repro.experiments.tables import build_table2
+
+        circuits = None if full_tables() else ("s27", "s298", "s444")
+        return build_table2(circuits=circuits, budget=budget, seed=2005)
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    averages = {c: table.measured_average(c) for c in table.columns}
+    benchmark.extra_info.update(
+        {f"avg_{k}": round(v, 2) for k, v in averages.items()}
+    )
+    assert averages["9C"] < averages["9C+HC"]
+    assert averages["EA2"] > averages["9C+HC"]

@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark harness.
+
+Every table/figure of the paper has a bench here.  By default the
+benches run the QUICK budget on a small-to-medium circuit subset so
+``pytest benchmarks/ --benchmark-only`` finishes in minutes; set
+
+    REPRO_BENCH_BUDGET=paper
+
+to use the paper's Section 4 budget (5 runs, 500-generation
+stagnation), and
+
+    REPRO_BENCH_FULL_TABLES=1
+
+to run every row of both tables (slow; intended for record runs, or
+use ``python -m repro table1 --full --budget paper``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import PAPER, QUICK, ExperimentBudget
+
+
+def selected_budget() -> ExperimentBudget:
+    """The EA budget selected through the environment."""
+    if os.environ.get("REPRO_BENCH_BUDGET", "quick").lower() == "paper":
+        return PAPER
+    return QUICK
+
+
+def full_tables() -> bool:
+    """Whether to bench every table row instead of the quick subset."""
+    return os.environ.get("REPRO_BENCH_FULL_TABLES", "0") == "1"
+
+
+@pytest.fixture
+def budget() -> ExperimentBudget:
+    return selected_budget()

@@ -1,0 +1,71 @@
+"""The paper's Table 1 flow on a real circuit, end to end.
+
+Run with::
+
+    python examples/stuck_at_flow.py [circuit]
+
+Pipeline (all built in this repository, no external tools):
+
+1. load a gate-level netlist (default: the generated 'gen_medium'),
+2. run PODEM ATPG with fault dropping — an *uncompacted* stuck-at
+   test set whose unassigned inputs stay X (the paper's input data),
+3. optionally relax the cubes further (Kajihara/Miyase stand-in),
+4. compress with 9C, 9C+HC and EA-optimized matching vectors,
+5. decode and verify the stream bit-exactly.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+from repro.atpg import collapse_faults, generate_stuck_at_tests, relax_test_set
+from repro.circuits import load_circuit
+
+
+def main(circuit_name: str = "gen_medium") -> None:
+    netlist = load_circuit(circuit_name)
+    print(f"circuit: {netlist!r}, depth {netlist.depth()}")
+
+    # --- ATPG: uncompacted, don't-care-rich stuck-at test set ---------
+    atpg = generate_stuck_at_tests(netlist, max_backtracks=500)
+    test_set = atpg.test_set
+    print(
+        f"ATPG: {test_set.n_patterns} cubes x {test_set.n_inputs} inputs "
+        f"({test_set.total_bits} bits), X density "
+        f"{test_set.x_density():.2f}, fault coverage "
+        f"{atpg.fault_coverage:.1%}, {len(atpg.untestable)} redundant faults"
+    )
+
+    # --- optional relaxation pass (more Xs, same coverage) ------------
+    relaxed = relax_test_set(netlist, test_set, collapse_faults(netlist))
+    print(f"relaxed: X density {relaxed.x_density():.2f}")
+
+    # --- compression comparison ---------------------------------------
+    blocks8 = relaxed.blocks(8)
+    nine_c = repro.compress_nine_c(blocks8)
+    nine_c_hc = repro.compress_nine_c(blocks8, use_huffman=True)
+    print(f"9C    rate: {nine_c.rate:6.2f}%")
+    print(f"9C+HC rate: {nine_c_hc.rate:6.2f}%")
+
+    config = repro.CompressionConfig(
+        block_length=12,
+        n_vectors=32,
+        runs=3,
+        ea=repro.EAParameters(stagnation_limit=40, max_evaluations=2000),
+    )
+    result = repro.optimize_mv_set(relaxed.blocks(12), config, seed=7)
+    print(f"EA    rate: {result.mean_rate:6.2f}% mean / "
+          f"{result.best_rate:6.2f}% best over {config.runs} runs")
+
+    # --- verify the best stream decodes losslessly ---------------------
+    compressed = repro.compress_blocks(relaxed.blocks(12), result.best_mv_set)
+    repro.verify_roundtrip(compressed)
+    print(
+        f"round trip OK: {compressed.compressed_bits} compressed bits for "
+        f"{compressed.original_bits} original bits"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "gen_medium")

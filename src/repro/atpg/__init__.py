@@ -1,0 +1,43 @@
+"""ATPG substrate: stuck-at and path-delay test generation."""
+
+from .compaction import compact_test_set, cubes_compatible, merge_cubes
+from .fault_sim import detects, fault_coverage, fault_simulate
+from .faults import StuckAtFault, collapse_faults, full_fault_list
+from .path_delay import (
+    PathDelayResult,
+    RobustTest,
+    Transition,
+    generate_path_delay_tests,
+    generate_robust_test,
+    is_robust_test,
+    robust_requirements,
+)
+from .podem import PodemResult, justify, podem
+from .relax import relax_cube, relax_test_set
+from .stuck_at import StuckAtResult, generate_stuck_at_tests
+
+__all__ = [
+    "compact_test_set",
+    "cubes_compatible",
+    "merge_cubes",
+    "detects",
+    "fault_coverage",
+    "fault_simulate",
+    "StuckAtFault",
+    "collapse_faults",
+    "full_fault_list",
+    "PathDelayResult",
+    "RobustTest",
+    "Transition",
+    "generate_path_delay_tests",
+    "generate_robust_test",
+    "is_robust_test",
+    "robust_requirements",
+    "PodemResult",
+    "justify",
+    "podem",
+    "relax_cube",
+    "relax_test_set",
+    "StuckAtResult",
+    "generate_stuck_at_tests",
+]

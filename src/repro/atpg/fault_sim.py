@@ -1,0 +1,81 @@
+"""Three-valued stuck-at fault simulation with fault dropping.
+
+Given a test cube (PIs over ``{0,1,X}``), a fault is *detected* when
+some primary output carries a specified value in both the good and the
+faulty circuit and the two differ — the conservative 01X criterion
+(an X at an output never counts as detection, matching how don't-care
+test sets keep their coverage guarantees).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from ..circuits.netlist import Netlist
+from ..circuits.simulator import simulate3
+from ..core.trits import DC
+from .faults import StuckAtFault
+
+__all__ = ["detects", "fault_simulate", "fault_coverage"]
+
+
+def detects(
+    netlist: Netlist,
+    cube: Mapping[str, int],
+    fault: StuckAtFault,
+    good_values: Mapping[str, int] | None = None,
+) -> bool:
+    """True iff ``cube`` definitely detects ``fault``.
+
+    ``good_values`` lets callers reuse one good-circuit simulation
+    across many fault checks.
+
+    >>> from ..circuits.library import load_circuit
+    >>> c17 = load_circuit("c17")
+    >>> detects(c17, {"G1": 0, "G3": 1, "G2": 1, "G6": 1}, StuckAtFault("G22", 0))
+    True
+    """
+    good = good_values if good_values is not None else simulate3(netlist, cube)
+    site = good.get(fault.net, DC)
+    if site == DC or site == fault.value:
+        return False  # not (definitely) activated
+    faulty = simulate3(netlist, cube, forced={fault.net: fault.value})
+    for po in netlist.outputs:
+        good_po, faulty_po = good[po], faulty[po]
+        if good_po != DC and faulty_po != DC and good_po != faulty_po:
+            return True
+    return False
+
+
+def fault_simulate(
+    netlist: Netlist,
+    cube: Mapping[str, int],
+    faults: Iterable[StuckAtFault],
+) -> list[StuckAtFault]:
+    """Return the subset of ``faults`` that ``cube`` detects.
+
+    The good circuit is simulated once; only faults whose site lies in
+    the cube's specified support can be activated, and a faulty
+    simulation runs per candidate (serial fault simulation — ample for
+    the circuit sizes of this substrate).
+    """
+    good = simulate3(netlist, cube)
+    return [
+        fault for fault in faults if detects(netlist, cube, fault, good_values=good)
+    ]
+
+
+def fault_coverage(
+    netlist: Netlist,
+    cubes: Sequence[Mapping[str, int]],
+    faults: Sequence[StuckAtFault],
+) -> float:
+    """Fraction of ``faults`` detected by at least one cube (0..1)."""
+    if not faults:
+        return 1.0
+    remaining = set(faults)
+    for cube in cubes:
+        if not remaining:
+            break
+        remaining -= set(fault_simulate(netlist, cube, remaining))
+    return 1.0 - len(remaining) / len(faults)

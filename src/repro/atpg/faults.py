@@ -1,0 +1,113 @@
+"""Single stuck-at fault model and structural equivalence collapsing.
+
+The fault universe is two faults (stuck-at-0, stuck-at-1) per net.
+Structural equivalence collapsing merges faults that every test
+detects together — e.g. any input of an AND gate stuck-at-0 is
+equivalent to its output stuck-at-0 — via union-find.  Merging across
+a gate is only valid when the input net feeds that gate alone
+(fanout-free), the textbook condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.netlist import GateType, Netlist
+
+__all__ = ["StuckAtFault", "full_fault_list", "collapse_faults"]
+
+
+@dataclass(frozen=True, order=True)
+class StuckAtFault:
+    """A single stuck-at fault: ``net`` permanently at ``value``."""
+
+    net: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError(f"stuck-at value must be 0 or 1, got {self.value}")
+
+    def __str__(self) -> str:
+        return f"{self.net} s-a-{self.value}"
+
+
+def full_fault_list(netlist: Netlist) -> list[StuckAtFault]:
+    """Both stuck-at faults on every net, in deterministic order.
+
+    >>> from ..circuits.library import load_circuit
+    >>> len(full_fault_list(load_circuit("c17")))  # 11 nets x 2
+    22
+    """
+    return [
+        StuckAtFault(net, value)
+        for net in netlist.all_nets()
+        for value in (0, 1)
+    ]
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: dict = {}
+
+    def find(self, item):
+        parent = self._parent.setdefault(item, item)
+        if parent != item:
+            self._parent[item] = self.find(parent)
+        return self._parent[item]
+
+    def union(self, a, b) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+
+# For a gate with controlling value c and inversion i, an input
+# stuck-at-c is equivalent to the output stuck-at (c XOR i).
+_GATE_EQUIVALENCE: dict[GateType, tuple[int, int]] = {
+    GateType.AND: (0, 0),
+    GateType.NAND: (0, 1),
+    GateType.OR: (1, 1),
+    GateType.NOR: (1, 0),
+}
+
+
+def collapse_faults(netlist: Netlist) -> list[StuckAtFault]:
+    """Equivalence-collapsed fault list (one representative per class).
+
+    Rules applied (input net must be fanout-free):
+
+    * AND:  in s-a-0 ≡ out s-a-0      * NAND: in s-a-0 ≡ out s-a-1
+    * OR:   in s-a-1 ≡ out s-a-1      * NOR:  in s-a-1 ≡ out s-a-0
+    * NOT:  in s-a-v ≡ out s-a-(1-v)  * BUF:  in s-a-v ≡ out s-a-v
+
+    Representatives are chosen deterministically (smallest net name,
+    then value), so results are stable across runs.
+
+    >>> from ..circuits.library import load_circuit
+    >>> len(collapse_faults(load_circuit("c17")))
+    16
+    """
+    union = _UnionFind()
+    for gate in netlist.topological_order():
+        for source in gate.inputs:
+            if len(netlist.fanout(source)) != 1:
+                continue  # fanout stems break equivalence
+            if gate.gate_type in _GATE_EQUIVALENCE:
+                in_value, out_value = _GATE_EQUIVALENCE[gate.gate_type]
+                union.union((source, in_value), (gate.output, out_value))
+            elif gate.gate_type is GateType.NOT:
+                union.union((source, 0), (gate.output, 1))
+                union.union((source, 1), (gate.output, 0))
+            elif gate.gate_type is GateType.BUF:
+                union.union((source, 0), (gate.output, 0))
+                union.union((source, 1), (gate.output, 1))
+            # XOR/XNOR inputs are never equivalent to the output.
+    classes: dict[tuple, tuple] = {}
+    for fault in full_fault_list(netlist):
+        root = union.find((fault.net, fault.value))
+        key = (fault.net, fault.value)
+        best = classes.get(root)
+        if best is None or key < best:
+            classes[root] = key
+    return sorted(StuckAtFault(net, value) for net, value in classes.values())

@@ -1,0 +1,318 @@
+"""PODEM test generation (Goel 1981) producing don't-care-rich cubes.
+
+PODEM searches over primary-input assignments only.  The loop:
+
+1. **Imply**: three-valued simulation of the good and the faulty
+   circuit under the partial PI assignment.
+2. **Check**: success if some primary output shows a specified
+   good/faulty difference; failure (backtrack) if the fault can no
+   longer be activated or no X-path remains from the D-frontier to an
+   output.
+3. **Objective**: activate the fault, else advance the D-frontier by
+   setting a side input of a frontier gate to its non-controlling
+   value.
+4. **Backtrace**: map the objective to a single PI assignment through
+   the unjustified logic; push it as a decision and go to 1.
+
+Because only the PIs that decisions touched ever get values, the
+returned test cube leaves every other input at ``X`` — these are
+exactly the "uncompacted test sets with don't-cares" the compression
+paper consumes.
+
+The same machinery justifies arbitrary ``{net: value}`` requirement
+sets (:func:`justify`), which the path-delay generator reuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..circuits.netlist import GateType, Netlist
+from ..circuits.simulator import simulate3
+from ..core.trits import DC, ONE, ZERO
+from .faults import StuckAtFault
+
+__all__ = ["PodemResult", "podem", "justify"]
+
+
+@dataclass(frozen=True)
+class PodemResult:
+    """Outcome of one PODEM run.
+
+    ``status`` is ``"detected"``, ``"untestable"`` (search space
+    exhausted — the fault is redundant) or ``"aborted"`` (backtrack
+    limit hit).  ``cube`` maps assigned PIs to 0/1; unlisted PIs are
+    don't-cares.
+    """
+
+    status: str
+    cube: dict[str, int] = field(default_factory=dict)
+    backtracks: int = 0
+
+    @property
+    def detected(self) -> bool:
+        return self.status == "detected"
+
+
+@dataclass
+class _Decision:
+    pi: str
+    value: int
+    flipped: bool = False
+
+
+def _difference(good: int, faulty: int) -> bool:
+    """True when the net carries a specified good/faulty difference."""
+    return good != faulty and good != DC and faulty != DC
+
+
+class _PodemSearch:
+    """Shared branch-and-bound machinery for PODEM and justification."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        fault: StuckAtFault | None,
+        max_backtracks: int,
+    ) -> None:
+        self.netlist = netlist
+        self.fault = fault
+        self.max_backtracks = max_backtracks
+        self.assignment: dict[str, int] = {}
+        self.decisions: list[_Decision] = []
+        self.backtracks = 0
+        self.good: dict[str, int] = {}
+        self.faulty: dict[str, int] = {}
+
+    # -- simulation ----------------------------------------------------
+
+    def imply(self) -> None:
+        self.good = simulate3(self.netlist, self.assignment)
+        if self.fault is not None:
+            self.faulty = simulate3(
+                self.netlist,
+                self.assignment,
+                forced={self.fault.net: self.fault.value},
+            )
+
+    # -- fault-detection status -----------------------------------------
+
+    def detected(self) -> bool:
+        return any(
+            _difference(self.good[po], self.faulty[po])
+            for po in self.netlist.outputs
+        )
+
+    def activation_impossible(self) -> bool:
+        """The fault site already carries the stuck value in the good
+        circuit — no assignment extension can activate it."""
+        site = self.good[self.fault.net]
+        return site == self.fault.value
+
+    def d_frontier(self) -> list[str]:
+        """Gates with a difference on an input but not on the output."""
+        frontier = []
+        for gate in self.netlist.topological_order():
+            output_good = self.good[gate.output]
+            output_faulty = self.faulty[gate.output]
+            if _difference(output_good, output_faulty):
+                continue
+            if output_good != DC and output_faulty != DC:
+                continue  # resolved equal: difference is blocked here
+            if any(
+                _difference(self.good[s], self.faulty[s]) for s in gate.inputs
+            ):
+                frontier.append(gate.output)
+        return frontier
+
+    def x_path_exists(self, frontier: list[str]) -> bool:
+        """Some PO reachable from the frontier through unresolved nets."""
+        unresolved = {
+            net
+            for net in self.netlist.all_nets()
+            if self.good[net] == DC or self.faulty[net] == DC
+        }
+        outputs = set(self.netlist.outputs)
+        seen = set(frontier)
+        stack = list(frontier)
+        while stack:
+            net = stack.pop()
+            if net in outputs:
+                return True
+            for sink in self.netlist.fanout(net):
+                if sink in unresolved and sink not in seen:
+                    seen.add(sink)
+                    stack.append(sink)
+        return False
+
+    # -- objective and backtrace ----------------------------------------
+
+    def fault_objective(self) -> tuple[str, int] | None:
+        """Objective to work toward detecting the fault."""
+        if self.good[self.fault.net] == DC:
+            return (self.fault.net, 1 - self.fault.value)
+        frontier = self.d_frontier()
+        if not frontier or not self.x_path_exists(frontier):
+            return None
+        gate = self.netlist.gates[frontier[0]]
+        controlling = gate.gate_type.controlling_value
+        for source in gate.inputs:
+            if self.good[source] == DC or self.faulty[source] == DC:
+                if controlling is not None:
+                    return (source, 1 - controlling)
+                return (source, 0)  # XOR-family: any specified value
+        return None
+
+    def backtrace(self, net: str, value: int) -> tuple[str, int] | None:
+        """Walk the objective back to an unassigned primary input."""
+        current, target = net, value
+        for _ in range(self.netlist.n_gates + len(self.netlist.inputs) + 1):
+            if current in self.netlist.gates:
+                gate = self.netlist.gates[current]
+                current, target = self._backtrace_through(gate, target)
+                if current is None:
+                    return None
+            else:  # primary input
+                if current in self.assignment:
+                    return None  # already decided: objective unreachable this way
+                return (current, target)
+        return None
+
+    def _backtrace_through(self, gate, target: int):
+        gate_type = gate.gate_type
+        if gate_type in (GateType.NOT, GateType.NAND, GateType.NOR):
+            target = 1 - target
+        if gate_type in (GateType.XOR, GateType.XNOR):
+            # Heuristic: pick an X input; required value = target xor
+            # parity of the other, already-specified inputs.
+            parity = 1 if gate_type is GateType.XNOR else 0
+            chosen = None
+            for source in gate.inputs:
+                if self.good[source] == DC and chosen is None:
+                    chosen = source
+                elif self.good[source] != DC:
+                    parity ^= self.good[source]
+            if chosen is None:
+                return None, target
+            return chosen, target ^ parity
+        controlling = gate_type.controlling_value
+        easiest = None
+        for source in gate.inputs:
+            if self.good[source] == DC:
+                easiest = source
+                break
+        if easiest is None:
+            return None, target
+        if controlling is None:  # NOT/BUF
+            return easiest, target
+        if target == controlling:
+            return easiest, controlling  # one controlling input suffices
+        return easiest, 1 - controlling  # all inputs non-controlling
+
+    # -- decision stack ---------------------------------------------------
+
+    def decide(self, pi: str, value: int) -> None:
+        self.decisions.append(_Decision(pi, value))
+        self.assignment[pi] = value
+
+    def backtrack(self) -> bool:
+        """Flip the deepest unflipped decision; False when exhausted."""
+        self.backtracks += 1
+        while self.decisions:
+            decision = self.decisions[-1]
+            if decision.flipped:
+                self.decisions.pop()
+                del self.assignment[decision.pi]
+            else:
+                decision.flipped = True
+                decision.value = 1 - decision.value
+                self.assignment[decision.pi] = decision.value
+                return True
+        return False
+
+
+def podem(
+    netlist: Netlist,
+    fault: StuckAtFault,
+    max_backtracks: int = 1000,
+) -> PodemResult:
+    """Generate a test cube for ``fault``, or prove it untestable.
+
+    >>> from ..circuits.library import load_circuit
+    >>> result = podem(load_circuit("c17"), StuckAtFault("G22", 0))
+    >>> result.detected
+    True
+    """
+    if fault.net not in set(netlist.all_nets()):
+        raise ValueError(f"fault site {fault.net!r} not in netlist")
+    search = _PodemSearch(netlist, fault, max_backtracks)
+    while True:
+        search.imply()
+        if search.detected():
+            return PodemResult(
+                status="detected",
+                cube=dict(search.assignment),
+                backtracks=search.backtracks,
+            )
+        objective = None
+        if not search.activation_impossible():
+            objective = search.fault_objective()
+        target = None
+        if objective is not None:
+            target = search.backtrace(*objective)
+        if target is not None:
+            search.decide(*target)
+            continue
+        # Dead end: no objective or backtrace blocked.
+        if search.backtracks >= max_backtracks:
+            return PodemResult(status="aborted", backtracks=search.backtracks)
+        if not search.backtrack():
+            return PodemResult(status="untestable", backtracks=search.backtracks)
+
+
+def justify(
+    netlist: Netlist,
+    requirements: dict[str, int],
+    max_backtracks: int = 1000,
+) -> dict[str, int] | None:
+    """Find a PI cube making every required net take its required value.
+
+    Returns the partial PI assignment (unlisted PIs are don't-cares),
+    or None when the requirements are unsatisfiable or the backtrack
+    limit is hit.  Used by the path-delay generator to justify the
+    per-frame side-input constraints.
+
+    >>> from ..circuits.library import load_circuit
+    >>> cube = justify(load_circuit("c17"), {"G10": 0})
+    >>> cube["G1"], cube["G3"]
+    (1, 1)
+    """
+    for net, value in requirements.items():
+        if value not in (0, 1):
+            raise ValueError(f"requirement {net}={value} must be 0 or 1")
+        if net not in set(netlist.all_nets()):
+            raise ValueError(f"required net {net!r} not in netlist")
+    search = _PodemSearch(netlist, fault=None, max_backtracks=max_backtracks)
+    while True:
+        search.good = simulate3(netlist, search.assignment)
+        conflict = any(
+            search.good[net] != DC and search.good[net] != value
+            for net, value in requirements.items()
+        )
+        unmet = [
+            (net, value)
+            for net, value in sorted(requirements.items())
+            if search.good[net] == DC
+        ]
+        if not conflict and not unmet:
+            return dict(search.assignment)
+        target = None
+        if not conflict:
+            target = search.backtrace(*unmet[0])
+        if target is not None:
+            search.decide(*target)
+            continue
+        if search.backtracks >= max_backtracks:
+            return None
+        if not search.backtrack():
+            return None

@@ -1,0 +1,84 @@
+"""X-maximizing test relaxation (Kajihara/Miyase [30] stand-in).
+
+The paper's stuck-at test sets come from "the method from [30]" —
+identification of don't-care inputs of given test patterns.  This
+module implements the same *effect* with a greedy relaxation: for each
+pattern, try turning each specified bit back into an X and keep the
+change whenever the pattern still detects every fault it is
+responsible for.  Applied to a fully- or partially-specified test set
+it monotonically increases the X density without losing coverage.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..circuits.netlist import Netlist
+from ..testdata.test_set import TestSet
+from ..core.trits import DC
+from .fault_sim import fault_simulate
+from .faults import StuckAtFault
+
+__all__ = ["relax_cube", "relax_test_set"]
+
+
+def relax_cube(
+    netlist: Netlist,
+    cube: Mapping[str, int],
+    responsible_faults: Sequence[StuckAtFault],
+) -> dict[str, int]:
+    """Drop as many assignments from ``cube`` as possible while it
+    still detects every fault in ``responsible_faults``.
+
+    Bits are tried in deterministic (sorted PI name) order; the result
+    is a subset of the original assignments.
+    """
+    required = set(responsible_faults)
+    if len(set(fault_simulate(netlist, cube, required))) != len(required):
+        raise ValueError("cube does not detect its responsible faults")
+    relaxed = dict(cube)
+    for pi in sorted(cube):
+        trial = dict(relaxed)
+        del trial[pi]
+        if len(set(fault_simulate(netlist, trial, required))) == len(required):
+            relaxed = trial
+    return relaxed
+
+
+def relax_test_set(
+    netlist: Netlist,
+    test_set: TestSet,
+    faults: Sequence[StuckAtFault],
+) -> TestSet:
+    """Relax every pattern of ``test_set`` against ``faults``.
+
+    Fault responsibility is assigned greedily in pattern order (each
+    fault belongs to the first pattern that detects it), mirroring how
+    fault-dropping flows attribute detection.  Patterns that detect
+    nothing are kept unchanged (their bits are all candidates, but
+    with no responsibility every bit would relax away; instead they
+    are left intact so the test set's pattern count is preserved).
+    """
+    remaining = list(faults)
+    responsibility: list[list[StuckAtFault]] = []
+    cubes: list[dict[str, int]] = []
+    for row in range(test_set.n_patterns):
+        cube = {
+            net: int(test_set.patterns[row, col])
+            for col, net in enumerate(netlist.inputs)
+            if test_set.patterns[row, col] != DC
+        }
+        cubes.append(cube)
+        caught = fault_simulate(netlist, cube, remaining)
+        responsibility.append(caught)
+        caught_set = set(caught)
+        remaining = [f for f in remaining if f not in caught_set]
+    relaxed_cubes = []
+    for cube, responsible in zip(cubes, responsibility):
+        if responsible:
+            relaxed_cubes.append(relax_cube(netlist, cube, responsible))
+        else:
+            relaxed_cubes.append(cube)
+    return TestSet.from_cubes(
+        f"{test_set.name}-relaxed", relaxed_cubes, netlist.inputs
+    )

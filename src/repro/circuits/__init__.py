@@ -1,0 +1,29 @@
+"""Circuit substrate: netlists, .bench parsing, simulation, generation."""
+
+from .bench_parser import parse_bench, parse_bench_file, write_bench
+from .generator import random_netlist
+from .library import C17_BENCH, S27_BENCH, available_circuits, load_circuit
+from .netlist import Gate, GateType, Netlist, NetlistError
+from .paths import Path, count_paths, enumerate_paths
+from .simulator import evaluate_gate3, simulate3, simulate_patterns
+
+__all__ = [
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "random_netlist",
+    "C17_BENCH",
+    "S27_BENCH",
+    "available_circuits",
+    "load_circuit",
+    "Gate",
+    "GateType",
+    "Netlist",
+    "NetlistError",
+    "Path",
+    "count_paths",
+    "enumerate_paths",
+    "evaluate_gate3",
+    "simulate3",
+    "simulate_patterns",
+]

@@ -1,0 +1,126 @@
+"""Reader/writer for the ISCAS-89 ``.bench`` netlist format.
+
+The format the benchmark suites ship in::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G14 = NOT(G0)
+    G8 = AND(G14, G6)
+
+DFFs are converted to the full-scan combinational core: the flip-flop
+output becomes a pseudo primary input and the flip-flop's data input a
+pseudo primary output — the paper's "combinational parts of ISCAS-89
+circuits".
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .netlist import Gate, GateType, Netlist, NetlistError
+
+__all__ = ["parse_bench", "parse_bench_file", "write_bench"]
+
+_INPUT_RE = re.compile(r"^INPUT\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
+_OUTPUT_RE = re.compile(r"^OUTPUT\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*([^)]*)\s*\)$"
+)
+
+_TYPE_ALIASES = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+}
+
+
+def parse_bench(text: str, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` text into a combinational :class:`Netlist`.
+
+    >>> netlist = parse_bench('''
+    ...     INPUT(a)
+    ...     INPUT(b)
+    ...     OUTPUT(y)
+    ...     y = NAND(a, b)
+    ... ''', name="tiny")
+    >>> netlist.n_gates
+    1
+    """
+    inputs: list[str] = []
+    outputs: list[str] = []
+    gates: list[Gate] = []
+    flip_flops: list[tuple[str, str]] = []  # (output net, data-input net)
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _INPUT_RE.match(line)
+        if match:
+            inputs.append(match.group(1))
+            continue
+        match = _OUTPUT_RE.match(line)
+        if match:
+            outputs.append(match.group(1))
+            continue
+        match = _GATE_RE.match(line)
+        if match:
+            output_net, type_name, input_list = match.groups()
+            input_nets = tuple(
+                net.strip() for net in input_list.split(",") if net.strip()
+            )
+            type_name = type_name.upper()
+            if type_name == "DFF":
+                if len(input_nets) != 1:
+                    raise NetlistError(f"DFF {output_net} must have one input")
+                flip_flops.append((output_net, input_nets[0]))
+                continue
+            if type_name not in _TYPE_ALIASES:
+                raise NetlistError(f"unknown gate type {type_name!r} in {line!r}")
+            gates.append(
+                Gate(
+                    output=output_net,
+                    gate_type=_TYPE_ALIASES[type_name],
+                    inputs=input_nets,
+                )
+            )
+            continue
+        raise NetlistError(f"unparsable .bench line: {raw_line!r}")
+
+    # Full-scan conversion: FF outputs -> pseudo-PIs, FF inputs -> pseudo-POs.
+    for ff_output, ff_input in flip_flops:
+        inputs.append(ff_output)
+        if ff_input not in outputs:
+            outputs.append(ff_input)
+    return Netlist(name=name, inputs=inputs, outputs=outputs, gates=gates)
+
+
+def parse_bench_file(path: str | Path) -> Netlist:
+    """Parse a ``.bench`` file; the netlist is named after the file stem."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(netlist: Netlist) -> str:
+    """Serialize a combinational netlist back to ``.bench`` text.
+
+    The output parses back to an equivalent netlist (pseudo-PIs/POs
+    from scan conversion are emitted as plain INPUT/OUTPUT lines).
+    """
+    lines = [f"# {netlist.name}"]
+    lines.extend(f"INPUT({net})" for net in netlist.inputs)
+    lines.extend(f"OUTPUT({net})" for net in netlist.outputs)
+    for gate in netlist.topological_order():
+        joined = ", ".join(gate.inputs)
+        lines.append(f"{gate.output} = {gate.gate_type.value}({joined})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,95 @@
+"""Embedded benchmark circuits.
+
+Two genuine benchmarks small enough to embed verbatim:
+
+* **c17** — the smallest ISCAS-85 circuit (6 NAND gates), the
+  canonical ATPG teaching example;
+* **s27** — the smallest ISCAS-89 circuit; parsed through the
+  full-scan conversion its three flip-flops become pseudo-PIs/POs,
+  giving the 7-input/4-output combinational core the paper's test
+  sets address.
+
+Larger circuits are supplied by :func:`repro.circuits.generator.
+random_netlist` under fixed seeds, registered here so the rest of the
+code can request circuits by name.
+"""
+
+from __future__ import annotations
+
+from .bench_parser import parse_bench
+from .generator import random_netlist
+from .netlist import Netlist
+
+__all__ = ["C17_BENCH", "S27_BENCH", "available_circuits", "load_circuit"]
+
+C17_BENCH = """
+# c17 — smallest ISCAS-85 benchmark (6 NAND gates)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+S27_BENCH = """
+# s27 — smallest ISCAS-89 benchmark (full-scan conversion applies)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+# name -> zero-argument factory
+_GENERATED = {
+    "gen_small": lambda: random_netlist(12, 40, seed=101, name="gen_small"),
+    "gen_medium": lambda: random_netlist(32, 220, seed=202, name="gen_medium"),
+    "gen_large": lambda: random_netlist(64, 600, seed=303, name="gen_large"),
+    "gen_wide": lambda: random_netlist(96, 400, seed=404, name="gen_wide"),
+}
+
+
+def available_circuits() -> list[str]:
+    """Names accepted by :func:`load_circuit`."""
+    return ["c17", "s27", *sorted(_GENERATED)]
+
+
+def load_circuit(name: str) -> Netlist:
+    """Load an embedded or generated benchmark circuit by name.
+
+    >>> load_circuit("c17").n_gates
+    6
+    >>> len(load_circuit("s27").inputs)  # 4 PIs + 3 pseudo-PIs
+    7
+    """
+    if name == "c17":
+        return parse_bench(C17_BENCH, name="c17")
+    if name == "s27":
+        return parse_bench(S27_BENCH, name="s27")
+    try:
+        return _GENERATED[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown circuit {name!r}; available: {available_circuits()}"
+        ) from None

@@ -1,0 +1,215 @@
+"""Gate-level netlist representation.
+
+The compression paper evaluates on ISCAS-85 circuits and the
+combinational cores of ISCAS-89 circuits.  This module provides the
+gate-level data structure those benchmarks live in: named nets driven
+by primitive gates, with primary inputs and outputs.  Sequential
+elements (DFFs) are handled the standard full-scan way — a flip-flop's
+output becomes a pseudo primary input and its input a pseudo primary
+output — which is exactly what "combinational part of ISCAS-89" means
+in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["GateType", "Gate", "Netlist", "NetlistError"]
+
+
+class NetlistError(ValueError):
+    """Raised for structurally invalid netlists."""
+
+
+class GateType(enum.Enum):
+    """Primitive gate types of the .bench format."""
+
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+
+    @property
+    def controlling_value(self) -> int | None:
+        """The input value that alone determines the output (None for
+        XOR-family and single-input gates)."""
+        if self in (GateType.AND, GateType.NAND):
+            return 0
+        if self in (GateType.OR, GateType.NOR):
+            return 1
+        return None
+
+    @property
+    def inverting(self) -> bool:
+        """True if the gate complements its 'natural' function."""
+        return self in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate: an output net computed from input nets."""
+
+    output: str
+    gate_type: GateType
+    inputs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.output:
+            raise NetlistError("gate output net must be named")
+        if not self.inputs:
+            raise NetlistError(f"gate {self.output} has no inputs")
+        if self.gate_type in (GateType.NOT, GateType.BUF) and len(self.inputs) != 1:
+            raise NetlistError(
+                f"{self.gate_type.value} gate {self.output} must have exactly "
+                f"one input, got {len(self.inputs)}"
+            )
+        if (
+            self.gate_type in (GateType.XOR, GateType.XNOR)
+            and len(self.inputs) < 2
+        ):
+            raise NetlistError(
+                f"{self.gate_type.value} gate {self.output} needs >= 2 inputs"
+            )
+
+
+class Netlist:
+    """A combinational netlist: primary inputs, gates, primary outputs.
+
+    Gates are stored by output net name; :meth:`topological_order`
+    yields gates so that every gate appears after its drivers.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        gates: Iterable[Gate],
+    ) -> None:
+        self.name = name
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        self.gates: dict[str, Gate] = {}
+        for gate in gates:
+            if gate.output in self.gates:
+                raise NetlistError(f"net {gate.output} driven twice")
+            if gate.output in self.inputs:
+                raise NetlistError(f"primary input {gate.output} driven by a gate")
+            self.gates[gate.output] = gate
+        self._validate()
+        self._order = self._topological_sort()
+        self._fanouts = self._build_fanouts()
+
+    # -- construction checks -------------------------------------------
+
+    def _validate(self) -> None:
+        if len(set(self.inputs)) != len(self.inputs):
+            raise NetlistError("duplicate primary inputs")
+        if len(set(self.outputs)) != len(self.outputs):
+            raise NetlistError("duplicate primary outputs")
+        known = set(self.inputs) | set(self.gates)
+        for gate in self.gates.values():
+            for net in gate.inputs:
+                if net not in known:
+                    raise NetlistError(
+                        f"gate {gate.output} reads undriven net {net}"
+                    )
+        for net in self.outputs:
+            if net not in known:
+                raise NetlistError(f"primary output {net} is undriven")
+
+    def _topological_sort(self) -> tuple[str, ...]:
+        order: list[str] = []
+        state: dict[str, int] = {}  # 0 = unvisited, 1 = visiting, 2 = done
+
+        def visit(net: str) -> None:
+            stack = [(net, iter(self.gates[net].inputs))] if net in self.gates else []
+            if net not in self.gates:
+                return
+            state[net] = 1
+            while stack:
+                current, iterator = stack[-1]
+                advanced = False
+                for source in iterator:
+                    if source not in self.gates:
+                        continue
+                    status = state.get(source, 0)
+                    if status == 1:
+                        raise NetlistError(f"combinational loop through {source}")
+                    if status == 0:
+                        state[source] = 1
+                        stack.append((source, iter(self.gates[source].inputs)))
+                        advanced = True
+                        break
+                if not advanced:
+                    state[current] = 2
+                    order.append(current)
+                    stack.pop()
+
+        for net in self.gates:
+            if state.get(net, 0) == 0:
+                visit(net)
+        return tuple(order)
+
+    def _build_fanouts(self) -> dict[str, tuple[str, ...]]:
+        fanouts: dict[str, list[str]] = {net: [] for net in self.all_nets()}
+        for gate in self.gates.values():
+            for source in gate.inputs:
+                fanouts[source].append(gate.output)
+        return {net: tuple(sinks) for net, sinks in fanouts.items()}
+
+    # -- queries --------------------------------------------------------
+
+    def all_nets(self) -> tuple[str, ...]:
+        """Every net name: primary inputs first, then gate outputs in
+        topological order."""
+        return self.inputs + self._order
+
+    def topological_order(self) -> tuple[Gate, ...]:
+        """Gates ordered so drivers precede their readers."""
+        return tuple(self.gates[net] for net in self._order)
+
+    def fanout(self, net: str) -> tuple[str, ...]:
+        """Output nets of the gates that read ``net``."""
+        return self._fanouts.get(net, ())
+
+    def fanout_cone(self, net: str) -> set[str]:
+        """All nets transitively reachable from ``net`` (inclusive)."""
+        cone = {net}
+        frontier = [net]
+        while frontier:
+            current = frontier.pop()
+            for sink in self.fanout(current):
+                if sink not in cone:
+                    cone.add(sink)
+                    frontier.append(sink)
+        return cone
+
+    @property
+    def n_gates(self) -> int:
+        """Number of gates."""
+        return len(self.gates)
+
+    def levels(self) -> dict[str, int]:
+        """Logic depth per net (PIs at level 0)."""
+        level = {net: 0 for net in self.inputs}
+        for gate in self.topological_order():
+            level[gate.output] = 1 + max(level[s] for s in gate.inputs)
+        return level
+
+    def depth(self) -> int:
+        """Maximum logic depth over all nets."""
+        levels = self.levels()
+        return max(levels.values()) if levels else 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, inputs={len(self.inputs)}, "
+            f"outputs={len(self.outputs)}, gates={self.n_gates})"
+        )

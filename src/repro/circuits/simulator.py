@@ -1,0 +1,158 @@
+"""Logic simulation: two-valued and three-valued (01X).
+
+Three-valued simulation is the workhorse of the ATPG stack: test cubes
+contain don't-cares, so the simulator must propagate ``X`` pessimally
+(an AND with a 0 input is 0 no matter the Xs; with inputs 1 and X it
+is X).  A bit-parallel two-valued simulator over numpy boolean arrays
+is provided for simulating many fully-specified patterns at once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..core.trits import DC, ONE, ZERO
+from .netlist import Gate, GateType, Netlist
+
+__all__ = ["evaluate_gate3", "simulate3", "simulate_patterns"]
+
+
+def _and3(values: Sequence[int]) -> int:
+    if any(v == ZERO for v in values):
+        return ZERO
+    if all(v == ONE for v in values):
+        return ONE
+    return DC
+
+
+def _or3(values: Sequence[int]) -> int:
+    if any(v == ONE for v in values):
+        return ONE
+    if all(v == ZERO for v in values):
+        return ZERO
+    return DC
+
+
+def _xor3(values: Sequence[int]) -> int:
+    result = 0
+    for value in values:
+        if value == DC:
+            return DC
+        result ^= value
+    return result
+
+
+def _not3(value: int) -> int:
+    if value == DC:
+        return DC
+    return 1 - value
+
+
+def evaluate_gate3(gate_type: GateType, values: Sequence[int]) -> int:
+    """Evaluate one gate over three-valued inputs.
+
+    >>> evaluate_gate3(GateType.AND, (ONE, DC))
+    2
+    >>> evaluate_gate3(GateType.AND, (ZERO, DC))
+    0
+    """
+    if gate_type is GateType.AND:
+        return _and3(values)
+    if gate_type is GateType.NAND:
+        return _not3(_and3(values))
+    if gate_type is GateType.OR:
+        return _or3(values)
+    if gate_type is GateType.NOR:
+        return _not3(_or3(values))
+    if gate_type is GateType.XOR:
+        return _xor3(values)
+    if gate_type is GateType.XNOR:
+        return _not3(_xor3(values))
+    if gate_type is GateType.NOT:
+        return _not3(values[0])
+    if gate_type is GateType.BUF:
+        return values[0]
+    raise ValueError(f"unknown gate type {gate_type}")
+
+
+def simulate3(
+    netlist: Netlist,
+    input_values: Mapping[str, int],
+    forced: Mapping[str, int] | None = None,
+) -> dict[str, int]:
+    """Three-valued simulation of one input cube.
+
+    ``input_values`` maps primary inputs to trits (missing inputs
+    default to ``X``).  ``forced`` overrides the computed value of
+    arbitrary nets *after* evaluation — that is exactly a stuck-at
+    fault injection.
+
+    >>> from .bench_parser import parse_bench
+    >>> n = parse_bench("INPUT(a)\\nINPUT(b)\\nOUTPUT(y)\\ny = AND(a, b)")
+    >>> simulate3(n, {"a": 1})["y"]
+    2
+    """
+    forced = forced or {}
+    values: dict[str, int] = {}
+    for net in netlist.inputs:
+        value = input_values.get(net, DC)
+        values[net] = forced.get(net, value)
+    for gate in netlist.topological_order():
+        computed = evaluate_gate3(
+            gate.gate_type, [values[s] for s in gate.inputs]
+        )
+        values[gate.output] = forced.get(gate.output, computed)
+    return values
+
+
+def _evaluate_gate_bool(gate: Gate, values: dict[str, np.ndarray]) -> np.ndarray:
+    operands = [values[s] for s in gate.inputs]
+    if gate.gate_type in (GateType.AND, GateType.NAND):
+        result = operands[0].copy()
+        for operand in operands[1:]:
+            result &= operand
+        if gate.gate_type is GateType.NAND:
+            result = ~result
+        return result
+    if gate.gate_type in (GateType.OR, GateType.NOR):
+        result = operands[0].copy()
+        for operand in operands[1:]:
+            result |= operand
+        if gate.gate_type is GateType.NOR:
+            result = ~result
+        return result
+    if gate.gate_type in (GateType.XOR, GateType.XNOR):
+        result = operands[0].copy()
+        for operand in operands[1:]:
+            result ^= operand
+        if gate.gate_type is GateType.XNOR:
+            result = ~result
+        return result
+    if gate.gate_type is GateType.NOT:
+        return ~operands[0]
+    return operands[0].copy()  # BUF
+
+
+def simulate_patterns(
+    netlist: Netlist, patterns: np.ndarray
+) -> dict[str, np.ndarray]:
+    """Bit-parallel two-valued simulation of many patterns at once.
+
+    ``patterns`` is a boolean array of shape ``(n_patterns,
+    n_inputs)`` with columns in ``netlist.inputs`` order.  Returns the
+    boolean waveform of every net, shape ``(n_patterns,)`` each.
+    """
+    patterns = np.asarray(patterns, dtype=bool)
+    if patterns.ndim != 2 or patterns.shape[1] != len(netlist.inputs):
+        raise ValueError(
+            f"patterns must be (n, {len(netlist.inputs)}), got {patterns.shape}"
+        )
+    values: dict[str, np.ndarray] = {
+        net: np.ascontiguousarray(patterns[:, index])
+        for index, net in enumerate(netlist.inputs)
+    }
+    for gate in netlist.topological_order():
+        values[gate.output] = _evaluate_gate_bool(gate, values)
+    return values

@@ -1,0 +1,326 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``      Reproduce Table 1 (stuck-at); quick subset by default.
+``table2``      Reproduce Table 2 (path delay); quick subset by default.
+``compress``    Compress a test-set file (one ``0/1/X`` pattern per line).
+``atpg``        Generate a stuck-at test set for a library circuit and
+                compress it with all methods.
+``ablate``      Run one of the ablation studies on a calibrated test set.
+
+Examples
+--------
+::
+
+    python -m repro table1 --circuits s349 s298 --seed 1
+    python -m repro table1 --full --budget paper
+    python -m repro compress my_tests.txt --k 12 --l 64
+    python -m repro atpg c17
+    python -m repro ablate kl --circuit s349
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.compressor import compress_blocks
+from .core.config import CompressionConfig, EAParameters
+from .core.nine_c import compress_nine_c
+from .core.optimizer import EAMVOptimizer
+from .testdata.calibration import calibrate_spec
+from .testdata.registry import TABLE1_STUCK_AT, row_by_name
+from .testdata.synthetic import SyntheticSpec
+from .testdata.test_set import TestSet
+
+__all__ = ["main"]
+
+
+def _add_table_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--full", action="store_true", help="run every circuit in the table"
+    )
+    parser.add_argument(
+        "--circuits", nargs="*", default=None, help="explicit circuit subset"
+    )
+    parser.add_argument(
+        "--budget",
+        choices=("quick", "paper"),
+        default="quick",
+        help="EA effort per row (paper = 5 runs, 500-gen stagnation)",
+    )
+    parser.add_argument("--seed", type=int, default=2005)
+
+
+def _table_command(arguments: argparse.Namespace, which: int) -> int:
+    from .experiments import (
+        PAPER,
+        QUICK,
+        build_table1,
+        build_table2,
+        format_table,
+        shape_check_markdown,
+    )
+
+    budget = PAPER if arguments.budget == "paper" else QUICK
+    builder = build_table1 if which == 1 else build_table2
+    if arguments.circuits:
+        circuits = arguments.circuits
+    elif arguments.full:
+        circuits = None
+    else:
+        from .experiments import DEFAULT_QUICK_TABLE1, DEFAULT_QUICK_TABLE2
+
+        circuits = DEFAULT_QUICK_TABLE1 if which == 1 else DEFAULT_QUICK_TABLE2
+    result = builder(
+        circuits=circuits, budget=budget, seed=arguments.seed, progress=print
+    )
+    print()
+    print(format_table(result))
+    print()
+    print(shape_check_markdown(result))
+    return 0
+
+
+def _compress_command(arguments: argparse.Namespace) -> int:
+    lines = [
+        line.strip()
+        for line in Path(arguments.file).read_text().splitlines()
+        if line.strip() and not line.startswith("#")
+    ]
+    test_set = TestSet.from_strings(Path(arguments.file).stem, lines)
+    print(f"loaded {test_set!r}")
+    blocks8 = test_set.blocks(8)
+    print(f"9C     rate: {compress_nine_c(blocks8).rate:6.2f}%")
+    print(
+        f"9C+HC  rate: {compress_nine_c(blocks8, use_huffman=True).rate:6.2f}%"
+    )
+    config = CompressionConfig(
+        block_length=arguments.k,
+        n_vectors=arguments.l,
+        runs=arguments.runs,
+        ea=EAParameters(
+            stagnation_limit=arguments.stagnation,
+            max_evaluations=arguments.max_evaluations,
+        ),
+    )
+    optimizer = EAMVOptimizer(config, seed=arguments.seed)
+    result = optimizer.optimize(test_set.blocks(arguments.k))
+    print(
+        f"EA     rate: {result.mean_rate:6.2f}% mean, "
+        f"{result.best_rate:6.2f}% best over {config.runs} runs"
+    )
+    compressed = compress_blocks(
+        test_set.blocks(arguments.k), result.best_mv_set
+    )
+    print(f"best MV usage: {compressed.mv_usage()}")
+    return 0
+
+
+def _atpg_command(arguments: argparse.Namespace) -> int:
+    from .atpg.stuck_at import generate_stuck_at_tests
+    from .circuits.library import load_circuit
+
+    netlist = load_circuit(arguments.circuit)
+    result = generate_stuck_at_tests(netlist)
+    test_set = result.test_set
+    print(f"{netlist!r}")
+    print(
+        f"test set: {test_set.n_patterns} patterns x {test_set.n_inputs} "
+        f"inputs, X density {test_set.x_density():.2f}, "
+        f"fault coverage {result.fault_coverage:.1%}"
+    )
+    blocks8 = test_set.blocks(8)
+    print(f"9C     rate: {compress_nine_c(blocks8).rate:6.2f}%")
+    print(
+        f"9C+HC  rate: {compress_nine_c(blocks8, use_huffman=True).rate:6.2f}%"
+    )
+    config = CompressionConfig(
+        block_length=arguments.k,
+        n_vectors=arguments.l,
+        runs=3,
+        ea=EAParameters(stagnation_limit=30, max_evaluations=1200),
+    )
+    result = EAMVOptimizer(config, seed=arguments.seed).optimize(
+        test_set.blocks(arguments.k)
+    )
+    print(
+        f"EA     rate: {result.mean_rate:6.2f}% mean, "
+        f"{result.best_rate:6.2f}% best"
+    )
+    return 0
+
+
+def _calibrated_test_set(circuit: str, seed: int) -> TestSet:
+    row = row_by_name(TABLE1_STUCK_AT, circuit)
+    spec = SyntheticSpec(
+        name=row.circuit,
+        n_patterns=row.n_patterns,
+        pattern_bits=row.pattern_bits,
+        care_density=0.5,
+        seed=seed,
+    )
+    return calibrate_spec(spec, row.published["9C"]).test_set
+
+
+def _ablate_command(arguments: argparse.Namespace) -> int:
+    from .experiments import (
+        ablation_markdown,
+        decoder_cost_study,
+        kl_sweep,
+        operator_sweep,
+        seeding_ablation,
+        subsumption_ablation,
+    )
+
+    test_set = _calibrated_test_set(arguments.circuit, arguments.seed)
+    if arguments.study == "kl":
+        points = kl_sweep(test_set, seed=arguments.seed)
+        print(ablation_markdown(points, f"K/L sweep on {arguments.circuit}"))
+    elif arguments.study == "operators":
+        points = operator_sweep(test_set, seed=arguments.seed)
+        print(
+            ablation_markdown(
+                points, f"Operator probabilities on {arguments.circuit}"
+            )
+        )
+    elif arguments.study == "seeding":
+        points = seeding_ablation(test_set, seed=arguments.seed)
+        print(ablation_markdown(points, f"9C seeding on {arguments.circuit}"))
+    elif arguments.study == "subsumption":
+        points = subsumption_ablation(test_set, seed=arguments.seed)
+        print(
+            ablation_markdown(
+                points, f"Subsumption encoding on {arguments.circuit}"
+            )
+        )
+    else:  # decoder
+        costs = decoder_cost_study(test_set, seed=arguments.seed)
+        for method, values in costs.items():
+            print(
+                f"{method:6s} rate {values['rate']:6.2f}%  payload "
+                f"{int(values['payload_bits'])} bits  code table "
+                f"{int(values['code_table_bits'])} bits"
+            )
+    return 0
+
+
+def _report_command(arguments: argparse.Namespace) -> int:
+    from .experiments import (
+        PAPER,
+        QUICK,
+        build_table1,
+        build_table2,
+        experiments_markdown,
+        kl_sweep,
+        operator_sweep,
+        seeding_ablation,
+        subsumption_ablation,
+    )
+
+    budget = PAPER if arguments.budget == "paper" else QUICK
+    from .experiments import DEFAULT_QUICK_TABLE1, DEFAULT_QUICK_TABLE2
+
+    circuits1 = None if arguments.full else DEFAULT_QUICK_TABLE1
+    circuits2 = None if arguments.full else DEFAULT_QUICK_TABLE2
+    print("building Table 1 ...")
+    table1 = build_table1(
+        circuits=circuits1, budget=budget, seed=arguments.seed, progress=print
+    )
+    print("building Table 2 ...")
+    table2 = build_table2(
+        circuits=circuits2, budget=budget, seed=arguments.seed, progress=print
+    )
+    print("running ablations on s349 ...")
+    test_set = _calibrated_test_set("s349", arguments.seed)
+    ablations = {
+        "K/L sweep (s349, source of EA-Best)": kl_sweep(
+            test_set, seed=arguments.seed
+        ),
+        "Operator probabilities (s349)": operator_sweep(
+            test_set, seed=arguments.seed
+        ),
+        "9C seeding of the initial population (s349)": seeding_ablation(
+            test_set, seed=arguments.seed
+        ),
+        "Subsumption-aware encoding (s349, Section 3.3)": subsumption_ablation(
+            test_set, seed=arguments.seed
+        ),
+    }
+    document = experiments_markdown(
+        table1, table2, ablations, budget_label=arguments.budget
+    )
+    Path(arguments.output).write_text(document)
+    print(f"wrote {arguments.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Evolutionary optimization in code-based test compression",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    table1 = commands.add_parser("table1", help="reproduce Table 1")
+    _add_table_arguments(table1)
+    table2 = commands.add_parser("table2", help="reproduce Table 2")
+    _add_table_arguments(table2)
+
+    compress = commands.add_parser("compress", help="compress a pattern file")
+    compress.add_argument("file")
+    compress.add_argument("--k", type=int, default=12)
+    compress.add_argument("--l", type=int, default=64)
+    compress.add_argument("--runs", type=int, default=3)
+    compress.add_argument("--stagnation", type=int, default=50)
+    compress.add_argument("--max-evaluations", type=int, default=2000)
+    compress.add_argument("--seed", type=int, default=2005)
+
+    atpg = commands.add_parser("atpg", help="ATPG + compression demo")
+    atpg.add_argument("circuit")
+    atpg.add_argument("--k", type=int, default=12)
+    atpg.add_argument("--l", type=int, default=64)
+    atpg.add_argument("--seed", type=int, default=2005)
+
+    ablate = commands.add_parser("ablate", help="run an ablation study")
+    ablate.add_argument(
+        "study", choices=("kl", "operators", "seeding", "subsumption", "decoder")
+    )
+    ablate.add_argument("--circuit", default="s349")
+    ablate.add_argument("--seed", type=int, default=2005)
+
+    report = commands.add_parser(
+        "report", help="regenerate EXPERIMENTS.md from measured runs"
+    )
+    report.add_argument("--output", default="EXPERIMENTS.md")
+    report.add_argument(
+        "--budget", choices=("quick", "paper"), default="quick"
+    )
+    report.add_argument("--full", action="store_true")
+    report.add_argument("--seed", type=int, default=2005)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    arguments = build_parser().parse_args(argv)
+    if arguments.command == "table1":
+        return _table_command(arguments, which=1)
+    if arguments.command == "table2":
+        return _table_command(arguments, which=2)
+    if arguments.command == "compress":
+        return _compress_command(arguments)
+    if arguments.command == "atpg":
+        return _atpg_command(arguments)
+    if arguments.command == "ablate":
+        return _ablate_command(arguments)
+    if arguments.command == "report":
+        return _report_command(arguments)
+    raise AssertionError(f"unhandled command {arguments.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Prefix-coding substrate: Huffman codes, prefix codes, bit streams."""
+
+from .bitstream import BitReader, BitWriter, bits_from_string, bits_to_string
+from .fdr import fdr_decode, fdr_encode, fdr_encode_run, fdr_group
+from .golomb import (
+    best_golomb_parameter,
+    golomb_decode,
+    golomb_encode,
+    golomb_encode_run,
+    runs_of_zeros,
+)
+from .huffman import entropy_bound, huffman_code, huffman_code_lengths, weighted_length
+from .prefix import (
+    PrefixCode,
+    PrefixViolationError,
+    canonical_code_from_lengths,
+    is_prefix_free,
+    kraft_sum,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "bits_from_string",
+    "bits_to_string",
+    "fdr_decode",
+    "fdr_encode",
+    "fdr_encode_run",
+    "fdr_group",
+    "best_golomb_parameter",
+    "golomb_decode",
+    "golomb_encode",
+    "golomb_encode_run",
+    "runs_of_zeros",
+    "entropy_bound",
+    "huffman_code",
+    "huffman_code_lengths",
+    "weighted_length",
+    "PrefixCode",
+    "PrefixViolationError",
+    "canonical_code_from_lengths",
+    "is_prefix_free",
+    "kraft_sum",
+]

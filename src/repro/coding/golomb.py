@@ -1,0 +1,123 @@
+"""Golomb run-length coding (Chandra/Chakrabarty, VTS 2000 — ref [3]).
+
+One of the code-based schemes the paper cites as prior art.  The test
+set is filled (don't-cares → 0) and viewed as runs of 0s terminated by
+a 1; each run length ``l`` is coded with Golomb parameter ``m``:
+
+* quotient  ``q = l // m`` in unary (``q`` ones, then a zero),
+* remainder ``r = l % m`` in ``log2(m)`` binary bits (``m`` a power of
+  two — the Rice special case used in test compression).
+
+A trailing run without a terminating 1 is coded the same way with an
+explicit end-marker convention handled by the caller keeping the bit
+count (:mod:`repro.core.baselines` does).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "runs_of_zeros",
+    "golomb_encode_run",
+    "golomb_encode",
+    "golomb_decode",
+    "best_golomb_parameter",
+]
+
+
+def runs_of_zeros(bits: Sequence[int]) -> tuple[list[int], bool]:
+    """Split a bit sequence into runs of 0s terminated by a 1.
+
+    Returns ``(runs, trailing)`` where ``trailing`` is True when the
+    last run ends at the end of data without a terminating 1 (the
+    decoder then truncates after the known bit count).
+
+    >>> runs_of_zeros([0, 0, 1, 0, 1, 1])
+    ([2, 1, 0], False)
+    >>> runs_of_zeros([1, 0, 0])
+    ([0, 2], True)
+    """
+    runs = []
+    current = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"invalid bit {bit!r}")
+        if bit == 0:
+            current += 1
+        else:
+            runs.append(current)
+            current = 0
+    trailing = current > 0
+    if trailing:
+        runs.append(current)
+    return runs, trailing
+
+
+def golomb_encode_run(length: int, m: int) -> str:
+    """Codeword for a single run length.
+
+    >>> golomb_encode_run(5, 4)
+    '1001'
+    """
+    if length < 0:
+        raise ValueError("run length must be non-negative")
+    if m < 1 or m & (m - 1):
+        raise ValueError("Golomb parameter must be a positive power of two")
+    quotient, remainder = divmod(length, m)
+    tail_bits = m.bit_length() - 1
+    tail = format(remainder, f"0{tail_bits}b") if tail_bits else ""
+    return "1" * quotient + "0" + tail
+
+
+def golomb_encode(runs: Iterable[int], m: int) -> str:
+    """Concatenated codewords for a run sequence."""
+    return "".join(golomb_encode_run(run, m) for run in runs)
+
+
+def golomb_decode(code: str, m: int) -> list[int]:
+    """Inverse of :func:`golomb_encode`.
+
+    >>> golomb_decode(golomb_encode([2, 1, 0], 2), 2)
+    [2, 1, 0]
+    """
+    if m < 1 or m & (m - 1):
+        raise ValueError("Golomb parameter must be a positive power of two")
+    tail_bits = m.bit_length() - 1
+    runs = []
+    position = 0
+    while position < len(code):
+        quotient = 0
+        while position < len(code) and code[position] == "1":
+            quotient += 1
+            position += 1
+        if position >= len(code):
+            raise ValueError("truncated Golomb codeword (missing separator)")
+        position += 1  # the '0' separator
+        remainder = 0
+        if tail_bits:
+            tail = code[position : position + tail_bits]
+            if len(tail) < tail_bits:
+                raise ValueError("truncated Golomb codeword (short tail)")
+            remainder = int(tail, 2)
+            position += tail_bits
+        runs.append(quotient * m + remainder)
+    return runs
+
+
+def best_golomb_parameter(
+    runs: Sequence[int], candidates: Sequence[int] = (1, 2, 4, 8, 16, 32, 64)
+) -> int:
+    """The power-of-two ``m`` minimizing the coded length of ``runs``.
+
+    >>> best_golomb_parameter([30, 28, 33])
+    16
+    """
+    if not runs:
+        return 1
+    best_m, best_cost = 1, None
+    for m in candidates:
+        cost = sum(len(golomb_encode_run(run, m)) for run in runs)
+        if best_cost is None or cost < best_cost:
+            best_m, best_cost = m, cost
+    return best_m

@@ -1,0 +1,96 @@
+"""Huffman coding (Huffman 1952), as used for MV codeword assignment.
+
+The paper assigns codewords to matching vectors by running Huffman's
+algorithm on the frequencies-of-use collected during covering
+(Section 3.3).  Matching vectors with frequency zero are simply left
+out.  The degenerate single-symbol case receives a one-bit codeword so
+that the stream remains self-delimiting.
+
+Codewords are *canonical*: Huffman's algorithm fixes only the lengths;
+we then number the codewords canonically (see
+:func:`repro.coding.prefix.canonical_code_from_lengths`), which makes
+results deterministic and the decoder table compact.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections.abc import Hashable, Mapping
+
+from .prefix import PrefixCode
+
+__all__ = ["huffman_code_lengths", "huffman_code", "weighted_length", "entropy_bound"]
+
+
+def huffman_code_lengths(frequencies: Mapping[Hashable, int]) -> dict[Hashable, int]:
+    """Compute optimal prefix-code lengths for the given frequencies.
+
+    Zero-frequency symbols are excluded from the result (the paper
+    allocates no codeword to unused matching vectors).  A single coded
+    symbol gets length 1.
+
+    >>> huffman_code_lengths({"a": 5, "b": 3, "c": 2})
+    {'a': 1, 'b': 2, 'c': 2}
+    """
+    active = [(sym, freq) for sym, freq in frequencies.items() if freq > 0]
+    for symbol, frequency in frequencies.items():
+        if frequency < 0:
+            raise ValueError(f"negative frequency {frequency} for {symbol!r}")
+    if not active:
+        return {}
+    if len(active) == 1:
+        return {active[0][0]: 1}
+
+    counter = itertools.count()  # tie-breaker keeps the heap total-ordered
+    heap: list[tuple[int, int, list[Hashable]]] = [
+        (freq, next(counter), [sym]) for sym, freq in active
+    ]
+    heapq.heapify(heap)
+    lengths = {sym: 0 for sym, _ in active}
+    while len(heap) > 1:
+        freq_a, _, symbols_a = heapq.heappop(heap)
+        freq_b, _, symbols_b = heapq.heappop(heap)
+        for symbol in symbols_a:
+            lengths[symbol] += 1
+        for symbol in symbols_b:
+            lengths[symbol] += 1
+        heapq.heappush(heap, (freq_a + freq_b, next(counter), symbols_a + symbols_b))
+    return lengths
+
+
+def huffman_code(frequencies: Mapping[Hashable, int]) -> PrefixCode:
+    """Build a canonical Huffman :class:`PrefixCode` for ``frequencies``.
+
+    >>> code = huffman_code({"a": 5, "b": 3, "c": 2})
+    >>> sorted((s, len(w)) for s, w in code.as_dict().items())
+    [('a', 1), ('b', 2), ('c', 2)]
+    """
+    return PrefixCode.from_lengths(huffman_code_lengths(frequencies))
+
+
+def weighted_length(
+    lengths: Mapping[Hashable, int], frequencies: Mapping[Hashable, int]
+) -> int:
+    """Total coded size ``Σ freq(s)·len(s)`` over symbols with a codeword."""
+    return sum(
+        frequencies.get(symbol, 0) * length for symbol, length in lengths.items()
+    )
+
+
+def entropy_bound(frequencies: Mapping[Hashable, int]) -> float:
+    """Shannon lower bound (in bits) on any prefix coding of the stream.
+
+    Huffman's weighted length always lies within ``[H, H + total)``
+    where ``H`` is this bound — handy as a test oracle.
+    """
+    total = sum(freq for freq in frequencies.values() if freq > 0)
+    if total == 0:
+        return 0.0
+    bound = 0.0
+    for frequency in frequencies.values():
+        if frequency > 0:
+            probability = frequency / total
+            bound -= frequency * math.log2(probability)
+    return bound

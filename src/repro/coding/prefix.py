@@ -1,0 +1,182 @@
+"""Prefix codes: validation, Kraft inequality, canonical construction.
+
+The paper requires the codeword set ``{C(v1), ..., C(vL)}`` to be a
+prefix code — no codeword is a prefix of another — so a serial decoder
+can delimit codewords without length fields.  This module provides a
+:class:`PrefixCode` mapping symbols to codewords, structural checks, and
+the canonical-code construction used to turn Huffman code *lengths*
+into concrete codewords.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping, Sequence
+from typing import TypeVar
+
+__all__ = [
+    "PrefixCode",
+    "PrefixViolationError",
+    "is_prefix_free",
+    "kraft_sum",
+    "canonical_code_from_lengths",
+]
+
+Symbol = TypeVar("Symbol", bound=Hashable)
+
+
+class PrefixViolationError(ValueError):
+    """Raised when a set of codewords is not prefix-free."""
+
+
+def is_prefix_free(codewords: Sequence[str]) -> bool:
+    """Return True iff no codeword is a prefix of a different codeword.
+
+    Duplicate codewords are *not* prefix-free (a codeword is a prefix of
+    its copy, and the decoder could not distinguish the two symbols).
+
+    >>> is_prefix_free(["0", "10", "11"])
+    True
+    >>> is_prefix_free(["0", "01"])
+    False
+    """
+    ordered = sorted(codewords)
+    for previous, current in zip(ordered, ordered[1:]):
+        if current.startswith(previous):
+            return False
+    return True
+
+
+def kraft_sum(lengths: Sequence[int]) -> float:
+    """Kraft inequality sum ``Σ 2^-len`` for a binary code.
+
+    A prefix code exists for the given lengths iff the sum is ≤ 1; a
+    *complete* code (every stream decodable) has sum exactly 1.
+
+    >>> kraft_sum([1, 2, 2])
+    1.0
+    """
+    for length in lengths:
+        if length < 0:
+            raise ValueError(f"negative codeword length {length}")
+    return sum(2.0 ** -length for length in lengths)
+
+
+def canonical_code_from_lengths(
+    lengths: Mapping[Symbol, int],
+) -> dict[Symbol, str]:
+    """Assign canonical codewords for the given per-symbol lengths.
+
+    Symbols are ordered by (length, repr of symbol) and numbered with
+    the canonical Huffman recurrence, which always yields a prefix code
+    when the lengths satisfy the Kraft inequality.
+
+    >>> canonical_code_from_lengths({"a": 1, "b": 2, "c": 2})
+    {'a': '0', 'b': '10', 'c': '11'}
+    """
+    if not lengths:
+        return {}
+    for symbol, length in lengths.items():
+        if length <= 0:
+            raise ValueError(f"symbol {symbol!r} has non-positive length {length}")
+    if kraft_sum(list(lengths.values())) > 1.0 + 1e-12:
+        raise PrefixViolationError(
+            "codeword lengths violate the Kraft inequality; no prefix code exists"
+        )
+    ordered = sorted(lengths.items(), key=lambda item: (item[1], repr(item[0])))
+    code: dict[Symbol, str] = {}
+    value = 0
+    previous_length = ordered[0][1]
+    for symbol, length in ordered:
+        value <<= length - previous_length
+        code[symbol] = format(value, f"0{length}b")
+        value += 1
+        previous_length = length
+    return code
+
+
+class PrefixCode:
+    """An immutable symbol → binary-codeword mapping with prefix checks.
+
+    >>> code = PrefixCode({"x": "0", "y": "10", "z": "11"})
+    >>> code.encode(["x", "y"])
+    '010'
+    >>> code.expected_length({"x": 2, "y": 1, "z": 1})
+    6
+    """
+
+    def __init__(self, mapping: Mapping[Hashable, str]) -> None:
+        for symbol, word in mapping.items():
+            if not word:
+                raise ValueError(f"symbol {symbol!r} has an empty codeword")
+            if set(word) - {"0", "1"}:
+                raise ValueError(f"codeword {word!r} contains non-binary characters")
+        if not is_prefix_free(list(mapping.values())):
+            raise PrefixViolationError(f"codewords are not prefix-free: {mapping!r}")
+        self._mapping = dict(mapping)
+
+    @classmethod
+    def from_lengths(cls, lengths: Mapping[Hashable, int]) -> "PrefixCode":
+        """Build a canonical prefix code from per-symbol lengths."""
+        return cls(canonical_code_from_lengths(lengths))
+
+    @property
+    def symbols(self) -> list:
+        """The coded symbols, in insertion order."""
+        return list(self._mapping)
+
+    def codeword(self, symbol: Hashable) -> str:
+        """Return the codeword assigned to ``symbol``."""
+        return self._mapping[symbol]
+
+    def length(self, symbol: Hashable) -> int:
+        """Return the codeword length for ``symbol``."""
+        return len(self._mapping[symbol])
+
+    def as_dict(self) -> dict:
+        """Return a copy of the symbol → codeword mapping."""
+        return dict(self._mapping)
+
+    def encode(self, symbols: Sequence[Hashable]) -> str:
+        """Concatenate the codewords of ``symbols``."""
+        return "".join(self._mapping[s] for s in symbols)
+
+    def expected_length(self, frequencies: Mapping[Hashable, int]) -> int:
+        """Total coded bits for the given symbol frequencies."""
+        return sum(
+            count * len(self._mapping[symbol])
+            for symbol, count in frequencies.items()
+            if count
+        )
+
+    def decode_tree(self) -> dict:
+        """Return the decoding trie: nested ``{bit: subtree-or-symbol}``.
+
+        Leaves are the symbols themselves; inner nodes are dicts keyed
+        by ``'0'``/``'1'``.  This is the structure an on-chip decoder
+        FSM walks bit by bit.
+        """
+        root: dict = {}
+        for symbol, word in self._mapping.items():
+            node = root
+            for bit in word[:-1]:
+                node = node.setdefault(bit, {})
+                if not isinstance(node, dict):
+                    raise PrefixViolationError("codeword passes through a leaf")
+            if word[-1] in node:
+                raise PrefixViolationError("duplicate codeword path")
+            node[word[-1]] = symbol
+        return root
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __contains__(self, symbol: Hashable) -> bool:
+        return symbol in self._mapping
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PrefixCode):
+            return NotImplemented
+        return self._mapping == other._mapping
+
+    def __repr__(self) -> str:
+        return f"PrefixCode({self._mapping!r})"

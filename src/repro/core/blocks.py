@@ -1,0 +1,218 @@
+"""Input blocks: partitioning the test-set string into K-bit pieces.
+
+The paper concatenates all test patterns into one string
+``t1 t2 ... t_{T·n}`` over ``{0, 1, X}`` and splits it into fixed-length
+*input blocks* of ``K`` trits (padding the tail with ``X``).  Matching
+and covering only ever ask "does MV *v* match block *b*", so blocks are
+stored as a pair of bitmasks:
+
+* ``ones``  — bit set where the block has a specified 1,
+* ``zeros`` — bit set where the block has a specified 0,
+
+with ``X`` positions in neither mask.  An MV with masks
+``(mv_ones, mv_zeros)`` matches a block iff
+``(ones & mv_zeros) == 0 and (zeros & mv_ones) == 0`` — a pair of
+AND/compare operations instead of a per-position loop.
+
+Real test sets repeat blocks heavily, so :class:`BlockSet` stores the
+*distinct* blocks with multiplicities plus the original sequence as
+indices into the distinct table.  EA fitness evaluation (thousands of
+coverings per run) works on the distinct table only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .trits import DC, ONE, ZERO, format_trits, parse_trits, trits_to_array
+
+__all__ = ["MAX_BLOCK_LENGTH", "pack_trits", "unpack_masks", "BlockSet"]
+
+MAX_BLOCK_LENGTH = 64  # masks are uint64; the paper uses K = 8 and K = 12
+
+
+def _bit_weights(block_length: int) -> np.ndarray:
+    """Per-position uint64 weights; position 0 (leftmost) is the MSB."""
+    shifts = np.arange(block_length - 1, -1, -1, dtype=np.uint64)
+    return np.left_shift(np.uint64(1), shifts)
+
+
+def pack_trits(trits) -> tuple[int, int]:
+    """Pack a trit sequence into ``(ones, zeros)`` integer masks.
+
+    >>> pack_trits(parse_trits("10X"))
+    (4, 2)
+    """
+    array = trits_to_array(trits)
+    if array.size > MAX_BLOCK_LENGTH:
+        raise ValueError(f"block length {array.size} exceeds {MAX_BLOCK_LENGTH}")
+    weights = _bit_weights(array.size)
+    ones = int(weights[array == ONE].sum()) if array.size else 0
+    zeros = int(weights[array == ZERO].sum()) if array.size else 0
+    return ones, zeros
+
+
+def unpack_masks(ones: int, zeros: int, block_length: int) -> tuple[int, ...]:
+    """Invert :func:`pack_trits`: masks back to a trit tuple.
+
+    >>> unpack_masks(4, 2, 3)
+    (1, 0, 2)
+    """
+    if ones & zeros:
+        raise ValueError("ones and zeros masks overlap")
+    trits = []
+    for position in range(block_length):
+        bit = 1 << (block_length - 1 - position)
+        if ones & bit:
+            trits.append(ONE)
+        elif zeros & bit:
+            trits.append(ZERO)
+        else:
+            trits.append(DC)
+    return tuple(trits)
+
+
+@dataclass(frozen=True)
+class BlockSet:
+    """The input blocks of one test set, uniquified with multiplicities.
+
+    Attributes
+    ----------
+    block_length:
+        ``K``, the number of trits per input block.
+    original_bits:
+        Length of the test-set string *before* X-padding — the
+        "test set size" column of the paper's tables (``T·n``).
+    counts:
+        Multiplicity of each distinct block (``int64``).
+    ones, zeros:
+        ``uint64`` masks of each distinct block.
+    sequence:
+        For each block position in the test set, the index of its
+        distinct block (``int32``); preserves order for the actual
+        bitstream emission.
+    """
+
+    block_length: int
+    original_bits: int
+    ones: np.ndarray = field(repr=False)
+    zeros: np.ndarray = field(repr=False)
+    counts: np.ndarray = field(repr=False)
+    sequence: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.block_length <= MAX_BLOCK_LENGTH:
+            raise ValueError(
+                f"block length must be in [1, {MAX_BLOCK_LENGTH}], "
+                f"got {self.block_length}"
+            )
+        if self.original_bits < 0:
+            raise ValueError("original_bits must be non-negative")
+        if not (len(self.ones) == len(self.zeros) == len(self.counts)):
+            raise ValueError("distinct-block arrays must have equal length")
+
+    @classmethod
+    def from_trit_array(cls, trits: np.ndarray, block_length: int) -> "BlockSet":
+        """Partition a flat trit array (values 0/1/2) into K-blocks.
+
+        The tail is padded with don't-cares, exactly as the paper pads
+        the test-set string with ``X`` values.
+        """
+        if not 1 <= block_length <= MAX_BLOCK_LENGTH:
+            raise ValueError(
+                f"block length must be in [1, {MAX_BLOCK_LENGTH}], "
+                f"got {block_length}"
+            )
+        array = np.asarray(trits, dtype=np.int8)
+        if array.ndim != 1:
+            raise ValueError("trit array must be one-dimensional")
+        original_bits = int(array.size)
+        remainder = original_bits % block_length
+        if remainder:
+            padding = np.full(block_length - remainder, DC, dtype=np.int8)
+            array = np.concatenate([array, padding])
+        if array.size == 0:
+            empty_u64 = np.empty(0, dtype=np.uint64)
+            return cls(
+                block_length=block_length,
+                original_bits=0,
+                ones=empty_u64,
+                zeros=empty_u64.copy(),
+                counts=np.empty(0, dtype=np.int64),
+                sequence=np.empty(0, dtype=np.int32),
+            )
+        grid = array.reshape(-1, block_length)
+        weights = _bit_weights(block_length)
+        ones_per_block = ((grid == ONE) * weights).sum(axis=1, dtype=np.uint64)
+        zeros_per_block = ((grid == ZERO) * weights).sum(axis=1, dtype=np.uint64)
+        pairs = np.stack([ones_per_block, zeros_per_block], axis=1)
+        distinct, inverse = np.unique(pairs, axis=0, return_inverse=True)
+        counts = np.bincount(inverse, minlength=len(distinct)).astype(np.int64)
+        return cls(
+            block_length=block_length,
+            original_bits=original_bits,
+            ones=np.ascontiguousarray(distinct[:, 0]),
+            zeros=np.ascontiguousarray(distinct[:, 1]),
+            counts=counts,
+            sequence=inverse.astype(np.int32),
+        )
+
+    @classmethod
+    def from_string(cls, text: str, block_length: int) -> "BlockSet":
+        """Partition a ``0/1/X`` string into K-blocks.
+
+        >>> bs = BlockSet.from_string("01X 10X 01X", 3)
+        >>> bs.n_blocks, bs.n_distinct
+        (3, 2)
+        """
+        return cls.from_trit_array(
+            np.asarray(parse_trits(text), dtype=np.int8), block_length
+        )
+
+    @property
+    def n_blocks(self) -> int:
+        """Total number of input blocks (after padding)."""
+        return int(self.sequence.size)
+
+    @property
+    def n_distinct(self) -> int:
+        """Number of distinct input blocks."""
+        return int(self.counts.size)
+
+    @property
+    def padded_bits(self) -> int:
+        """Length of the padded test-set string."""
+        return self.n_blocks * self.block_length
+
+    def block_trits(self, distinct_index: int) -> tuple[int, ...]:
+        """Trit tuple of the distinct block with the given index."""
+        return unpack_masks(
+            int(self.ones[distinct_index]),
+            int(self.zeros[distinct_index]),
+            self.block_length,
+        )
+
+    def block_string(self, distinct_index: int) -> str:
+        """Human-readable form of a distinct block (``X`` for don't-care)."""
+        return format_trits(self.block_trits(distinct_index), unspecified="X")
+
+    def specified_bit_count(self) -> int:
+        """Number of specified (non-X) bits across the whole test set."""
+        popcount = np.vectorize(lambda mask: bin(int(mask)).count("1"))
+        if self.n_distinct == 0:
+            return 0
+        per_block = popcount(self.ones) + popcount(self.zeros)
+        return int((per_block * self.counts).sum())
+
+    def care_density(self) -> float:
+        """Fraction of specified bits over the padded string (0.0 if empty)."""
+        if self.padded_bits == 0:
+            return 0.0
+        return self.specified_bit_count() / self.padded_bits
+
+    def iter_block_strings(self):
+        """Yield every block of the test set, in order, as a string."""
+        for distinct_index in self.sequence:
+            yield self.block_string(int(distinct_index))

@@ -1,0 +1,171 @@
+"""End-to-end compression: blocks → covering → encoding → bitstream.
+
+This module glues the pipeline of Section 3 together and produces the
+actual compressed bit stream a tester would ship to the on-chip
+decoder: for every input block, the codeword of its matching vector
+followed by the fill bits for the MV's ``U`` positions.
+
+The reported ``compression_rate`` follows the paper exactly::
+
+    100 * (original size - compressed size) / original size
+
+with the original size being the *unpadded* test-set size ``T·n`` and
+the compressed size counting codeword and fill bits (the code table
+itself is decoder configuration, not test data, and is excluded — as
+in the paper; :meth:`CompressedTestSet.code_table_bits` reports it
+separately for decoder-cost studies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..coding.bitstream import BitWriter
+from .blocks import BlockSet
+from .covering import CoveringResult, UncoverableError, cover
+from .encoding import EncodingStrategy, EncodingTable, build_encoding_table
+from .matching import MVSet
+
+__all__ = ["CompressedTestSet", "compress_blocks", "compression_rate"]
+
+
+def compression_rate(original_bits: int, compressed_bits: int) -> float:
+    """The paper's rate: ``100·(original − compressed)/original`` (%).
+
+    Negative when the "compressed" data is larger than the original —
+    the paper's tables contain such entries (e.g. −1.0% for s1494
+    under 9C).
+    """
+    if original_bits <= 0:
+        raise ValueError("original size must be positive")
+    return 100.0 * (original_bits - compressed_bits) / original_bits
+
+
+@dataclass(frozen=True)
+class CompressedTestSet:
+    """A compressed test set plus everything needed to decode it.
+
+    Attributes
+    ----------
+    blocks:
+        The source :class:`BlockSet` (kept for verification flows).
+    mv_set:
+        The matching vectors used.
+    table:
+        Codeword assignment (including subsumption redirects).
+    covering:
+        The covering result (pre-redirect assignment + frequencies).
+    payload:
+        The compressed bit stream as packed bytes.
+    payload_bits:
+        Exact number of valid bits in ``payload``.
+    fill_default:
+        Value substituted for don't-care block bits at fill positions.
+    """
+
+    blocks: BlockSet
+    mv_set: MVSet
+    table: EncodingTable
+    covering: CoveringResult = field(repr=False)
+    payload: bytes = field(repr=False)
+    payload_bits: int
+    fill_default: int
+
+    @property
+    def original_bits(self) -> int:
+        """Unpadded test-set size ``T·n`` (paper's "test set size")."""
+        return self.blocks.original_bits
+
+    @property
+    def compressed_bits(self) -> int:
+        """Payload size in bits (codewords + fills)."""
+        return self.payload_bits
+
+    @property
+    def rate(self) -> float:
+        """Compression rate in percent, as defined in the paper."""
+        return compression_rate(self.original_bits, self.compressed_bits)
+
+    def code_table_bits(self) -> int:
+        """Bits needed to describe the code table to a reconfigurable
+        decoder: per coded MV, its codeword plus its K trits (2 bits
+        per trit).  Reported separately from the payload, mirroring
+        the paper's decoder discussion in Section 5."""
+        bits = 0
+        for mv_index, codeword in self.table.codewords.items():
+            bits += len(codeword) + 2 * self.mv_set[mv_index].length
+        return bits
+
+    def mv_usage(self) -> dict[str, int]:
+        """Final ``{mv string: blocks encoded}`` usage map."""
+        usage: dict[str, int] = {}
+        for mv_index, frequency in self.table.frequencies.items():
+            usage[str(self.mv_set[mv_index])] = frequency
+        return usage
+
+
+def compress_blocks(
+    blocks: BlockSet,
+    mv_set: MVSet,
+    strategy: EncodingStrategy = EncodingStrategy.HUFFMAN,
+    fixed_codewords: dict[int, str] | None = None,
+    fill_default: int = 0,
+) -> CompressedTestSet:
+    """Compress a block set with the given MVs.
+
+    Raises :class:`UncoverableError` if some block matches no MV
+    (impossible once the MV set contains the all-U vector).
+
+    >>> bs = BlockSet.from_string("111 000 111 10X", 3)
+    >>> result = compress_blocks(bs, MVSet.from_strings(["111", "000", "UUU"]))
+    >>> result.compressed_bits < bs.original_bits
+    True
+    """
+    if blocks.block_length != mv_set.block_length:
+        raise ValueError(
+            f"block length {blocks.block_length} != MV length {mv_set.block_length}"
+        )
+    covering = cover(blocks, mv_set, require_complete=True)
+    table = build_encoding_table(
+        mv_set, covering.frequency_map(), strategy, fixed_codewords
+    )
+
+    # Emit the stream block by block, in test-set order.
+    writer = BitWriter()
+    codeword_bits: dict[int, list[int]] = {
+        mv_index: [1 if ch == "1" else 0 for ch in word]
+        for mv_index, word in table.codewords.items()
+    }
+    # Cache per distinct block: final MV and fill bits.
+    assignment = covering.assignment
+    fills_cache: list[list[int] | None] = [None] * blocks.n_distinct
+    final_mv_cache = np.asarray(
+        [table.final_mv(int(mv_index)) for mv_index in assignment], dtype=np.int64
+    )
+    for distinct_index in blocks.sequence:
+        distinct_index = int(distinct_index)
+        final_mv = int(final_mv_cache[distinct_index])
+        fills = fills_cache[distinct_index]
+        if fills is None:
+            block_trits = blocks.block_trits(distinct_index)
+            fills = mv_set[final_mv].fill_bits(block_trits, fill_default)
+            fills_cache[distinct_index] = fills
+        writer.write_bits(codeword_bits[final_mv])
+        writer.write_bits(fills)
+
+    if writer.bit_length != table.total_bits:
+        raise AssertionError(
+            f"emitted {writer.bit_length} bits but encoding table "
+            f"predicted {table.total_bits}"
+        )
+    return CompressedTestSet(
+        blocks=blocks,
+        mv_set=mv_set,
+        table=table,
+        covering=covering,
+        payload=writer.getvalue(),
+        payload_bits=writer.bit_length,
+        fill_default=fill_default,
+    )

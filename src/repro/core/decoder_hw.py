@@ -1,0 +1,133 @@
+"""Decoder hardware model: FSM size and configuration cost.
+
+The paper's Section 5 argues that arbitrary-position ``U`` values
+"enable the employment of compact on-chip decoders for arbitrary test
+sets" and sketches a *reconfigurable* decoder into which the
+codeword/matching-vector table is loaded per test set.  This module
+quantifies that discussion:
+
+* the decoder FSM walks the prefix tree one input bit per cycle —
+  its state count is the number of internal tree nodes;
+* on reaching a leaf it emits the MV's specified bits and splices in
+  ``NU(v)`` streamed fill bits — needing a fill counter of
+  ``ceil(log2(max NU + 1))`` bits and a K-bit output buffer;
+* a reconfigurable decoder additionally stores the table itself:
+  per MV its codeword and its K trits (2 bits each).
+
+These are technology-independent proxies (states, flops, table bits),
+suitable for comparing decoder variants — not a synthesis result.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .compressor import CompressedTestSet
+from .encoding import EncodingTable
+from .matching import MVSet
+
+__all__ = ["DecoderModel", "decoder_model"]
+
+
+@dataclass(frozen=True)
+class DecoderModel:
+    """Hardware-cost proxy of one code-based decoder.
+
+    Attributes
+    ----------
+    n_codewords:
+        Leaves of the prefix tree (= MVs that receive a codeword).
+    fsm_states:
+        Internal prefix-tree nodes the FSM distinguishes.
+    max_codeword_bits:
+        Depth of the tree (worst-case cycles to resolve a codeword).
+    fill_counter_bits:
+        Width of the counter that streams fill bits.
+    output_buffer_bits:
+        K — the per-block output register.
+    table_bits:
+        Configuration bits for a reconfigurable decoder: per MV the
+        codeword plus 2·K trit bits (0 for a hard-wired decoder only
+        in the sense that no reload is possible; the figure is still
+        reported for comparability).
+    """
+
+    n_codewords: int
+    fsm_states: int
+    max_codeword_bits: int
+    fill_counter_bits: int
+    output_buffer_bits: int
+    table_bits: int
+
+    @property
+    def state_register_bits(self) -> int:
+        """Flops needed to hold the FSM state."""
+        return max(1, math.ceil(math.log2(max(self.fsm_states, 2))))
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.n_codewords} codewords, {self.fsm_states} FSM states "
+            f"({self.state_register_bits} state bits), depth "
+            f"{self.max_codeword_bits}, fill counter "
+            f"{self.fill_counter_bits} bits, output buffer "
+            f"{self.output_buffer_bits} bits, config table "
+            f"{self.table_bits} bits"
+        )
+
+
+def _count_internal_nodes(tree: dict) -> int:
+    count = 1  # this node
+    for child in tree.values():
+        if isinstance(child, dict):
+            count += _count_internal_nodes(child)
+    return count
+
+
+def decoder_model(mv_set: MVSet, table: EncodingTable) -> DecoderModel:
+    """Build the hardware model for one MV set + encoding table.
+
+    >>> from .nine_c import nine_c_mv_set, NINE_C_CODEWORDS
+    >>> from .encoding import build_encoding_table, EncodingStrategy
+    >>> mvs = nine_c_mv_set(8)
+    >>> tab = build_encoding_table(
+    ...     mvs, {i: 1 for i in range(9)}, EncodingStrategy.FIXED,
+    ...     fixed_codewords=NINE_C_CODEWORDS)
+    >>> decoder_model(mvs, tab).n_codewords
+    9
+    """
+    code = table.prefix_code()
+    codewords = table.codewords
+    if not codewords:
+        return DecoderModel(
+            n_codewords=0,
+            fsm_states=0,
+            max_codeword_bits=0,
+            fill_counter_bits=0,
+            output_buffer_bits=mv_set.block_length,
+            table_bits=0,
+        )
+    tree = code.decode_tree()
+    max_fills = max(
+        mv_set[mv_index].n_unspecified for mv_index in codewords
+    )
+    fill_counter_bits = (
+        0 if max_fills == 0 else max(1, math.ceil(math.log2(max_fills + 1)))
+    )
+    table_bits = sum(
+        len(word) + 2 * mv_set.block_length for word in codewords.values()
+    )
+    return DecoderModel(
+        n_codewords=len(codewords),
+        fsm_states=_count_internal_nodes(tree),
+        max_codeword_bits=max(len(word) for word in codewords.values()),
+        fill_counter_bits=fill_counter_bits,
+        output_buffer_bits=mv_set.block_length,
+        table_bits=table_bits,
+    )
+
+
+def decoder_model_for(compressed: CompressedTestSet) -> DecoderModel:
+    """Convenience: the decoder model of a compressed test set."""
+    return decoder_model(compressed.mv_set, compressed.table)

@@ -1,0 +1,127 @@
+"""The on-chip decoder model: prefix-tree walk plus fill substitution.
+
+A code-based decompressor receives the compressed stream serially,
+walks the prefix-code tree until it hits a matching vector, emits the
+MV's specified bits, and splices in one streamed fill bit per ``U``
+position.  This module models that behaviour bit-exactly, which gives
+us the round-trip (losslessness) oracle used throughout the tests:
+
+    every *specified* bit of the original test set is reproduced
+    exactly; every don't-care position receives the transmitted fill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..coding.bitstream import BitReader
+from .blocks import BlockSet
+from .compressor import CompressedTestSet
+from .matching import MatchingVector
+from .trits import DC, format_trits
+
+__all__ = ["DecodedTestSet", "decompress", "verify_roundtrip"]
+
+
+@dataclass(frozen=True)
+class DecodedTestSet:
+    """Fully-specified test data reconstructed by the decoder.
+
+    ``bits`` is the padded, fully specified test string (a 0/1 string
+    of ``n_blocks · K`` characters); ``blocks_decoded`` counts decoded
+    input blocks.
+    """
+
+    bits: str
+    block_length: int
+    blocks_decoded: int
+
+    def block(self, index: int) -> str:
+        """The ``index``-th decoded K-bit block."""
+        start = index * self.block_length
+        return self.bits[start : start + self.block_length]
+
+
+def decompress(compressed: CompressedTestSet) -> DecodedTestSet:
+    """Decode a compressed stream back into fully-specified test data.
+
+    >>> from .compressor import compress_blocks
+    >>> from .matching import MVSet
+    >>> bs = BlockSet.from_string("111 000 1X1", 3)
+    >>> c = compress_blocks(bs, MVSet.from_strings(["111", "000", "UUU"]))
+    >>> decompress(c).bits
+    '111000111'
+    """
+    tree = compressed.table.prefix_code().decode_tree()
+    mv_by_index = {
+        mv_index: compressed.mv_set[mv_index]
+        for mv_index in compressed.table.codewords
+    }
+    reader = BitReader(compressed.payload, compressed.payload_bits)
+    n_blocks = compressed.blocks.n_blocks
+    out: list[str] = []
+    for _ in range(n_blocks):
+        mv = _decode_one_mv(reader, tree, mv_by_index)
+        out.append(_emit_block(reader, mv))
+    if not reader.exhausted:
+        raise ValueError(
+            f"{reader.remaining} trailing bits left after decoding "
+            f"{n_blocks} blocks"
+        )
+    return DecodedTestSet(
+        bits="".join(out),
+        block_length=compressed.blocks.block_length,
+        blocks_decoded=n_blocks,
+    )
+
+
+def _decode_one_mv(
+    reader: BitReader, tree: dict, mv_by_index: dict[int, MatchingVector]
+) -> MatchingVector:
+    """Walk the prefix tree bit by bit until a codeword completes."""
+    node = tree
+    while True:
+        bit = "1" if reader.read_bit() else "0"
+        try:
+            node = node[bit]
+        except KeyError:
+            raise ValueError("invalid codeword in compressed stream") from None
+        if not isinstance(node, dict):
+            return mv_by_index[node]
+
+
+def _emit_block(reader: BitReader, mv: MatchingVector) -> str:
+    """Emit one block: MV's specified bits with streamed fills at Us."""
+    bits = []
+    for trit in mv.trits:
+        if trit == DC:
+            bits.append("1" if reader.read_bit() else "0")
+        else:
+            bits.append("1" if trit else "0")
+    return "".join(bits)
+
+
+def verify_roundtrip(compressed: CompressedTestSet) -> DecodedTestSet:
+    """Decode and check losslessness against the source block set.
+
+    Every specified bit of the original test set must be reproduced
+    exactly (don't-cares may be filled either way).  Returns the
+    decoded data on success; raises ``AssertionError`` with a precise
+    location on the first mismatch.
+    """
+    decoded = decompress(compressed)
+    blocks: BlockSet = compressed.blocks
+    for position, distinct_index in enumerate(blocks.sequence):
+        original = blocks.block_trits(int(distinct_index))
+        reconstructed = decoded.block(position)
+        for offset, trit in enumerate(original):
+            if trit == DC:
+                continue
+            expected = "1" if trit else "0"
+            if reconstructed[offset] != expected:
+                raise AssertionError(
+                    f"block {position}, position {offset}: original "
+                    f"{format_trits(original, unspecified='X')} vs decoded "
+                    f"{reconstructed}"
+                )
+    return decoded

@@ -1,0 +1,209 @@
+"""Codeword assignment for matching vectors (paper Section 3.3).
+
+Given covering frequencies ``F_i``, the optimal prefix code is produced
+by Huffman's algorithm over the MVs with ``F_i > 0`` (zero-frequency
+MVs get no codeword).  The encoding length of every block covered by
+``v_i`` is ``|C(v_i)| + NU(v_i)``.
+
+The paper's Section 3.3 example shows that greedy covering plus plain
+Huffman can be suboptimal when one MV *subsumes* another: merging the
+subsumed MV's blocks into the subsuming MV shortens the code tree by
+more than the extra fill bits cost.  :func:`refine_subsumption`
+implements that improvement as a greedy best-merge loop.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from ..coding.huffman import huffman_code_lengths
+from ..coding.prefix import PrefixCode, canonical_code_from_lengths
+from .matching import MVSet
+
+__all__ = [
+    "EncodingStrategy",
+    "EncodingTable",
+    "build_encoding_table",
+    "refine_subsumption",
+    "compressed_size",
+]
+
+
+class EncodingStrategy(enum.Enum):
+    """How codewords are assigned to matching vectors."""
+
+    FIXED = "fixed"  # caller-supplied codewords (the original 9C scheme)
+    HUFFMAN = "huffman"  # Huffman over covering frequencies (paper default)
+    HUFFMAN_SUBSUME = "huffman-subsume"  # Huffman + subsumption merges (Sec. 3.3)
+
+
+@dataclass(frozen=True)
+class EncodingTable:
+    """Result of codeword assignment.
+
+    Attributes
+    ----------
+    codewords:
+        ``{mv_index: codeword}`` for every MV that encodes at least one
+        block after redirection.
+    redirect:
+        ``{mv_index: final_mv_index}`` — where subsumption merged MV
+        ``i`` into MV ``j``, blocks covered by ``i`` are encoded with
+        ``j``'s codeword and fills.  Identity for unmerged MVs.
+    frequencies:
+        Final per-MV frequencies after redirection.
+    total_bits:
+        Compressed payload size: ``Σ F_i · (|C(v_i)| + NU(v_i))``.
+    """
+
+    codewords: dict[int, str]
+    redirect: dict[int, int]
+    frequencies: dict[int, int]
+    total_bits: int
+    strategy: EncodingStrategy = field(default=EncodingStrategy.HUFFMAN)
+
+    def prefix_code(self) -> PrefixCode:
+        """The codeword table as a checked :class:`PrefixCode`."""
+        return PrefixCode(self.codewords)
+
+    def codeword_for(self, mv_index: int) -> str:
+        """Codeword used for blocks covered by ``mv_index`` (post-redirect)."""
+        return self.codewords[self.redirect.get(mv_index, mv_index)]
+
+    def final_mv(self, mv_index: int) -> int:
+        """MV actually used to encode blocks covered by ``mv_index``."""
+        return self.redirect.get(mv_index, mv_index)
+
+
+def compressed_size(
+    mv_set: MVSet,
+    frequencies: Mapping[int, int],
+    codeword_lengths: Mapping[int, int],
+) -> int:
+    """Payload bits: ``Σ F_i · (|C(v_i)| + NU(v_i))`` over coded MVs."""
+    total = 0
+    for mv_index, frequency in frequencies.items():
+        if frequency <= 0:
+            continue
+        total += frequency * (
+            codeword_lengths[mv_index] + mv_set[mv_index].n_unspecified
+        )
+    return total
+
+
+def _huffman_size(mv_set: MVSet, frequencies: Mapping[int, int]) -> int:
+    """Huffman payload size for the given frequency assignment."""
+    active = {i: f for i, f in frequencies.items() if f > 0}
+    lengths = huffman_code_lengths(active)
+    return compressed_size(mv_set, active, lengths)
+
+
+def refine_subsumption(
+    mv_set: MVSet, frequencies: Mapping[int, int]
+) -> tuple[dict[int, int], dict[int, int]]:
+    """Greedy subsumption merging (paper Section 3.3 example).
+
+    Repeatedly find the single merge "fold MV *j* into a subsuming MV
+    *i*" that reduces the Huffman payload the most, apply it, and stop
+    when no merge improves.  Returns ``(frequencies, redirect)`` where
+    ``redirect`` maps every merged MV to its final representative.
+
+    >>> mvs = MVSet.from_strings(["111U", "1110", "0000"])
+    >>> freqs, redirect = refine_subsumption(mvs, {0: 5, 1: 3, 2: 2})
+    >>> freqs[0], redirect[1]
+    (8, 0)
+    """
+    current = {i: int(f) for i, f in frequencies.items() if f > 0}
+    redirect: dict[int, int] = {}
+    # Precompute the subsumption relation once over the used MVs; merging
+    # into an *unused* subsumer can never help (it has at least as many
+    # U positions, so it only lengthens the fills), so unused MVs are
+    # excluded up front.
+    indices = sorted(current)
+    subsumers: dict[int, list[int]] = {
+        j: [
+            i
+            for i in indices
+            if i != j and mv_set[i].subsumes(mv_set[j])
+        ]
+        for j in indices
+    }
+    best_size = _huffman_size(mv_set, current)
+    while True:
+        best_merge: tuple[int, int] | None = None
+        best_merge_size = best_size
+        for j in sorted(current):
+            if current.get(j, 0) <= 0:
+                continue
+            for i in subsumers[j]:
+                if i not in current:
+                    continue
+                trial = dict(current)
+                trial[i] = trial.get(i, 0) + trial[j]
+                del trial[j]
+                trial_size = _huffman_size(mv_set, trial)
+                if trial_size < best_merge_size:
+                    best_merge_size = trial_size
+                    best_merge = (i, j)
+        if best_merge is None:
+            break
+        target, source = best_merge
+        current[target] = current.get(target, 0) + current[source]
+        del current[source]
+        # Re-route everything previously merged into `source` as well.
+        for merged, representative in list(redirect.items()):
+            if representative == source:
+                redirect[merged] = target
+        redirect[source] = target
+        best_size = best_merge_size
+    return current, redirect
+
+
+def build_encoding_table(
+    mv_set: MVSet,
+    frequencies: Mapping[int, int],
+    strategy: EncodingStrategy = EncodingStrategy.HUFFMAN,
+    fixed_codewords: Mapping[int, str] | None = None,
+) -> EncodingTable:
+    """Assign codewords to the MVs of a covering.
+
+    ``frequencies`` maps MV index → blocks covered (zero entries are
+    dropped).  With ``EncodingStrategy.FIXED`` the caller supplies
+    ``fixed_codewords`` for at least every used MV (the original 9C
+    scheme's hard-wired code).
+    """
+    active = {int(i): int(f) for i, f in frequencies.items() if f > 0}
+    redirect: dict[int, int] = {}
+
+    if strategy is EncodingStrategy.FIXED:
+        if fixed_codewords is None:
+            raise ValueError("FIXED strategy requires fixed_codewords")
+        missing = [i for i in active if i not in fixed_codewords]
+        if missing:
+            raise ValueError(f"no fixed codeword for used MVs {missing}")
+        codewords = {i: fixed_codewords[i] for i in active}
+        lengths = {i: len(w) for i, w in codewords.items()}
+        total = compressed_size(mv_set, active, lengths)
+        return EncodingTable(
+            codewords=codewords,
+            redirect=redirect,
+            frequencies=active,
+            total_bits=total,
+            strategy=strategy,
+        )
+
+    if strategy is EncodingStrategy.HUFFMAN_SUBSUME:
+        active, redirect = refine_subsumption(mv_set, active)
+
+    lengths = huffman_code_lengths(active)
+    codewords = canonical_code_from_lengths(lengths)
+    total = compressed_size(mv_set, active, lengths)
+    return EncodingTable(
+        codewords=codewords,
+        redirect=redirect,
+        frequencies=active,
+        total_bits=total,
+        strategy=strategy,
+    )

@@ -1,0 +1,123 @@
+"""Fitness evaluation: the compression rate of a genome's MV set.
+
+This is the EA's inner loop, so it avoids object construction: a
+genome is reshaped to ``(L, K)``, packed into mask arrays with
+vectorized numpy, covered via :func:`repro.core.covering.cover_masks`,
+and priced with Huffman code lengths.  For a genome whose MVs cannot
+cover every block the paper assigns "a sufficiently small number";
+we use a large negative constant, far below any reachable rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..coding.huffman import huffman_code_lengths
+from .blocks import BlockSet
+from .covering import cover_masks
+from .encoding import EncodingStrategy, build_encoding_table
+from .matching import MVSet
+from .trits import DC, ONE, ZERO
+
+__all__ = ["INVALID_FITNESS", "CompressionRateFitness"]
+
+INVALID_FITNESS = -1.0e6  # far below 100·(orig−comp)/orig for any valid encoding
+
+
+class CompressionRateFitness:
+    """Callable genome → compression rate (%) for a fixed block set.
+
+    >>> blocks = BlockSet.from_string("111 000 111 111", 3)
+    >>> fit = CompressionRateFitness(blocks, n_vectors=2, block_length=3)
+    >>> genome = MVSet.from_strings(["111", "UUU"]).to_genome()
+    >>> round(fit(genome), 1)  # 3·1 + 1·(1+3) = 7 bits vs 12
+    41.7
+    """
+
+    def __init__(
+        self,
+        blocks: BlockSet,
+        n_vectors: int,
+        block_length: int,
+        strategy: EncodingStrategy = EncodingStrategy.HUFFMAN,
+        invalid_fitness: float = INVALID_FITNESS,
+    ) -> None:
+        if blocks.block_length != block_length:
+            raise ValueError(
+                f"block set has K={blocks.block_length}, expected {block_length}"
+            )
+        if blocks.original_bits == 0:
+            raise ValueError("cannot evaluate fitness on an empty test set")
+        if strategy is EncodingStrategy.FIXED:
+            raise ValueError("fitness evaluation requires a frequency-based strategy")
+        self._blocks = blocks
+        self._n_vectors = n_vectors
+        self._block_length = block_length
+        self._strategy = strategy
+        self._invalid_fitness = invalid_fitness
+        shifts = np.arange(block_length - 1, -1, -1, dtype=np.uint64)
+        self._weights = np.left_shift(np.uint64(1), shifts)
+        self.evaluations = 0
+
+    @property
+    def blocks(self) -> BlockSet:
+        """The block set this fitness prices against."""
+        return self._blocks
+
+    def genome_masks(
+        self, genome: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pack a genome into per-MV ``(ones, zeros, n_unspecified)`` arrays."""
+        grid = np.asarray(genome, dtype=np.int8).reshape(
+            self._n_vectors, self._block_length
+        )
+        ones = ((grid == ONE) * self._weights).sum(axis=1, dtype=np.uint64)
+        zeros = ((grid == ZERO) * self._weights).sum(axis=1, dtype=np.uint64)
+        n_unspecified = (grid == DC).sum(axis=1).astype(np.int64)
+        return ones, zeros, n_unspecified
+
+    def __call__(self, genome: np.ndarray) -> float:
+        """Compression rate achieved by the genome's matching vectors."""
+        self.evaluations += 1
+        if self._strategy is EncodingStrategy.HUFFMAN_SUBSUME:
+            return self._evaluate_with_subsumption(genome)
+        mv_ones, mv_zeros, n_unspecified = self.genome_masks(genome)
+        order = np.argsort(n_unspecified, kind="stable")
+        _, frequencies, uncovered = cover_masks(
+            self._blocks.ones,
+            self._blocks.zeros,
+            self._blocks.counts,
+            mv_ones,
+            mv_zeros,
+            order,
+        )
+        if uncovered:
+            return self._invalid_fitness
+        active = {
+            int(i): int(f) for i, f in enumerate(frequencies) if f > 0
+        }
+        lengths = huffman_code_lengths(active)
+        compressed = sum(
+            frequency * (lengths[index] + int(n_unspecified[index]))
+            for index, frequency in active.items()
+        )
+        original = self._blocks.original_bits
+        return 100.0 * (original - compressed) / original
+
+    def _evaluate_with_subsumption(self, genome: np.ndarray) -> float:
+        """Slower path that applies the Section 3.3 subsumption merges."""
+        from .covering import cover
+
+        mv_set = MVSet.from_genome(genome, self._block_length)
+        covering = cover(self._blocks, mv_set)
+        if covering.uncovered:
+            return self._invalid_fitness
+        table = build_encoding_table(
+            mv_set, covering.frequency_map(), EncodingStrategy.HUFFMAN_SUBSUME
+        )
+        original = self._blocks.original_bits
+        return 100.0 * (original - table.total_bits) / original
+
+    def evaluate_mv_set(self, mv_set: MVSet) -> float:
+        """Convenience: rate for an explicit :class:`MVSet`."""
+        return self(mv_set.to_genome())

@@ -1,0 +1,149 @@
+"""Multiple scan chain environment (the paper's future-work direction).
+
+Section 5: "Another direction for further research is the application
+of our method in a multiple scan chain environment."  This module
+implements that extension.  With ``M`` scan chains, each pattern's
+``n`` bits are split into ``M`` contiguous slices shifted in parallel;
+per chain the test data forms its own string.  Two decoder
+organizations are modeled:
+
+* ``independent`` — one MV set (and decoder) per chain, each trained
+  on its own chain's data.  More hardware, per-chain-tuned vectors.
+* ``shared`` — one MV set trained on the concatenation of all chain
+  strings, used by every chain's decoder (or one time-multiplexed
+  decoder).  Less hardware, shared statistics.
+
+Rates aggregate the paper's way: ``100·(Σorig − Σcomp)/Σorig``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..testdata.test_set import TestSet
+from .compressor import compress_blocks, compression_rate
+from .config import CompressionConfig
+from .encoding import EncodingStrategy
+from .optimizer import EAMVOptimizer
+
+__all__ = ["ChainResult", "MultiScanResult", "split_into_chains", "compress_multi_scan"]
+
+
+@dataclass(frozen=True)
+class ChainResult:
+    """Per-chain compression outcome."""
+
+    chain_index: int
+    original_bits: int
+    compressed_bits: int
+
+    @property
+    def rate(self) -> float:
+        return compression_rate(self.original_bits, self.compressed_bits)
+
+
+@dataclass(frozen=True)
+class MultiScanResult:
+    """Aggregate outcome over all scan chains."""
+
+    mode: str
+    chains: tuple[ChainResult, ...]
+
+    @property
+    def original_bits(self) -> int:
+        return sum(chain.original_bits for chain in self.chains)
+
+    @property
+    def compressed_bits(self) -> int:
+        return sum(chain.compressed_bits for chain in self.chains)
+
+    @property
+    def rate(self) -> float:
+        """Aggregate compression rate over all chains (percent)."""
+        return compression_rate(self.original_bits, self.compressed_bits)
+
+
+def split_into_chains(test_set: TestSet, n_chains: int) -> list[TestSet]:
+    """Split each pattern into ``n_chains`` contiguous column slices.
+
+    Chain lengths differ by at most one bit (the standard balanced
+    scan partition).
+
+    >>> ts = TestSet.from_strings("t", ["01X10", "11XX0"])
+    >>> [c.n_inputs for c in split_into_chains(ts, 2)]
+    [3, 2]
+    """
+    if n_chains < 1:
+        raise ValueError("need at least one scan chain")
+    if n_chains > test_set.n_inputs:
+        raise ValueError(
+            f"{n_chains} chains but only {test_set.n_inputs} scan cells"
+        )
+    base, extra = divmod(test_set.n_inputs, n_chains)
+    widths = [base + (1 if index < extra else 0) for index in range(n_chains)]
+    boundaries = np.concatenate([[0], np.cumsum(widths)])
+    chains = []
+    for index in range(n_chains):
+        lo, hi = int(boundaries[index]), int(boundaries[index + 1])
+        chains.append(
+            TestSet(
+                name=f"{test_set.name}-chain{index}",
+                patterns=test_set.patterns[:, lo:hi],
+            )
+        )
+    return chains
+
+
+def compress_multi_scan(
+    test_set: TestSet,
+    n_chains: int,
+    config: CompressionConfig | None = None,
+    mode: str = "shared",
+    seed: int = 0,
+) -> MultiScanResult:
+    """Compress a test set distributed over ``n_chains`` scan chains.
+
+    ``mode='independent'`` trains one MV set per chain;
+    ``mode='shared'`` trains a single MV set on all chain data and
+    applies it per chain (codewords are still per-chain Huffman, as
+    each chain's decoder sees its own frequencies).
+    """
+    if mode not in ("independent", "shared"):
+        raise ValueError(f"unknown multi-scan mode {mode!r}")
+    config = config or CompressionConfig()
+    chains = split_into_chains(test_set, n_chains)
+
+    shared_mv_set = None
+    if mode == "shared":
+        # Train once on the concatenation of all chain strings.
+        combined = np.concatenate(
+            [chain.flatten() for chain in chains]
+        ).astype(np.int8)
+        from .blocks import BlockSet
+
+        blocks = BlockSet.from_trit_array(combined, config.block_length)
+        shared_mv_set = (
+            EAMVOptimizer(config, seed=seed).optimize(blocks).best_mv_set
+        )
+
+    results = []
+    for chain in chains:
+        blocks = chain.blocks(config.block_length)
+        if mode == "independent":
+            optimizer = EAMVOptimizer(config, seed=seed + chain.patterns.shape[1])
+            mv_set = optimizer.optimize(blocks).best_mv_set
+        else:
+            mv_set = shared_mv_set
+        compressed = compress_blocks(
+            blocks, mv_set, EncodingStrategy.HUFFMAN, fill_default=config.fill_default
+        )
+        results.append(
+            ChainResult(
+                chain_index=len(results),
+                original_bits=blocks.original_bits,
+                compressed_bits=compressed.compressed_bits,
+            )
+        )
+    return MultiScanResult(mode=mode, chains=tuple(results))

@@ -1,0 +1,114 @@
+"""The 9C compression baseline (Tehranipour/Nourani/Chakrabarty, DATE'04).
+
+9C compression is the special case of the paper's general formulation
+with ``L = 9``, a hard-wired matching-vector set built from all-0,
+all-1, half-0/half-1 patterns and their half-unspecified variants, and
+a hard-wired prefix code.  For ``K = 6`` the vectors and codewords are
+(paper, Sections 1 and 4):
+
+======  =========  ==========
+index   MV         codeword
+======  =========  ==========
+v(1)    000 000    ``0``
+v(2)    111 111    ``10``
+v(3)    000 111    ``11000``
+v(4)    111 000    ``11001``
+v(5)    111 UUU    ``11010``
+v(6)    UUU 111    ``11011``
+v(7)    000 UUU    ``11100``
+v(8)    UUU 000    ``11101``
+v(9)    UUU UUU    ``1111``
+======  =========  ==========
+
+The same construction applies to any even ``K``.  The paper evaluates
+9C at ``K = 8`` (the best value reported in the original 9C paper) and
+also runs a variant ("9C+HC") that keeps the nine MVs but replaces the
+fixed code with Huffman coding over the measured frequencies.
+"""
+
+from __future__ import annotations
+
+from .blocks import BlockSet
+from .compressor import CompressedTestSet, compress_blocks
+from .encoding import EncodingStrategy
+from .matching import MVSet
+from .trits import DC, ONE, ZERO
+
+__all__ = [
+    "NINE_C_CODEWORDS",
+    "nine_c_mv_set",
+    "compress_nine_c",
+    "DEFAULT_NINE_C_BLOCK_LENGTH",
+]
+
+DEFAULT_NINE_C_BLOCK_LENGTH = 8  # K=8 gave the best results in [20]
+
+# Fixed prefix code, independent of K (index i codes v(i+1) of the paper).
+NINE_C_CODEWORDS: dict[int, str] = {
+    0: "0",
+    1: "10",
+    2: "11000",
+    3: "11001",
+    4: "11010",
+    5: "11011",
+    6: "11100",
+    7: "11101",
+    8: "1111",
+}
+
+
+def nine_c_mv_set(block_length: int = DEFAULT_NINE_C_BLOCK_LENGTH) -> MVSet:
+    """The nine matching vectors of 9C compression for an even ``K``.
+
+    >>> [str(mv) for mv in nine_c_mv_set(6)][:4]
+    ['000000', '111111', '000111', '111000']
+    """
+    if block_length < 2 or block_length % 2:
+        raise ValueError(f"9C requires an even block length >= 2, got {block_length}")
+    half = block_length // 2
+    zeros = (ZERO,) * half
+    ones = (ONE,) * half
+    unspecified = (DC,) * half
+    patterns = [
+        zeros + zeros,  # v(1) all-0
+        ones + ones,  # v(2) all-1
+        zeros + ones,  # v(3) 0-half then 1-half
+        ones + zeros,  # v(4) 1-half then 0-half
+        ones + unspecified,  # v(5)
+        unspecified + ones,  # v(6)
+        zeros + unspecified,  # v(7)
+        unspecified + zeros,  # v(8)
+        unspecified + unspecified,  # v(9) all-U
+    ]
+    from .matching import MatchingVector
+
+    return MVSet(MatchingVector(p) for p in patterns)
+
+
+def compress_nine_c(
+    blocks: BlockSet,
+    use_huffman: bool = False,
+    fill_default: int = 0,
+) -> CompressedTestSet:
+    """Run 9C compression (or the 9C+HC variant) on a block set.
+
+    ``blocks.block_length`` must be even.  With ``use_huffman=True``
+    the nine MVs keep their roles but codewords come from Huffman
+    coding of the measured frequencies — the paper's '9C+HC' column.
+
+    >>> bs = BlockSet.from_string("00000000" * 4 + "11110000" * 2, 8)
+    >>> compress_nine_c(bs).rate > 0
+    True
+    """
+    mv_set = nine_c_mv_set(blocks.block_length)
+    if use_huffman:
+        return compress_blocks(
+            blocks, mv_set, EncodingStrategy.HUFFMAN, fill_default=fill_default
+        )
+    return compress_blocks(
+        blocks,
+        mv_set,
+        EncodingStrategy.FIXED,
+        fixed_codewords=NINE_C_CODEWORDS,
+        fill_default=fill_default,
+    )

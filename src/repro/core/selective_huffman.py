@@ -1,0 +1,112 @@
+"""Selective Huffman coding (Jas/Ghosh-Dastidar/Touba — ref [2]).
+
+The statistical-coding ancestor of the paper's method: split the test
+set into fixed K-bit blocks (don't-cares filled), Huffman-code only
+the ``N`` most frequent distinct blocks, and escape every other block
+as a raw literal:
+
+* coded block   → ``1`` + Huffman codeword of the block pattern,
+* uncoded block → ``0`` + the K raw bits.
+
+Keeping ``N`` small keeps the decoder tiny (the original paper's
+argument); the matching-vector formulation subsumes this scheme —
+a fully-specified MV per frequent block plus the all-U escape — which
+is why it makes a natural extra baseline for the comparison benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..coding.huffman import huffman_code
+from .blocks import BlockSet
+from .compressor import compression_rate
+from .trits import DC
+
+__all__ = ["SelectiveHuffmanResult", "compress_selective_huffman"]
+
+
+@dataclass(frozen=True)
+class SelectiveHuffmanResult:
+    """Outcome of selective Huffman coding on one block set.
+
+    ``coded_patterns`` maps the coded block bit-patterns (as ints) to
+    their codewords; blocks outside the map were escaped raw.
+    """
+
+    block_length: int
+    n_coded: int
+    original_bits: int
+    compressed_bits: int
+    coded_patterns: dict[int, str]
+    escaped_blocks: int
+
+    @property
+    def rate(self) -> float:
+        """Compression rate in percent (paper definition)."""
+        return compression_rate(self.original_bits, self.compressed_bits)
+
+
+def _filled_block_values(blocks: BlockSet, fill_default: int) -> np.ndarray:
+    """Distinct-block bit patterns with X positions filled."""
+    if fill_default not in (0, 1):
+        raise ValueError("fill_default must be 0 or 1")
+    ones = blocks.ones.astype(np.uint64)
+    zeros = blocks.zeros.astype(np.uint64)
+    full_mask = np.uint64((1 << blocks.block_length) - 1)
+    unspecified = full_mask & ~(ones | zeros)
+    if fill_default:
+        return ones | unspecified
+    return ones
+
+
+def compress_selective_huffman(
+    blocks: BlockSet,
+    n_coded: int = 8,
+    fill_default: int = 0,
+) -> SelectiveHuffmanResult:
+    """Selective Huffman coding with ``n_coded`` coded patterns.
+
+    Blocks are made fully specified (X → ``fill_default``) first —
+    the original scheme codes concrete vectors, not cubes.
+
+    >>> blocks = BlockSet.from_string("1100" * 7 + "0110", 4)
+    >>> result = compress_selective_huffman(blocks, n_coded=1)
+    >>> result.rate > 0
+    True
+    """
+    if n_coded < 1:
+        raise ValueError("must code at least one pattern")
+    if blocks.n_blocks == 0:
+        raise ValueError("cannot compress an empty block set")
+
+    values = _filled_block_values(blocks, fill_default)
+    # Aggregate counts by *filled* pattern (distinct cubes may collapse).
+    totals: dict[int, int] = {}
+    for value, count in zip(values.tolist(), blocks.counts.tolist()):
+        totals[value] = totals.get(value, 0) + count
+    ranked = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+    selected = dict(ranked[:n_coded])
+
+    code = huffman_code(selected)
+    coded_patterns = {
+        pattern: code.codeword(pattern) for pattern in selected
+    }
+    compressed = 0
+    escaped_blocks = 0
+    for pattern, count in totals.items():
+        if pattern in coded_patterns:
+            compressed += count * (1 + len(coded_patterns[pattern]))
+        else:
+            compressed += count * (1 + blocks.block_length)
+            escaped_blocks += count
+    return SelectiveHuffmanResult(
+        block_length=blocks.block_length,
+        n_coded=len(coded_patterns),
+        original_bits=blocks.original_bits,
+        compressed_bits=compressed,
+        coded_patterns=coded_patterns,
+        escaped_blocks=escaped_blocks,
+    )

@@ -1,0 +1,114 @@
+"""The three-valued alphabets of code-based test compression.
+
+Test data bits live in ``{0, 1, X}`` where ``X`` is a *don't-care*: the
+ATPG left the bit unspecified and either value preserves fault
+coverage.  Matching-vector positions live in ``{0, 1, U}`` where ``U``
+is *unspecified*: the decoder substitutes a literal fill bit
+transmitted after the codeword.  Both third values behave identically
+for matching, so internally a single trit encoding is used:
+
+====== ======= =====================================
+value  integer meaning
+====== ======= =====================================
+``0``  0       specified zero
+``1``  1       specified one
+``X``  2       don't-care (test data) / unspecified
+               fill position (matching vector, ``U``)
+====== ======= =====================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ZERO",
+    "ONE",
+    "DC",
+    "TRIT_VALUES",
+    "parse_trits",
+    "format_trits",
+    "trits_to_array",
+    "random_trits",
+]
+
+ZERO = 0
+ONE = 1
+DC = 2  # don't-care (X) in test data, unspecified (U) in matching vectors
+
+TRIT_VALUES = (ZERO, ONE, DC)
+
+_CHAR_TO_TRIT = {
+    "0": ZERO,
+    "1": ONE,
+    "X": DC,
+    "x": DC,
+    "U": DC,
+    "u": DC,
+    "-": DC,
+}
+
+
+def parse_trits(text: str) -> tuple[int, ...]:
+    """Parse a trit string; ``X``/``U``/``-`` all denote the third value.
+
+    Spaces and underscores are ignored so strings can be grouped for
+    readability, matching the paper's ``000 111`` notation.
+
+    >>> parse_trits("01X U1-")
+    (0, 1, 2, 2, 1, 2)
+    """
+    trits = []
+    for ch in text:
+        if ch in " _":
+            continue
+        try:
+            trits.append(_CHAR_TO_TRIT[ch])
+        except KeyError:
+            raise ValueError(f"invalid trit character {ch!r} in {text!r}") from None
+    return tuple(trits)
+
+
+def format_trits(trits: Iterable[int], unspecified: str = "U") -> str:
+    """Render trits as a string, using ``unspecified`` for the third value.
+
+    >>> format_trits((0, 1, 2))
+    '01U'
+    >>> format_trits((0, 1, 2), unspecified="X")
+    '01X'
+    """
+    if unspecified not in ("U", "X", "-"):
+        raise ValueError(f"unsupported unspecified character {unspecified!r}")
+    chars = {ZERO: "0", ONE: "1", DC: unspecified}
+    out = []
+    for trit in trits:
+        if trit not in chars:
+            raise ValueError(f"invalid trit value {trit!r}")
+        out.append(chars[trit])
+    return "".join(out)
+
+
+def trits_to_array(trits: Sequence[int]) -> np.ndarray:
+    """Convert a trit sequence to a compact ``int8`` numpy array."""
+    array = np.asarray(trits, dtype=np.int8)
+    if array.ndim != 1:
+        raise ValueError("trit sequence must be one-dimensional")
+    if array.size and (array.min() < 0 or array.max() > 2):
+        raise ValueError("trit values must be in {0, 1, 2}")
+    return array
+
+
+def random_trits(
+    length: int,
+    rng: np.random.Generator,
+    probabilities: Sequence[float] = (1 / 3, 1 / 3, 1 / 3),
+) -> np.ndarray:
+    """Draw a random trit array with the given (p0, p1, pU) weights."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    weights = np.asarray(probabilities, dtype=float)
+    if weights.shape != (3,) or weights.min() < 0 or not weights.sum() > 0:
+        raise ValueError("probabilities must be three non-negative weights")
+    return rng.choice(3, size=length, p=weights / weights.sum()).astype(np.int8)

@@ -1,0 +1,46 @@
+"""Self-contained evolutionary-algorithm engine (GAME [33] substitute)."""
+
+from .adaptive import AdaptiveOperatorScheduler
+from .engine import EAResult, EvolutionaryEngine, GenerationStats
+from .genome import TRIT_ALPHABET_SIZE, random_genome, validate_genome
+from .operators import (
+    one_point_crossover,
+    point_mutation,
+    reproduce,
+    segment_inversion,
+    uniform_crossover,
+)
+from .selection import Individual, select_parent, tournament_select, truncate
+from .termination import (
+    AnyOf,
+    EvaluationLimit,
+    GenerationLimit,
+    LoopState,
+    StagnationLimit,
+    TerminationCondition,
+)
+
+__all__ = [
+    "AdaptiveOperatorScheduler",
+    "EAResult",
+    "EvolutionaryEngine",
+    "GenerationStats",
+    "TRIT_ALPHABET_SIZE",
+    "random_genome",
+    "validate_genome",
+    "one_point_crossover",
+    "point_mutation",
+    "reproduce",
+    "segment_inversion",
+    "uniform_crossover",
+    "Individual",
+    "select_parent",
+    "tournament_select",
+    "truncate",
+    "AnyOf",
+    "EvaluationLimit",
+    "GenerationLimit",
+    "LoopState",
+    "StagnationLimit",
+    "TerminationCondition",
+]

@@ -1,0 +1,112 @@
+"""Adaptive operator scheduling (automating the paper's suggestion).
+
+The paper closes with "further improvements are possible by fitting
+the parameters of the Evolutionary Optimization, such as population
+size and operator probabilities."  This module automates the operator
+part with *adaptive pursuit*: each operator's selection probability is
+pulled toward a winner-take-most target based on the recent reward
+(fitness improvement over the parent) its children achieved.
+
+Probabilities never drop below ``floor`` so no operator starves, and
+the scheduler degrades gracefully to the static mix when rewards tie.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["AdaptiveOperatorScheduler"]
+
+
+class AdaptiveOperatorScheduler:
+    """Adaptive-pursuit scheduler over a fixed set of operators.
+
+    Parameters
+    ----------
+    initial_probabilities:
+        Starting mix (e.g. the paper's crossover/mutation/inversion/
+        copy weights).  Must be non-negative with a positive sum.
+    learning_rate:
+        Exponential-average factor for per-operator reward estimates.
+    pursuit_rate:
+        How fast the mix moves toward the current best operator.
+    floor:
+        Minimum probability of any operator (exploration guarantee).
+
+    >>> scheduler = AdaptiveOperatorScheduler([0.25, 0.25, 0.25, 0.25])
+    >>> for _ in range(60):
+    ...     scheduler.reward(1, 5.0)   # operator 1 keeps improving
+    ...     scheduler.reward(0, 0.0)
+    >>> probs = scheduler.probabilities
+    >>> probs[1] == max(probs)
+    True
+    """
+
+    def __init__(
+        self,
+        initial_probabilities: Sequence[float],
+        learning_rate: float = 0.30,
+        pursuit_rate: float = 0.20,
+        floor: float = 0.05,
+    ) -> None:
+        probabilities = np.asarray(initial_probabilities, dtype=float)
+        if probabilities.ndim != 1 or probabilities.size < 2:
+            raise ValueError("need at least two operators")
+        if probabilities.min() < 0 or probabilities.sum() <= 0:
+            raise ValueError("probabilities must be non-negative, sum > 0")
+        if not 0 < learning_rate <= 1:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0 < pursuit_rate <= 1:
+            raise ValueError("pursuit_rate must be in (0, 1]")
+        if not 0 <= floor < 1 / probabilities.size:
+            raise ValueError("floor must be in [0, 1/n_operators)")
+        self._probabilities = probabilities / probabilities.sum()
+        self._rewards = np.zeros(probabilities.size)
+        self._learning_rate = learning_rate
+        self._pursuit_rate = pursuit_rate
+        self._floor = floor
+
+    @property
+    def n_operators(self) -> int:
+        """Number of scheduled operators."""
+        return self._probabilities.size
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The current operator mix (copies; always sums to 1)."""
+        return self._probabilities.copy()
+
+    @property
+    def reward_estimates(self) -> np.ndarray:
+        """Smoothed per-operator reward estimates (copies)."""
+        return self._rewards.copy()
+
+    def choose(self, rng: np.random.Generator) -> int:
+        """Draw an operator index from the current mix."""
+        return int(rng.choice(self.n_operators, p=self._probabilities))
+
+    def reward(self, operator: int, improvement: float) -> None:
+        """Report the fitness improvement a child achieved.
+
+        ``improvement`` is ``max(0, child_fitness − parent_fitness)``;
+        negative values are clamped (operators are not punished beyond
+        receiving no credit).
+        """
+        if not 0 <= operator < self.n_operators:
+            raise ValueError(f"operator index {operator} out of range")
+        gain = max(0.0, float(improvement))
+        self._rewards[operator] += self._learning_rate * (
+            gain - self._rewards[operator]
+        )
+        # Pursue the operator with the best reward estimate.
+        best = int(np.argmax(self._rewards))
+        n = self.n_operators
+        target = np.full(n, self._floor)
+        target[best] = 1.0 - self._floor * (n - 1)
+        self._probabilities += self._pursuit_rate * (
+            target - self._probabilities
+        )
+        self._probabilities = np.clip(self._probabilities, self._floor, None)
+        self._probabilities /= self._probabilities.sum()

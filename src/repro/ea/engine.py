@@ -1,0 +1,287 @@
+"""The evolutionary main loop (paper Figure 1).
+
+::
+
+    Generate random population (S individuals);
+    for each individual i in population
+        f(i) := compression rate achieved by i's matching vectors;
+    repeat {
+        Generate C children, using evolutionary operators;
+        for each child c
+            f(c) := compression rate for c;
+        New population := S individuals with best fitness;
+    } until (termination condition fulfilled);
+    return individual with best fitness;
+
+The engine is domain-agnostic: it maximizes an arbitrary fitness
+callable over fixed-length integer genomes.  Domain constraints (e.g.
+"one MV must be all-U") are injected as a *repair* callable applied to
+every genome before evaluation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import EAParameters
+from .adaptive import AdaptiveOperatorScheduler
+from .genome import TRIT_ALPHABET_SIZE, random_genome, validate_genome
+from .operators import (
+    point_mutation,
+    reproduce,
+    segment_inversion,
+    uniform_crossover,
+)
+from .selection import Individual, select_parent, tournament_select, truncate
+from .termination import (
+    AnyOf,
+    EvaluationLimit,
+    GenerationLimit,
+    LoopState,
+    StagnationLimit,
+    TerminationCondition,
+)
+
+__all__ = ["GenerationStats", "EAResult", "EvolutionaryEngine"]
+
+FitnessFunction = Callable[[np.ndarray], float]
+RepairFunction = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class GenerationStats:
+    """Per-generation trace record (lets examples print Figure 1 live)."""
+
+    generation: int
+    best_fitness: float
+    mean_fitness: float
+    evaluations: int
+    improved: bool
+
+
+@dataclass(frozen=True)
+class EAResult:
+    """Outcome of one evolutionary run."""
+
+    best_genome: np.ndarray = field(repr=False)
+    best_fitness: float
+    generations: int
+    evaluations: int
+    terminated_by: str
+    history: tuple[GenerationStats, ...] = field(repr=False)
+
+
+class EvolutionaryEngine:
+    """Maximize ``fitness`` over trit genomes with the paper's loop.
+
+    Parameters
+    ----------
+    fitness:
+        Callable genome → float; higher is better.
+    genome_length:
+        Number of genes (``K·L`` for the MV search).
+    params:
+        :class:`EAParameters`; operator probabilities select which
+        operator produces each child.
+    seed:
+        RNG seed; runs are fully deterministic given a seed.
+    repair:
+        Optional genome → genome normalization applied to every
+        initial and offspring genome before evaluation.
+    initial_genomes:
+        Optional seed individuals injected into the initial random
+        population (e.g. the 9C matching vectors).
+    """
+
+    def __init__(
+        self,
+        fitness: FitnessFunction,
+        genome_length: int,
+        params: EAParameters | None = None,
+        seed: int | None = None,
+        repair: RepairFunction | None = None,
+        initial_genomes: Sequence[np.ndarray] = (),
+        alphabet_size: int = TRIT_ALPHABET_SIZE,
+    ) -> None:
+        if genome_length < 1:
+            raise ValueError("genome_length must be >= 1")
+        self._fitness = fitness
+        self._genome_length = genome_length
+        self._params = params or EAParameters()
+        self._rng = np.random.default_rng(seed)
+        self._repair = repair
+        self._initial_genomes = [validate_genome(g) for g in initial_genomes]
+        if any(g.size != genome_length for g in self._initial_genomes):
+            raise ValueError("seed genomes must match genome_length")
+        self._alphabet_size = alphabet_size
+        self._evaluations = 0
+        self._birth_counter = 0
+        self._scheduler: AdaptiveOperatorScheduler | None = None
+        if self._params.adaptive_operators:
+            self._scheduler = AdaptiveOperatorScheduler(
+                self._operator_weights()
+            )
+
+    # -- individual construction -------------------------------------
+
+    def _make_individual(self, genome: np.ndarray) -> Individual:
+        if self._repair is not None:
+            genome = validate_genome(self._repair(genome), self._alphabet_size)
+        fitness = float(self._fitness(genome))
+        self._evaluations += 1
+        individual = Individual(
+            genome=genome, fitness=fitness, birth_order=self._birth_counter
+        )
+        self._birth_counter += 1
+        return individual
+
+    def _initial_population(self) -> list[Individual]:
+        population = [
+            self._make_individual(genome.copy()) for genome in self._initial_genomes
+        ]
+        while len(population) < self._params.population_size:
+            population.append(
+                self._make_individual(
+                    random_genome(self._genome_length, self._rng, self._alphabet_size)
+                )
+            )
+        return truncate(population, self._params.population_size)
+
+    # -- offspring ----------------------------------------------------
+
+    def _pick_parent(self, population: list[Individual]) -> Individual:
+        if self._params.parent_selection == "tournament":
+            return tournament_select(
+                population, self._rng, self._params.tournament_size
+            )
+        return select_parent(population, self._rng)
+
+    def _operator_weights(self) -> np.ndarray:
+        params = self._params
+        weights = np.asarray(
+            [
+                params.crossover_probability,
+                params.mutation_probability,
+                params.inversion_probability,
+                params.copy_probability,
+            ]
+        )
+        if weights.sum() <= 0:
+            weights = np.asarray([0.0, 1.0, 0.0, 0.0])
+        return weights / weights.sum()
+
+    def _spawn_children(self, population: list[Individual]) -> list[Individual]:
+        params = self._params
+        weights = self._operator_weights()
+        children: list[Individual] = []
+        while len(children) < params.children_per_generation:
+            if self._scheduler is not None:
+                operator = self._scheduler.choose(self._rng)
+            else:
+                operator = int(self._rng.choice(4, p=weights))
+            before = len(children)
+            if operator == 0:  # crossover: two parents, two children
+                parent_a = self._pick_parent(population)
+                parent_b = self._pick_parent(population)
+                parent_fitness = max(parent_a.fitness, parent_b.fitness)
+                genome_one, genome_two = uniform_crossover(
+                    parent_a.genome, parent_b.genome, self._rng
+                )
+                children.append(self._make_individual(genome_one))
+                if len(children) < params.children_per_generation:
+                    children.append(self._make_individual(genome_two))
+            elif operator == 1:
+                parent = self._pick_parent(population)
+                parent_fitness = parent.fitness
+                children.append(
+                    self._make_individual(
+                        point_mutation(parent.genome, self._rng, self._alphabet_size)
+                    )
+                )
+            elif operator == 2:
+                parent = self._pick_parent(population)
+                parent_fitness = parent.fitness
+                children.append(
+                    self._make_individual(segment_inversion(parent.genome, self._rng))
+                )
+            else:
+                parent = self._pick_parent(population)
+                parent_fitness = parent.fitness
+                children.append(self._make_individual(reproduce(parent.genome)))
+            if self._scheduler is not None:
+                for child in children[before:]:
+                    self._scheduler.reward(
+                        operator, child.fitness - parent_fitness
+                    )
+        return children
+
+    # -- main loop ----------------------------------------------------
+
+    def _termination(self) -> AnyOf:
+        conditions: list[TerminationCondition] = [
+            StagnationLimit(self._params.stagnation_limit)
+        ]
+        if self._params.max_evaluations is not None:
+            conditions.append(EvaluationLimit(self._params.max_evaluations))
+        if self._params.max_generations is not None:
+            conditions.append(GenerationLimit(self._params.max_generations))
+        return AnyOf(*conditions)
+
+    def run(self) -> EAResult:
+        """Execute the loop of Figure 1 and return the fittest solution."""
+        self._evaluations = 0
+        self._birth_counter = 0
+        if self._params.adaptive_operators:
+            self._scheduler = AdaptiveOperatorScheduler(
+                self._operator_weights()
+            )
+        population = self._initial_population()
+        best = max(population, key=lambda ind: ind.fitness)
+        history: list[GenerationStats] = []
+        termination = self._termination()
+        generation = 0
+        stagnant = 0
+        while True:
+            state = LoopState(
+                generation=generation,
+                evaluations=self._evaluations,
+                generations_without_improvement=stagnant,
+                best_fitness=best.fitness,
+            )
+            if termination.should_stop(state):
+                break
+            generation += 1
+            children = self._spawn_children(population)
+            population = truncate(
+                population + children, self._params.population_size
+            )
+            champion = population[0]
+            improved = champion.fitness > best.fitness
+            if improved:
+                best = champion
+                stagnant = 0
+            else:
+                stagnant += 1
+            history.append(
+                GenerationStats(
+                    generation=generation,
+                    best_fitness=champion.fitness,
+                    mean_fitness=float(
+                        np.mean([ind.fitness for ind in population])
+                    ),
+                    evaluations=self._evaluations,
+                    improved=improved,
+                )
+            )
+        fired = termination.fired
+        return EAResult(
+            best_genome=best.genome,
+            best_fitness=best.fitness,
+            generations=generation,
+            evaluations=self._evaluations,
+            terminated_by=fired.describe() if fired else "none",
+            history=tuple(history),
+        )

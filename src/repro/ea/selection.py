@@ -1,0 +1,79 @@
+"""Parent selection and survivor selection.
+
+The paper generates children from "randomly selected individuals" and
+keeps the ``S`` fittest of the ``S + C`` pool each generation — a
+(µ+λ) truncation scheme with uniform parent choice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Individual", "select_parent", "tournament_select", "truncate"]
+
+
+@dataclass(frozen=True)
+class Individual:
+    """A genome with its evaluated fitness and a creation stamp.
+
+    ``birth_order`` makes survivor selection deterministic under ties
+    (earlier individuals win), which keeps seeded runs reproducible.
+    """
+
+    genome: np.ndarray = field(repr=False)
+    fitness: float
+    birth_order: int
+
+    def __post_init__(self) -> None:
+        self.genome.setflags(write=False)
+
+
+def select_parent(
+    population: Sequence[Individual], rng: np.random.Generator
+) -> Individual:
+    """Uniform random parent choice (paper Section 3.1)."""
+    if not population:
+        raise ValueError("population is empty")
+    return population[int(rng.integers(0, len(population)))]
+
+
+def tournament_select(
+    population: Sequence[Individual],
+    rng: np.random.Generator,
+    tournament_size: int = 2,
+) -> Individual:
+    """Fittest of ``tournament_size`` uniform draws (with replacement).
+
+    A mild selection-pressure alternative to the paper's uniform
+    parent choice; exposed through
+    ``EAParameters(parent_selection="tournament")``.
+    """
+    if not population:
+        raise ValueError("population is empty")
+    if tournament_size < 2:
+        raise ValueError("tournament_size must be >= 2")
+    draws = [
+        population[int(rng.integers(0, len(population)))]
+        for _ in range(tournament_size)
+    ]
+    return min(draws, key=lambda ind: (-ind.fitness, ind.birth_order))
+
+
+def truncate(pool: Sequence[Individual], survivors: int) -> list[Individual]:
+    """Keep the ``survivors`` fittest individuals of the pool.
+
+    Ties are broken by seniority (lower ``birth_order`` first), so a
+    child replaces a parent only when strictly fitter.
+
+    >>> a = Individual(np.zeros(1, dtype=np.int8), 1.0, 0)
+    >>> b = Individual(np.zeros(1, dtype=np.int8), 1.0, 1)
+    >>> truncate([b, a], 1)[0].birth_order
+    0
+    """
+    if survivors < 1:
+        raise ValueError("must keep at least one survivor")
+    ranked = sorted(pool, key=lambda ind: (-ind.fitness, ind.birth_order))
+    return ranked[:survivors]

@@ -1,0 +1,119 @@
+"""Termination conditions for the evolutionary loop.
+
+The paper stops on "limits on the number of generated legal solutions
+and on the number of generations in which no fitness improvement was
+registered" (Section 3.1); Table 2 uses 500 stagnant generations.
+Conditions are small predicate objects over the engine's public
+:class:`LoopState`, composable with :class:`AnyOf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "LoopState",
+    "TerminationCondition",
+    "StagnationLimit",
+    "EvaluationLimit",
+    "GenerationLimit",
+    "AnyOf",
+]
+
+
+@dataclass(frozen=True)
+class LoopState:
+    """Progress snapshot the engine exposes to termination conditions."""
+
+    generation: int
+    evaluations: int
+    generations_without_improvement: int
+    best_fitness: float
+
+
+class TerminationCondition:
+    """Base predicate; subclasses override :meth:`should_stop`."""
+
+    def should_stop(self, state: LoopState) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable name used in run reports."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class StagnationLimit(TerminationCondition):
+    """Stop after ``generations`` consecutive non-improving generations."""
+
+    generations: int
+
+    def __post_init__(self) -> None:
+        if self.generations < 1:
+            raise ValueError("stagnation limit must be >= 1")
+
+    def should_stop(self, state: LoopState) -> bool:
+        return state.generations_without_improvement >= self.generations
+
+    def describe(self) -> str:
+        return f"stagnation({self.generations})"
+
+
+@dataclass(frozen=True)
+class EvaluationLimit(TerminationCondition):
+    """Stop once ``evaluations`` fitness evaluations have been spent."""
+
+    evaluations: int
+
+    def __post_init__(self) -> None:
+        if self.evaluations < 1:
+            raise ValueError("evaluation limit must be >= 1")
+
+    def should_stop(self, state: LoopState) -> bool:
+        return state.evaluations >= self.evaluations
+
+    def describe(self) -> str:
+        return f"evaluations({self.evaluations})"
+
+
+@dataclass(frozen=True)
+class GenerationLimit(TerminationCondition):
+    """Stop once ``generations`` generations have been produced."""
+
+    generations: int
+
+    def __post_init__(self) -> None:
+        if self.generations < 1:
+            raise ValueError("generation limit must be >= 1")
+
+    def should_stop(self, state: LoopState) -> bool:
+        return state.generation >= self.generations
+
+    def describe(self) -> str:
+        return f"generations({self.generations})"
+
+
+class AnyOf(TerminationCondition):
+    """Stop when any sub-condition fires; reports which one did."""
+
+    def __init__(self, *conditions: TerminationCondition) -> None:
+        if not conditions:
+            raise ValueError("AnyOf needs at least one condition")
+        self._conditions = conditions
+        self._fired: TerminationCondition | None = None
+
+    def should_stop(self, state: LoopState) -> bool:
+        for condition in self._conditions:
+            if condition.should_stop(state):
+                self._fired = condition
+                return True
+        return False
+
+    @property
+    def fired(self) -> TerminationCondition | None:
+        """The condition that triggered the stop, if any."""
+        return self._fired
+
+    def describe(self) -> str:
+        inner = ", ".join(c.describe() for c in self._conditions)
+        return f"any({inner})"

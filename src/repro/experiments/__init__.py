@@ -1,0 +1,53 @@
+"""Experiment harness: reproduce the paper's tables and ablations."""
+
+from .ablations import (
+    AblationPoint,
+    decoder_cost_study,
+    kl_sweep,
+    operator_sweep,
+    seeding_ablation,
+    subsumption_ablation,
+)
+from .report import (
+    ablation_markdown,
+    experiments_markdown,
+    shape_check_markdown,
+    table_markdown,
+)
+from .runner import PAPER, QUICK, ExperimentBudget, RowResult, run_row
+from .tables import (
+    DEFAULT_QUICK_TABLE1,
+    DEFAULT_QUICK_TABLE2,
+    TABLE1_COLUMNS,
+    TABLE2_COLUMNS,
+    TableResult,
+    build_table1,
+    build_table2,
+    format_table,
+)
+
+__all__ = [
+    "AblationPoint",
+    "decoder_cost_study",
+    "kl_sweep",
+    "operator_sweep",
+    "seeding_ablation",
+    "subsumption_ablation",
+    "ablation_markdown",
+    "experiments_markdown",
+    "shape_check_markdown",
+    "table_markdown",
+    "PAPER",
+    "QUICK",
+    "ExperimentBudget",
+    "RowResult",
+    "run_row",
+    "DEFAULT_QUICK_TABLE1",
+    "DEFAULT_QUICK_TABLE2",
+    "TABLE1_COLUMNS",
+    "TABLE2_COLUMNS",
+    "TableResult",
+    "build_table1",
+    "build_table2",
+    "format_table",
+]

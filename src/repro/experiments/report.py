@@ -1,0 +1,161 @@
+"""EXPERIMENTS.md section writers.
+
+Turns :class:`TableResult` and ablation outputs into the markdown
+sections recorded in EXPERIMENTS.md, so the committed document can be
+regenerated from code (``python -m repro report``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .ablations import AblationPoint
+from .tables import TableResult
+
+__all__ = [
+    "table_markdown",
+    "ablation_markdown",
+    "shape_check_markdown",
+    "experiments_markdown",
+]
+
+
+def table_markdown(result: TableResult, title: str) -> str:
+    """One reproduced table as a markdown section."""
+    lines = [f"### {title}", ""]
+    header = (
+        "| Circuit | Size | "
+        + " | ".join(f"{c} meas. | {c} paper" for c in result.columns)
+        + " |"
+    )
+    divider = "| --- | --- | " + " | ".join(
+        "---: | ---:" for _ in result.columns
+    ) + " |"
+    lines.extend([header, divider])
+    for row in result.rows:
+        cells = " | ".join(
+            f"{row.measured[c]:.1f} | {row.published[c]:.1f}"
+            for c in result.columns
+        )
+        lines.append(f"| {row.circuit} | {row.test_set_bits} | {cells} |")
+    average_cells = " | ".join(
+        f"{result.measured_average(c):.1f} | "
+        f"{result.published_subset_average(c):.1f}"
+        for c in result.columns
+    )
+    lines.append(f"| **Average** | | {average_cells} |")
+    lines.append("")
+    anchor = max(row.anchor_error for row in result.rows)
+    lines.append(
+        f"Calibration anchor error (9C column): at most {anchor:.2f} "
+        "percentage points across rows."
+    )
+    return "\n".join(lines)
+
+
+def ablation_markdown(points: Sequence[AblationPoint], title: str) -> str:
+    """An ablation result as a markdown section."""
+    lines = [
+        f"### {title}",
+        "",
+        "| Configuration | Mean rate | Best rate |",
+        "| --- | ---: | ---: |",
+    ]
+    for point in points:
+        lines.append(
+            f"| {point.label} | {point.mean_rate:.1f} | {point.best_rate:.1f} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def shape_check_markdown(result: TableResult) -> str:
+    """The qualitative claims of the paper, checked on measured data."""
+    columns = result.columns
+    ea_column = columns[2]
+    best_column = columns[3]
+    lines = ["### Shape checks", ""]
+    checks = [
+        (
+            f"average({columns[1]}) > average({columns[0]}) "
+            "(Huffman re-coding helps 9C)",
+            result.measured_average(columns[1])
+            >= result.measured_average(columns[0]),
+        ),
+        (
+            f"average({ea_column}) > average({columns[1]}) "
+            "(EA beats 9C+HC on average)",
+            result.measured_average(ea_column)
+            > result.measured_average(columns[1]),
+        ),
+        (
+            f"average({best_column}) >= average({ea_column})",
+            result.measured_average(best_column)
+            >= result.measured_average(ea_column) - 1e-9,
+        ),
+        (
+            f"{ea_column} wins against 9C on most rows",
+            result.wins(ea_column, columns[0]) > len(result.rows) / 2,
+        ),
+    ]
+    for description, passed in checks:
+        lines.append(f"- {'PASS' if passed else 'FAIL'}: {description}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def experiments_markdown(
+    table1: TableResult,
+    table2: TableResult,
+    ablations: dict[str, Sequence[AblationPoint]],
+    budget_label: str,
+) -> str:
+    """The full EXPERIMENTS.md document from measured results."""
+    parts = [
+        "# EXPERIMENTS — paper vs measured",
+        "",
+        "Regenerate this document with `python -m repro report` "
+        f"(budget: {budget_label}).",
+        "",
+        "Method: for every table row a synthetic test set is generated "
+        "with the paper's exact test-set size and a don't-care density "
+        "calibrated so the reimplemented 9C baseline (K=8, fixed code) "
+        "matches the paper's 9C column; all methods then run on that "
+        "same set.  Absolute EA rates depend on the EA budget; the "
+        "reproduced claim is the *shape* (who wins, by roughly what "
+        "factor, where the exceptions sit).  See DESIGN.md §3 and §7.",
+        "",
+        "## Table 1 — stuck-at test sets",
+        "",
+        table_markdown(table1, "Table 1 (reproduced subset)"),
+        "",
+        shape_check_markdown(table1),
+        "",
+        "## Table 2 — path-delay test sets",
+        "",
+        table_markdown(table2, "Table 2 (reproduced subset)"),
+        "",
+        shape_check_markdown(table2),
+        "",
+        "## Figure 1 — the evolutionary algorithm",
+        "",
+        "Figure 1 is pseudocode; `repro.ea.engine.EvolutionaryEngine` "
+        "implements it 1:1 (random population of S, C children per "
+        "generation via crossover/mutation/inversion, best-S survival, "
+        "stagnation/evaluation-limit termination).  `examples/ea_trace.py` "
+        "prints the loop's live trace; `benchmarks/bench_figure1.py` "
+        "records generations, evaluations and termination cause.",
+        "",
+        "## Section 3.3 example — subsumption",
+        "",
+        "The paper's worked example (v1=111U/5, v2=1110/3, v3=0000/2; "
+        "plain Huffman 20 bits, merged 18 bits) is reproduced exactly by "
+        "`tests/core/test_encoding.py::TestSubsumptionRefinement::"
+        "test_paper_section_3_3_example`.",
+        "",
+        "## Ablations",
+        "",
+    ]
+    for title, points in ablations.items():
+        parts.append(ablation_markdown(points, title))
+    return "\n".join(parts)

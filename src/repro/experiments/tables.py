@@ -1,0 +1,182 @@
+"""Build and format Table 1 and Table 2 of the paper.
+
+Each table run produces measured-vs-published rates per circuit plus
+column averages, rendered in the paper's layout with the published
+value in parentheses next to every measured one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..testdata.registry import (
+    TABLE1_AVERAGES,
+    TABLE1_STUCK_AT,
+    TABLE2_AVERAGES,
+    TABLE2_PATH_DELAY,
+    PaperRow,
+)
+from .runner import QUICK, ExperimentBudget, RowResult, run_row
+
+__all__ = [
+    "TableResult",
+    "TABLE1_COLUMNS",
+    "TABLE2_COLUMNS",
+    "DEFAULT_QUICK_TABLE1",
+    "DEFAULT_QUICK_TABLE2",
+    "build_table1",
+    "build_table2",
+    "format_table",
+]
+
+TABLE1_COLUMNS = ("9C", "9C+HC", "EA", "EA-Best")
+TABLE2_COLUMNS = ("9C", "9C+HC", "EA1", "EA2")
+
+# Circuits spanning three decades of test-set size for the default
+# (quick) runs; full tables are available via --full in the CLI.
+DEFAULT_QUICK_TABLE1 = (
+    "s349", "s298", "s386", "c6288", "s510", "s1494", "s832", "c499",
+    "s953", "s713", "c2670", "s5378", "s35932",
+)
+DEFAULT_QUICK_TABLE2 = (
+    "s27", "s298", "s386", "s444", "s1494", "s820", "s953", "s838",
+)
+
+
+@dataclass(frozen=True)
+class TableResult:
+    """All rows of one reproduced table plus aggregate statistics."""
+
+    kind: str
+    columns: tuple[str, ...]
+    rows: tuple[RowResult, ...]
+    published_averages: dict[str, float]
+
+    def measured_average(self, column: str) -> float:
+        """Mean measured rate over the reproduced rows."""
+        return float(np.mean([row.measured[column] for row in self.rows]))
+
+    def published_subset_average(self, column: str) -> float:
+        """Mean *published* rate over the same subset of rows."""
+        return float(np.mean([row.published[column] for row in self.rows]))
+
+    def ordering_holds(self) -> bool:
+        """The paper's headline: EA methods beat 9C+HC beat 9C on
+        average (checked on the reproduced subset)."""
+        averages = [self.measured_average(column) for column in self.columns]
+        return averages[0] <= averages[1] <= max(averages[2:])
+
+    def wins(self, column_a: str, column_b: str) -> int:
+        """Rows where ``column_a`` strictly beats ``column_b``."""
+        return sum(
+            1
+            for row in self.rows
+            if row.measured[column_a] > row.measured[column_b]
+        )
+
+
+def _build(
+    table: Sequence[PaperRow],
+    kind: str,
+    columns: tuple[str, ...],
+    published_averages: dict[str, float],
+    circuits: Sequence[str] | None,
+    budget: ExperimentBudget,
+    seed: int,
+    progress: Callable[[str], None] | None,
+) -> TableResult:
+    selected = [
+        row for row in table if circuits is None or row.circuit in set(circuits)
+    ]
+    if not selected:
+        raise ValueError("no circuits selected")
+    results = []
+    for row in selected:
+        result = run_row(row, kind, budget=budget, seed=seed)
+        results.append(result)
+        if progress is not None:
+            cells = "  ".join(
+                f"{column}={result.measured[column]:6.1f}({row.published[column]:5.1f})"
+                for column in columns
+            )
+            progress(f"{row.circuit:8s} {cells}  [{result.seconds:5.1f}s]")
+    return TableResult(
+        kind=kind,
+        columns=columns,
+        rows=tuple(results),
+        published_averages=dict(published_averages),
+    )
+
+
+def build_table1(
+    circuits: Sequence[str] | None = DEFAULT_QUICK_TABLE1,
+    budget: ExperimentBudget = QUICK,
+    seed: int = 2005,
+    progress: Callable[[str], None] | None = None,
+) -> TableResult:
+    """Reproduce Table 1 (stuck-at).  ``circuits=None`` runs all 39."""
+    return _build(
+        TABLE1_STUCK_AT,
+        "stuck-at",
+        TABLE1_COLUMNS,
+        TABLE1_AVERAGES,
+        circuits,
+        budget,
+        seed,
+        progress,
+    )
+
+
+def build_table2(
+    circuits: Sequence[str] | None = DEFAULT_QUICK_TABLE2,
+    budget: ExperimentBudget = QUICK,
+    seed: int = 2005,
+    progress: Callable[[str], None] | None = None,
+) -> TableResult:
+    """Reproduce Table 2 (path delay).  ``circuits=None`` runs all 29."""
+    return _build(
+        TABLE2_PATH_DELAY,
+        "path-delay",
+        TABLE2_COLUMNS,
+        TABLE2_AVERAGES,
+        circuits,
+        budget,
+        seed,
+        progress,
+    )
+
+
+def format_table(result: TableResult) -> str:
+    """Render a reproduced table, paper-style, measured (published)."""
+    title = (
+        "Table 1: stuck-at test sets"
+        if result.kind == "stuck-at"
+        else "Table 2: path delay test sets"
+    )
+    header_cells = "".join(f"{column:>18s}" for column in result.columns)
+    lines = [
+        title,
+        f"{'Circuit':8s}{'Size':>10s}{header_cells}",
+        "-" * (18 + 18 * len(result.columns)),
+    ]
+    for row in result.rows:
+        cells = "".join(
+            f"{row.measured[column]:8.1f} ({row.published[column]:5.1f})"
+            for column in result.columns
+        )
+        lines.append(f"{row.circuit:8s}{row.test_set_bits:>10d}{cells}")
+    lines.append("-" * (18 + 18 * len(result.columns)))
+    average_cells = "".join(
+        f"{result.measured_average(column):8.1f} "
+        f"({result.published_subset_average(column):5.1f})"
+        for column in result.columns
+    )
+    lines.append(f"{'Average':8s}{'':>10s}{average_cells}")
+    lines.append(
+        "(published values in parentheses; averages over the reproduced "
+        "subset)"
+    )
+    return "\n".join(lines)

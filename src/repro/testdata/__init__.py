@@ -1,0 +1,31 @@
+"""Test-set objects, synthetic generation, calibration, paper registry."""
+
+from .calibration import CalibrationResult, calibrate_spec, nine_c_rate
+from .fill import FILL_STRATEGIES, fill_test_set
+from .registry import (
+    TABLE1_AVERAGES,
+    TABLE1_STUCK_AT,
+    TABLE2_AVERAGES,
+    TABLE2_PATH_DELAY,
+    PaperRow,
+    row_by_name,
+)
+from .synthetic import SyntheticSpec, synthetic_test_set
+from .test_set import TestSet
+
+__all__ = [
+    "CalibrationResult",
+    "FILL_STRATEGIES",
+    "fill_test_set",
+    "calibrate_spec",
+    "nine_c_rate",
+    "TABLE1_AVERAGES",
+    "TABLE1_STUCK_AT",
+    "TABLE2_AVERAGES",
+    "TABLE2_PATH_DELAY",
+    "PaperRow",
+    "row_by_name",
+    "SyntheticSpec",
+    "synthetic_test_set",
+    "TestSet",
+]

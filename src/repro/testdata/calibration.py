@@ -1,0 +1,107 @@
+"""Anchor synthetic test sets to the paper's 9C column.
+
+Absolute compression rates depend on the test set, which the paper's
+authors did not publish.  The reproducible quantity is the *relative*
+behaviour of the four methods on the *same* data, so for each table
+row we pick the one free parameter of the synthetic generator — the
+care density — such that our reimplemented 9C baseline (K = 8, fixed
+code) achieves the paper's published 9C rate on the generated set.
+All four methods then run on that same set.
+
+9C's rate is monotonically decreasing in care density (more specified
+bits → fewer matches to the cheap all-0/all-1/half-half vectors), so
+a bisection converges quickly; the generator's exact-count care
+placement makes the relation smooth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.nine_c import DEFAULT_NINE_C_BLOCK_LENGTH, compress_nine_c
+from .synthetic import SyntheticSpec, synthetic_test_set
+from .test_set import TestSet
+
+__all__ = ["CalibrationResult", "nine_c_rate", "calibrate_spec"]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """A calibrated test set and how close the anchor landed."""
+
+    spec: SyntheticSpec
+    test_set: TestSet
+    achieved_nine_c_rate: float
+    target_nine_c_rate: float
+
+    @property
+    def anchor_error(self) -> float:
+        """|achieved − target| in percentage points."""
+        return abs(self.achieved_nine_c_rate - self.target_nine_c_rate)
+
+
+def nine_c_rate(
+    test_set: TestSet, block_length: int = DEFAULT_NINE_C_BLOCK_LENGTH
+) -> float:
+    """9C (fixed-code) compression rate of a test set, in percent."""
+    return compress_nine_c(test_set.blocks(block_length)).rate
+
+
+def calibrate_spec(
+    spec: SyntheticSpec,
+    target_rate: float,
+    block_length: int = DEFAULT_NINE_C_BLOCK_LENGTH,
+    tolerance: float = 0.5,
+    max_iterations: int = 24,
+    low: float = 0.005,
+    high: float = 0.95,
+) -> CalibrationResult:
+    """Bisect the care density until 9C hits ``target_rate``.
+
+    Returns the best candidate found even if ``tolerance`` (in rate
+    percentage points) is not met within ``max_iterations`` — extreme
+    published rates may sit outside the generator's reachable range,
+    in which case the closest endpoint is used and the residual shows
+    up in ``anchor_error`` (and is reported in EXPERIMENTS.md).
+
+    >>> spec = SyntheticSpec("demo", 50, 24, care_density=0.5, seed=3)
+    >>> result = calibrate_spec(spec, target_rate=40.0)
+    >>> result.anchor_error < 2.0
+    True
+    """
+    best: CalibrationResult | None = None
+
+    def evaluate(care_density: float) -> CalibrationResult:
+        nonlocal best
+        candidate_spec = spec.with_care_density(care_density)
+        test_set = synthetic_test_set(candidate_spec)
+        rate = nine_c_rate(test_set, block_length)
+        candidate = CalibrationResult(
+            spec=candidate_spec,
+            test_set=test_set,
+            achieved_nine_c_rate=rate,
+            target_nine_c_rate=target_rate,
+        )
+        if best is None or candidate.anchor_error < best.anchor_error:
+            best = candidate
+        return candidate
+
+    low_result = evaluate(high)  # highest care density -> lowest rate
+    high_result = evaluate(low)  # lowest care density -> highest rate
+    if target_rate <= low_result.achieved_nine_c_rate:
+        return low_result
+    if target_rate >= high_result.achieved_nine_c_rate:
+        return high_result
+
+    low_density, high_density = low, high
+    for _ in range(max_iterations):
+        middle = 0.5 * (low_density + high_density)
+        candidate = evaluate(middle)
+        if candidate.anchor_error <= tolerance:
+            return candidate
+        if candidate.achieved_nine_c_rate > target_rate:
+            # Too much compression -> need more specified bits.
+            low_density = middle
+        else:
+            high_density = middle
+    return best

@@ -1,0 +1,125 @@
+"""Calibrated synthetic test sets with ATPG-like structure.
+
+The paper's exact test sets are unpublished; what compression sees is
+their *statistics*.  Uncompacted ATPG cubes have three structural
+properties this generator reproduces:
+
+1. **Clustered care bits** — each cube specifies the inputs in the
+   cone of one targeted fault, so specified bits bunch in windows;
+2. **Hot columns** — a few inputs (resets, enables, wide-cone nets)
+   are specified in almost every pattern, usually at the same value;
+3. **Column-correlated values** — justifying the same internal nets
+   drives the same input values, so two cubes that specify the same
+   column mostly agree there.
+
+Care-bit placement uses weighted sampling without replacement (Gumbel
+top-k), so the requested care density is met *exactly*; values come
+from a per-column base value XORed with sparse noise.  Everything is
+deterministic under the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core.trits import DC
+from .test_set import TestSet
+
+__all__ = ["SyntheticSpec", "synthetic_test_set"]
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of one synthetic test set.
+
+    ``care_density`` is the exact fraction of specified bits.  The
+    structural knobs default to values representative of uncompacted
+    stuck-at cubes; calibration only ever adjusts ``care_density``.
+    """
+
+    name: str
+    n_patterns: int
+    pattern_bits: int
+    care_density: float
+    seed: int = 0
+    one_bias: float = 0.40  # fraction of specified bits that are 1
+    cone_width_fraction: float = 0.30  # fault-cone window / pattern width
+    cones_per_pattern: int = 2
+    hot_column_fraction: float = 0.06
+    hot_column_weight: float = 4.0
+    cone_weight: float = 3.0
+    base_weight: float = 0.25
+    value_noise: float = 0.12  # per-bit disagreement with the column base
+
+    def __post_init__(self) -> None:
+        if self.n_patterns < 1 or self.pattern_bits < 1:
+            raise ValueError("test set must have positive dimensions")
+        if not 0.0 <= self.care_density <= 1.0:
+            raise ValueError("care_density must be in [0, 1]")
+        if not 0.0 <= self.one_bias <= 1.0:
+            raise ValueError("one_bias must be in [0, 1]")
+
+    def with_care_density(self, care_density: float) -> "SyntheticSpec":
+        """Copy with a different care density (used by calibration)."""
+        return replace(self, care_density=care_density)
+
+    @property
+    def total_bits(self) -> int:
+        """T·n — matches the paper's test-set-size column."""
+        return self.n_patterns * self.pattern_bits
+
+
+def _care_weights(spec: SyntheticSpec, rng: np.random.Generator) -> np.ndarray:
+    """Per-bit sampling weight: baseline + fault cones + hot columns."""
+    t, n = spec.n_patterns, spec.pattern_bits
+    weights = np.full((t, n), spec.base_weight, dtype=np.float32)
+
+    window = max(1, int(round(spec.cone_width_fraction * n)))
+    columns = np.arange(n)
+    centers = rng.integers(0, n, size=(t, spec.cones_per_pattern))
+    for cone_index in range(spec.cones_per_pattern):
+        center = centers[:, cone_index : cone_index + 1]
+        distance = np.abs(columns[None, :] - center)
+        distance = np.minimum(distance, n - distance)  # wrap-around cone
+        weights += np.where(distance <= window // 2, spec.cone_weight, 0.0)
+
+    n_hot = int(round(spec.hot_column_fraction * n))
+    if n_hot:
+        hot = rng.choice(n, size=n_hot, replace=False)
+        weights[:, hot] += spec.hot_column_weight
+    return weights
+
+
+def synthetic_test_set(spec: SyntheticSpec) -> TestSet:
+    """Generate the test set described by ``spec``.
+
+    >>> ts = synthetic_test_set(
+    ...     SyntheticSpec("demo", n_patterns=20, pattern_bits=30,
+    ...                   care_density=0.4, seed=1))
+    >>> ts.total_bits, round(ts.care_density(), 2)
+    (600, 0.4)
+    """
+    rng = np.random.default_rng(spec.seed)
+    t, n = spec.n_patterns, spec.pattern_bits
+
+    # Exact-count weighted care-bit placement (Gumbel top-k).
+    weights = _care_weights(spec, rng)
+    n_care = int(round(spec.care_density * t * n))
+    flat_keys = np.log(weights.reshape(-1)) + rng.gumbel(size=t * n).astype(
+        np.float32
+    )
+    care_flat = np.zeros(t * n, dtype=bool)
+    if n_care > 0:
+        top = np.argpartition(flat_keys, -n_care)[-n_care:]
+        care_flat[top] = True
+    care = care_flat.reshape(t, n)
+
+    # Column-correlated values with sparse noise.
+    column_base = (rng.random(n) < spec.one_bias).astype(np.int8)
+    noise = (rng.random((t, n)) < spec.value_noise).astype(np.int8)
+    values = column_base[None, :] ^ noise
+
+    patterns = np.where(care, values, np.int8(DC)).astype(np.int8)
+    return TestSet(name=spec.name, patterns=patterns)

@@ -1,0 +1,122 @@
+"""Test sets: T patterns of n trits each, the object the paper encodes.
+
+The paper aggregates a test set into one string ``tp(1)_1 ...
+tp(T)_n`` over ``{0, 1, X}`` and compresses that string.
+:class:`TestSet` stores the patterns as a compact numpy ``int8``
+matrix, provides the flattened string view, and reports the don't-care
+statistics that drive compression behaviour.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.blocks import BlockSet
+from ..core.trits import DC, format_trits, parse_trits
+
+__all__ = ["TestSet"]
+
+
+@dataclass(frozen=True)
+class TestSet:
+    """An ordered set of test patterns over ``{0, 1, X}``.
+
+    ``patterns`` has shape ``(T, n)`` with trit values (2 = X).
+    """
+
+    name: str
+    patterns: np.ndarray
+
+    __test__ = False  # tell pytest this is not a test class
+
+    def __post_init__(self) -> None:
+        array = np.asarray(self.patterns, dtype=np.int8)
+        if array.ndim != 2:
+            raise ValueError("patterns must be a (T, n) matrix")
+        if array.size and (array.min() < 0 or array.max() > 2):
+            raise ValueError("pattern values must be trits in {0, 1, 2}")
+        object.__setattr__(self, "patterns", array)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_strings(cls, name: str, rows: Iterable[str]) -> "TestSet":
+        """Build from per-pattern strings like ``["01XX1", "X10X0"]``."""
+        parsed = [parse_trits(row) for row in rows]
+        if not parsed:
+            raise ValueError("a test set needs at least one pattern")
+        width = len(parsed[0])
+        if any(len(row) != width for row in parsed):
+            raise ValueError("all patterns must have the same width")
+        return cls(name=name, patterns=np.asarray(parsed, dtype=np.int8))
+
+    @classmethod
+    def from_cubes(
+        cls,
+        name: str,
+        cubes: Sequence[Mapping[str, int]],
+        input_order: Sequence[str],
+    ) -> "TestSet":
+        """Build from ATPG cubes (PI → value dicts; missing PIs are X)."""
+        if not cubes:
+            raise ValueError("a test set needs at least one pattern")
+        matrix = np.full((len(cubes), len(input_order)), DC, dtype=np.int8)
+        column = {net: index for index, net in enumerate(input_order)}
+        for row, cube in enumerate(cubes):
+            for net, value in cube.items():
+                matrix[row, column[net]] = value
+        return cls(name=name, patterns=matrix)
+
+    # -- shape and statistics ----------------------------------------------
+
+    @property
+    def n_patterns(self) -> int:
+        """T — the number of test patterns."""
+        return int(self.patterns.shape[0])
+
+    @property
+    def n_inputs(self) -> int:
+        """n — bits per pattern."""
+        return int(self.patterns.shape[1])
+
+    @property
+    def total_bits(self) -> int:
+        """T·n — the paper's "test set size" column."""
+        return self.n_patterns * self.n_inputs
+
+    def care_density(self) -> float:
+        """Fraction of specified (non-X) bits."""
+        if self.patterns.size == 0:
+            return 0.0
+        return float((self.patterns != DC).mean())
+
+    def x_density(self) -> float:
+        """Fraction of don't-care bits."""
+        return 1.0 - self.care_density() if self.patterns.size else 0.0
+
+    # -- views --------------------------------------------------------------
+
+    def flatten(self) -> np.ndarray:
+        """The test-set string as a flat trit array (row-major)."""
+        return self.patterns.reshape(-1)
+
+    def to_string(self) -> str:
+        """The test-set string with ``X`` for don't-cares."""
+        return format_trits(self.flatten(), unspecified="X")
+
+    def pattern_string(self, index: int) -> str:
+        """One pattern rendered as a string."""
+        return format_trits(self.patterns[index], unspecified="X")
+
+    def blocks(self, block_length: int) -> BlockSet:
+        """Partition the test-set string into K-blocks for compression."""
+        return BlockSet.from_trit_array(self.flatten(), block_length)
+
+    def __repr__(self) -> str:
+        return (
+            f"TestSet({self.name!r}, T={self.n_patterns}, n={self.n_inputs}, "
+            f"x_density={self.x_density():.2f})"
+        )

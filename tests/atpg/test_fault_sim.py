@@ -1,0 +1,78 @@
+"""Unit tests for three-valued fault simulation."""
+
+from repro.atpg.fault_sim import detects, fault_coverage, fault_simulate
+from repro.atpg.faults import StuckAtFault, collapse_faults
+from repro.circuits.bench_parser import parse_bench
+from repro.circuits.library import load_circuit
+
+
+def and_gate():
+    return parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)")
+
+
+class TestDetects:
+    def test_detection(self):
+        assert detects(and_gate(), {"a": 1, "b": 1}, StuckAtFault("y", 0))
+
+    def test_no_activation_no_detection(self):
+        # y is already 0; y s-a-0 cannot be observed.
+        assert not detects(and_gate(), {"a": 0, "b": 1}, StuckAtFault("y", 0))
+
+    def test_x_at_site_is_conservative(self):
+        # a=1, b=X leaves y at X: detection must not be claimed.
+        assert not detects(and_gate(), {"a": 1}, StuckAtFault("y", 0))
+
+    def test_input_fault_detection(self):
+        assert detects(and_gate(), {"a": 1, "b": 1}, StuckAtFault("a", 0))
+
+    def test_masked_fault_not_detected(self):
+        # With b=0 the output stays 0 regardless of the a fault.
+        assert not detects(and_gate(), {"a": 1, "b": 0}, StuckAtFault("a", 0))
+
+    def test_good_values_reuse(self):
+        from repro.circuits.simulator import simulate3
+
+        netlist = and_gate()
+        cube = {"a": 1, "b": 1}
+        good = simulate3(netlist, cube)
+        assert detects(netlist, cube, StuckAtFault("y", 0), good_values=good)
+
+
+class TestFaultSimulate:
+    def test_returns_detected_subset(self):
+        netlist = and_gate()
+        faults = [
+            StuckAtFault("y", 0),
+            StuckAtFault("y", 1),
+            StuckAtFault("a", 0),
+        ]
+        detected = fault_simulate(netlist, {"a": 1, "b": 1}, faults)
+        assert StuckAtFault("y", 0) in detected
+        assert StuckAtFault("a", 0) in detected
+        assert StuckAtFault("y", 1) not in detected
+
+    def test_x_cube_detects_nothing_without_activation(self):
+        netlist = and_gate()
+        detected = fault_simulate(netlist, {}, [StuckAtFault("y", 0)])
+        assert detected == []
+
+
+class TestFaultCoverage:
+    def test_full_coverage_on_c17(self):
+        """The exhaustive 32-pattern set detects every collapsed fault."""
+        c17 = load_circuit("c17")
+        cubes = [
+            {net: (index >> bit) & 1 for bit, net in enumerate(c17.inputs)}
+            for index in range(32)
+        ]
+        assert fault_coverage(c17, cubes, collapse_faults(c17)) == 1.0
+
+    def test_empty_fault_list(self):
+        assert fault_coverage(and_gate(), [], []) == 1.0
+
+    def test_partial_coverage(self):
+        netlist = and_gate()
+        faults = [StuckAtFault("y", 0), StuckAtFault("y", 1)]
+        # Only the s-a-1 fault is detectable with a=0,b=0 (y=0, faulty 1).
+        coverage = fault_coverage(netlist, [{"a": 0, "b": 0}], faults)
+        assert coverage == 0.5

@@ -1,0 +1,72 @@
+"""Unit tests for the fault model and equivalence collapsing."""
+
+import pytest
+
+from repro.atpg.faults import StuckAtFault, collapse_faults, full_fault_list
+from repro.circuits.bench_parser import parse_bench
+from repro.circuits.library import load_circuit
+
+
+class TestStuckAtFault:
+    def test_valid_values(self):
+        assert StuckAtFault("n", 0).value == 0
+        assert StuckAtFault("n", 1).value == 1
+
+    def test_invalid_value(self):
+        with pytest.raises(ValueError):
+            StuckAtFault("n", 2)
+
+    def test_str(self):
+        assert str(StuckAtFault("G22", 0)) == "G22 s-a-0"
+
+    def test_ordering_deterministic(self):
+        faults = [StuckAtFault("b", 1), StuckAtFault("a", 0)]
+        assert sorted(faults)[0].net == "a"
+
+
+class TestFullFaultList:
+    def test_two_per_net(self):
+        c17 = load_circuit("c17")
+        faults = full_fault_list(c17)
+        assert len(faults) == 2 * len(c17.all_nets())
+
+    def test_deterministic_order(self):
+        c17 = load_circuit("c17")
+        assert full_fault_list(c17) == full_fault_list(c17)
+
+
+class TestCollapsing:
+    def test_c17_collapse_count(self):
+        """c17: 22 total; 6 fanout-free NAND inputs merge with their
+        gate outputs -> 16 classes."""
+        assert len(collapse_faults(load_circuit("c17"))) == 16
+
+    def test_collapsed_is_subset_of_full(self):
+        c17 = load_circuit("c17")
+        assert set(collapse_faults(c17)) <= set(full_fault_list(c17))
+
+    def test_inverter_chain_collapses_to_two(self):
+        netlist = parse_bench(
+            "INPUT(a)\nOUTPUT(y)\nn1 = NOT(a)\nn2 = NOT(n1)\ny = NOT(n2)"
+        )
+        # All 8 faults collapse into 2 classes through the chain.
+        assert len(collapse_faults(netlist)) == 2
+
+    def test_and_gate_collapse(self):
+        netlist = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)")
+        collapsed = collapse_faults(netlist)
+        # a0 ≡ b0 ≡ y0 merge; a1, b1, y1 remain: 4 classes.
+        assert len(collapsed) == 4
+
+    def test_fanout_stem_not_collapsed(self):
+        netlist = parse_bench(
+            "INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = NOT(a)\nz = NOT(a)"
+        )
+        collapsed = collapse_faults(netlist)
+        # 'a' feeds two gates: its faults stay separate from y's and z's.
+        nets = {fault.net for fault in collapsed}
+        assert "a" in nets
+
+    def test_xor_inputs_never_collapse(self):
+        netlist = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)")
+        assert len(collapse_faults(netlist)) == 6

@@ -1,0 +1,143 @@
+"""Unit and integration tests for robust path-delay test generation."""
+
+import pytest
+
+from repro.atpg.path_delay import (
+    Transition,
+    generate_path_delay_tests,
+    generate_robust_test,
+    is_robust_test,
+    robust_requirements,
+)
+from repro.circuits.bench_parser import parse_bench
+from repro.circuits.generator import random_netlist
+from repro.circuits.library import load_circuit
+from repro.circuits.paths import Path, enumerate_paths
+
+
+class TestTransition:
+    def test_values(self):
+        assert Transition.RISING.values == (0, 1)
+        assert Transition.FALLING.values == (1, 0)
+
+
+class TestRobustRequirements:
+    def test_and_gate_ending_controlling(self):
+        """Falling transition through AND ends at c=0: side steady nc."""
+        netlist = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)")
+        frame1, frame2 = robust_requirements(
+            netlist, Path(("a", "y")), Transition.FALLING
+        )
+        assert frame1["b"] == 1 and frame2["b"] == 1  # steady non-controlling
+        assert frame1["a"] == 1 and frame2["a"] == 0
+        assert frame1["y"] == 1 and frame2["y"] == 0
+
+    def test_and_gate_ending_non_controlling(self):
+        """Rising transition through AND ends at nc=1: side free in v1."""
+        netlist = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)")
+        frame1, frame2 = robust_requirements(
+            netlist, Path(("a", "y")), Transition.RISING
+        )
+        assert "b" not in frame1  # unconstrained in frame 1
+        assert frame2["b"] == 1
+
+    def test_inversion_flips_transition(self):
+        netlist = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)")
+        frame1, frame2 = robust_requirements(
+            netlist, Path(("a", "y")), Transition.RISING
+        )
+        assert (frame1["y"], frame2["y"]) == (1, 0)
+
+    def test_nor_gate_side_constraints(self):
+        """NOR: c=1, nc=0; rising on-path ends at c -> sides steady 0."""
+        netlist = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOR(a, b)")
+        frame1, frame2 = robust_requirements(
+            netlist, Path(("a", "y")), Transition.RISING
+        )
+        assert frame1["b"] == 0 and frame2["b"] == 0
+        assert (frame1["y"], frame2["y"]) == (1, 0)
+
+    def test_xor_sides_steady(self):
+        netlist = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)")
+        frame1, frame2 = robust_requirements(
+            netlist, Path(("a", "y")), Transition.RISING, xor_side_value=1
+        )
+        assert frame1["b"] == 1 and frame2["b"] == 1
+        assert (frame1["y"], frame2["y"]) == (1, 0)  # inverted by side=1
+
+    def test_malformed_path_returns_none(self):
+        netlist = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)")
+        assert robust_requirements(
+            netlist, Path(("a", "b")), Transition.RISING
+        ) is None
+
+
+class TestGenerateRobustTest:
+    def test_single_gate_test(self):
+        netlist = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)")
+        test = generate_robust_test(netlist, Path(("a", "y")), Transition.RISING)
+        assert test is not None
+        assert is_robust_test(netlist, test)
+        assert test.vector_one["a"] == 0 and test.vector_two["a"] == 1
+
+    def test_c17_all_paths_testable(self):
+        """c17 is fully robustly path-delay testable."""
+        c17 = load_circuit("c17")
+        for path in enumerate_paths(c17):
+            for transition in Transition:
+                test = generate_robust_test(c17, path, transition)
+                assert test is not None, f"{path} {transition} failed"
+                assert is_robust_test(c17, test)
+
+    def test_untestable_path(self):
+        """Side input tied to the controlling value blocks the path."""
+        netlist = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+            "nb = NOT(b)\nzero = AND(b, nb)\ny = OR(a, zero)"
+        )
+        # Path a->y through OR needs side 'zero' = 0 (fine), but path
+        # zero->y needs a transition on a constant net: the launch
+        # values 0->1 on 'zero' are unjustifiable.
+        test = generate_robust_test(
+            netlist, Path(("zero", "y")), Transition.RISING
+        )
+        assert test is None
+
+
+class TestGeneratePathDelayTests:
+    def test_c17_full_robust_coverage(self):
+        c17 = load_circuit("c17")
+        result = generate_path_delay_tests(c17)
+        assert result.robust_coverage == 1.0
+        assert len(result.tests) == 22  # 11 paths x 2 transitions
+
+    def test_test_set_is_vector_pairs(self):
+        c17 = load_circuit("c17")
+        result = generate_path_delay_tests(c17)
+        assert result.test_set.n_inputs == 2 * len(c17.inputs)
+
+    def test_tests_are_x_rich(self):
+        c17 = load_circuit("c17")
+        result = generate_path_delay_tests(c17)
+        assert result.test_set.x_density() > 0.2
+
+    def test_every_test_validates(self):
+        c17 = load_circuit("c17")
+        result = generate_path_delay_tests(c17)
+        assert all(is_robust_test(c17, t) for t in result.tests)
+
+    def test_s27_generates_tests(self):
+        s27 = load_circuit("s27")
+        result = generate_path_delay_tests(s27)
+        assert len(result.tests) > 0
+        assert all(is_robust_test(s27, t) for t in result.tests)
+
+    def test_max_paths_limit(self):
+        c17 = load_circuit("c17")
+        result = generate_path_delay_tests(c17, max_paths=3)
+        assert len(result.tests) + len(result.untestable) == 6
+
+    def test_generated_circuit(self):
+        netlist = random_netlist(8, 30, seed=13)
+        result = generate_path_delay_tests(netlist, max_paths=40)
+        assert all(is_robust_test(netlist, t) for t in result.tests)

@@ -1,0 +1,135 @@
+"""Unit and integration tests for PODEM and the justification engine."""
+
+import pytest
+
+from repro.atpg.fault_sim import detects
+from repro.atpg.faults import StuckAtFault, collapse_faults
+from repro.atpg.podem import justify, podem
+from repro.circuits.bench_parser import parse_bench
+from repro.circuits.generator import random_netlist
+from repro.circuits.library import load_circuit
+from repro.circuits.simulator import simulate3
+from repro.core.trits import DC
+
+
+class TestPodemBasics:
+    def test_detects_simple_fault(self):
+        netlist = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)")
+        result = podem(netlist, StuckAtFault("y", 0))
+        assert result.detected
+        assert result.cube == {"a": 1, "b": 1}
+
+    def test_cube_actually_detects(self):
+        c17 = load_circuit("c17")
+        for fault in collapse_faults(c17):
+            result = podem(c17, fault)
+            assert result.detected, f"{fault} should be testable"
+            assert detects(c17, result.cube, fault), f"{fault} cube invalid"
+
+    def test_cubes_contain_dont_cares(self):
+        """PODEM assigns only what the search needs; on c17 some cube
+        must leave inputs unassigned."""
+        c17 = load_circuit("c17")
+        sparse = [
+            podem(c17, fault).cube for fault in collapse_faults(c17)
+        ]
+        assert any(len(cube) < len(c17.inputs) for cube in sparse)
+
+    def test_unknown_fault_site_rejected(self):
+        c17 = load_circuit("c17")
+        with pytest.raises(ValueError):
+            podem(c17, StuckAtFault("nope", 0))
+
+
+class TestPodemRedundantFaults:
+    def test_untestable_fault_identified(self):
+        """y = AND(a, NOT(a)) is constant 0: y s-a-0 is undetectable."""
+        netlist = parse_bench(
+            "INPUT(a)\nOUTPUT(y)\nn = NOT(a)\ny = AND(a, n)"
+        )
+        result = podem(netlist, StuckAtFault("y", 0))
+        assert result.status == "untestable"
+
+    def test_testable_s_a_1_on_constant_zero(self):
+        netlist = parse_bench(
+            "INPUT(a)\nOUTPUT(y)\nn = NOT(a)\ny = AND(a, n)"
+        )
+        result = podem(netlist, StuckAtFault("y", 1))
+        assert result.detected
+
+    def test_blocked_propagation_is_untestable(self):
+        """Fault effect ANDed with constant 0 can never reach the PO."""
+        netlist = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+            "nb = NOT(b)\nzero = AND(b, nb)\nfx = NOT(a)\ny = AND(fx, zero)"
+        )
+        result = podem(netlist, StuckAtFault("fx", 0))
+        assert result.status == "untestable"
+
+
+class TestPodemOnGeneratedCircuits:
+    @pytest.mark.parametrize("seed", [11, 22, 33])
+    def test_every_generated_cube_verifies(self, seed):
+        netlist = random_netlist(8, 40, seed=seed)
+        for fault in collapse_faults(netlist)[:40]:
+            result = podem(netlist, fault, max_backtracks=200)
+            if result.detected:
+                assert detects(netlist, result.cube, fault)
+
+    def test_coverage_reasonable_on_generated(self):
+        netlist = random_netlist(10, 60, seed=4)
+        faults = collapse_faults(netlist)
+        outcomes = [podem(netlist, f, max_backtracks=500) for f in faults]
+        detected = sum(1 for r in outcomes if r.detected)
+        # Random circuits have redundancy, but most faults are testable.
+        assert detected / len(faults) > 0.5
+
+
+class TestJustify:
+    def test_simple_requirement(self):
+        c17 = load_circuit("c17")
+        cube = justify(c17, {"G10": 0})
+        assert cube is not None
+        assert simulate3(c17, cube)["G10"] == 0
+
+    def test_multiple_requirements(self):
+        c17 = load_circuit("c17")
+        requirements = {"G10": 1, "G11": 1, "G16": 0}
+        cube = justify(c17, requirements)
+        assert cube is not None
+        values = simulate3(c17, cube)
+        assert all(values[net] == value for net, value in requirements.items())
+
+    def test_pi_requirement(self):
+        c17 = load_circuit("c17")
+        cube = justify(c17, {"G1": 1})
+        assert cube == {"G1": 1}
+
+    def test_unsatisfiable_requirements(self):
+        netlist = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)")
+        assert justify(netlist, {"a": 1, "y": 1}) is None
+
+    def test_constant_net_requirement(self):
+        netlist = parse_bench(
+            "INPUT(a)\nOUTPUT(y)\nn = NOT(a)\ny = AND(a, n)"
+        )
+        assert justify(netlist, {"y": 1}) is None
+        assert justify(netlist, {"y": 0}) is not None
+
+    def test_invalid_requirement_value(self):
+        c17 = load_circuit("c17")
+        with pytest.raises(ValueError):
+            justify(c17, {"G10": 2})
+
+    def test_unknown_net_rejected(self):
+        c17 = load_circuit("c17")
+        with pytest.raises(ValueError):
+            justify(c17, {"nope": 1})
+
+    def test_justified_cube_leaves_rest_x(self):
+        c17 = load_circuit("c17")
+        cube = justify(c17, {"G10": 0})
+        values = simulate3(c17, cube)
+        # Only the cone of G10 (G1, G3) need be assigned.
+        assert set(cube) <= {"G1", "G3"}
+        assert values["G10"] == 0

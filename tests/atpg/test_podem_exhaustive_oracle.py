@@ -1,0 +1,84 @@
+"""PODEM vs exhaustive enumeration: a complete-search oracle.
+
+On circuits with few inputs we can enumerate every input vector and
+decide testability exactly.  PODEM must agree on every fault: a cube
+for every testable fault, a (correct) "untestable" verdict for every
+redundant one.  This is the strongest correctness statement the ATPG
+substrate can make.
+"""
+
+import itertools
+
+import pytest
+
+from repro.atpg.fault_sim import detects
+from repro.atpg.faults import StuckAtFault, full_fault_list
+from repro.atpg.podem import podem
+from repro.circuits.bench_parser import parse_bench
+from repro.circuits.generator import random_netlist
+from repro.circuits.library import load_circuit
+from repro.circuits.simulator import simulate3
+
+
+def exhaustively_testable(netlist, fault) -> bool:
+    """Ground truth by trying all 2^n fully-specified vectors."""
+    for bits in itertools.product((0, 1), repeat=len(netlist.inputs)):
+        cube = dict(zip(netlist.inputs, bits))
+        good = simulate3(netlist, cube)
+        if good[fault.net] == fault.value:
+            continue
+        faulty = simulate3(netlist, cube, forced={fault.net: fault.value})
+        if any(
+            good[po] != faulty[po]
+            for po in netlist.outputs
+        ):
+            return True
+    return False
+
+
+def check_agreement(netlist, max_backtracks=5000):
+    for fault in full_fault_list(netlist):
+        truth = exhaustively_testable(netlist, fault)
+        result = podem(netlist, fault, max_backtracks=max_backtracks)
+        if truth:
+            assert result.detected, f"{fault}: testable but PODEM said no"
+            assert detects(netlist, result.cube, fault), (
+                f"{fault}: PODEM cube does not detect"
+            )
+        else:
+            assert result.status == "untestable", (
+                f"{fault}: redundant but PODEM said {result.status}"
+            )
+
+
+class TestExhaustiveOracle:
+    def test_c17(self):
+        check_agreement(load_circuit("c17"))
+
+    def test_redundant_logic(self):
+        netlist = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+            "na = NOT(a)\nconst0 = AND(a, na)\nmid = OR(b, const0)\n"
+            "y = AND(mid, b)"
+        )
+        check_agreement(netlist)
+
+    def test_xor_tree(self):
+        netlist = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n"
+            "x1 = XOR(a, b)\ny = XNOR(x1, c)"
+        )
+        check_agreement(netlist)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_random_small_circuits(self, seed):
+        netlist = random_netlist(6, 18, seed=seed)
+        check_agreement(netlist)
+
+    def test_reconvergent_fanout(self):
+        """Reconvergence is where naive ATPG goes wrong."""
+        netlist = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+            "s = NAND(a, b)\nl = NAND(a, s)\nr = NAND(s, b)\ny = NAND(l, r)"
+        )
+        check_agreement(netlist)

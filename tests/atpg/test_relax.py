@@ -1,0 +1,85 @@
+"""Unit tests for X-maximizing test relaxation."""
+
+import pytest
+
+from repro.atpg.fault_sim import fault_simulate
+from repro.atpg.faults import StuckAtFault, collapse_faults
+from repro.atpg.relax import relax_cube, relax_test_set
+from repro.atpg.stuck_at import generate_stuck_at_tests
+from repro.circuits.bench_parser import parse_bench
+from repro.circuits.library import load_circuit
+from repro.testdata.test_set import TestSet
+
+
+class TestRelaxCube:
+    def test_drops_irrelevant_assignment(self):
+        netlist = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\n"
+            "y = AND(a, b)\nz = BUF(c)"
+        )
+        cube = {"a": 1, "b": 1, "c": 0}
+        relaxed = relax_cube(netlist, cube, [StuckAtFault("y", 0)])
+        assert "c" not in relaxed
+        assert relaxed == {"a": 1, "b": 1}
+
+    def test_keeps_required_assignments(self):
+        netlist = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)")
+        cube = {"a": 1, "b": 1}
+        relaxed = relax_cube(netlist, cube, [StuckAtFault("y", 0)])
+        assert relaxed == cube  # both bits needed for activation
+
+    def test_rejects_non_detecting_cube(self):
+        netlist = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)")
+        with pytest.raises(ValueError):
+            relax_cube(netlist, {"a": 0, "b": 0}, [StuckAtFault("y", 0)])
+
+    def test_result_is_subset(self):
+        c17 = load_circuit("c17")
+        cube = {net: 1 for net in c17.inputs}
+        detected = fault_simulate(c17, cube, collapse_faults(c17))
+        relaxed = relax_cube(c17, cube, detected)
+        assert set(relaxed.items()) <= set(cube.items())
+
+
+class TestRelaxTestSet:
+    def test_coverage_preserved_and_x_density_grows(self):
+        c17 = load_circuit("c17")
+        faults = collapse_faults(c17)
+        # Fully-specified exhaustive-ish test set.
+        rows = []
+        for index in range(8):
+            rows.append(
+                "".join(str((index >> bit) & 1) for bit in range(5))
+            )
+        dense = TestSet.from_strings("dense", rows)
+        relaxed = relax_test_set(c17, dense, faults)
+        assert relaxed.x_density() >= dense.x_density()
+        assert relaxed.n_patterns == dense.n_patterns
+
+        # Coverage of the relaxed set >= coverage of the dense set.
+        def coverage(test_set):
+            remaining = set(faults)
+            for row in range(test_set.n_patterns):
+                cube = {
+                    net: int(test_set.patterns[row, col])
+                    for col, net in enumerate(c17.inputs)
+                    if test_set.patterns[row, col] != 2
+                }
+                remaining -= set(fault_simulate(c17, cube, remaining))
+            return 1 - len(remaining) / len(faults)
+
+        assert coverage(relaxed) >= coverage(dense) - 1e-9
+
+    def test_relaxing_podem_output_keeps_coverage(self):
+        """PODEM cubes are already sparse; relaxation must not break
+        their responsibility sets."""
+        c17 = load_circuit("c17")
+        result = generate_stuck_at_tests(c17)
+        relaxed = relax_test_set(c17, result.test_set, collapse_faults(c17))
+        assert relaxed.x_density() >= result.test_set.x_density() - 1e-9
+
+    def test_name_suffix(self):
+        c17 = load_circuit("c17")
+        result = generate_stuck_at_tests(c17)
+        relaxed = relax_test_set(c17, result.test_set, collapse_faults(c17))
+        assert relaxed.name.endswith("-relaxed")

@@ -1,0 +1,91 @@
+"""Unit tests for the .bench reader/writer."""
+
+import pytest
+
+from repro.circuits.bench_parser import parse_bench, write_bench
+from repro.circuits.library import C17_BENCH, S27_BENCH
+from repro.circuits.netlist import GateType, NetlistError
+
+
+class TestParsing:
+    def test_c17_structure(self):
+        netlist = parse_bench(C17_BENCH, name="c17")
+        assert len(netlist.inputs) == 5
+        assert len(netlist.outputs) == 2
+        assert netlist.n_gates == 6
+        assert all(
+            g.gate_type is GateType.NAND for g in netlist.topological_order()
+        )
+
+    def test_comments_and_blank_lines_ignored(self):
+        netlist = parse_bench(
+            """
+            # a comment
+            INPUT(a)
+
+            OUTPUT(y)
+            y = NOT(a)   # trailing comment
+            """
+        )
+        assert netlist.n_gates == 1
+
+    def test_case_insensitive_keywords(self):
+        netlist = parse_bench("input(a)\noutput(y)\ny = not(a)")
+        assert netlist.inputs == ("a",)
+
+    def test_gate_aliases(self):
+        netlist = parse_bench(
+            "INPUT(a)\nOUTPUT(y)\nn = INV(a)\ny = BUFF(n)"
+        )
+        types = {g.output: g.gate_type for g in netlist.topological_order()}
+        assert types["n"] is GateType.NOT
+        assert types["y"] is GateType.BUF
+
+    def test_unknown_gate_type_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)")
+
+    def test_unparsable_line_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_bench("INPUT(a)\nnot a line")
+
+    def test_multi_input_dff_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = DFF(a, b)")
+
+
+class TestScanConversion:
+    def test_s27_full_scan_shape(self):
+        """3 DFFs: 4 PIs + 3 pseudo-PIs, 1 PO + 3 pseudo-POs."""
+        netlist = parse_bench(S27_BENCH, name="s27")
+        assert len(netlist.inputs) == 7
+        assert set(netlist.inputs) >= {"G5", "G6", "G7"}
+        assert len(netlist.outputs) == 4
+        assert set(netlist.outputs) >= {"G10", "G11", "G13"}
+
+    def test_ff_output_not_driven_by_gate(self):
+        netlist = parse_bench(S27_BENCH)
+        assert "G5" not in netlist.gates
+
+    def test_combinational_core_is_acyclic(self):
+        netlist = parse_bench(S27_BENCH)
+        order = [g.output for g in netlist.topological_order()]
+        assert len(order) == netlist.n_gates
+
+
+class TestWriter:
+    def test_roundtrip_c17(self):
+        original = parse_bench(C17_BENCH, name="c17")
+        reparsed = parse_bench(write_bench(original), name="c17")
+        assert reparsed.inputs == original.inputs
+        assert set(reparsed.outputs) == set(original.outputs)
+        assert reparsed.gates.keys() == original.gates.keys()
+        for net, gate in original.gates.items():
+            assert reparsed.gates[net].gate_type is gate.gate_type
+            assert reparsed.gates[net].inputs == gate.inputs
+
+    def test_roundtrip_s27_core(self):
+        original = parse_bench(S27_BENCH, name="s27")
+        reparsed = parse_bench(write_bench(original), name="s27")
+        assert set(reparsed.inputs) == set(original.inputs)
+        assert reparsed.gates.keys() == original.gates.keys()

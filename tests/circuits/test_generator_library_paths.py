@@ -1,0 +1,112 @@
+"""Unit tests for circuit generation, the library, and path enumeration."""
+
+import pytest
+
+from repro.circuits.generator import random_netlist
+from repro.circuits.library import available_circuits, load_circuit
+from repro.circuits.paths import Path, count_paths, enumerate_paths
+
+
+class TestGenerator:
+    def test_deterministic_under_seed(self):
+        first = random_netlist(10, 50, seed=5)
+        second = random_netlist(10, 50, seed=5)
+        assert first.gates.keys() == second.gates.keys()
+        for net in first.gates:
+            assert first.gates[net].inputs == second.gates[net].inputs
+            assert first.gates[net].gate_type is second.gates[net].gate_type
+
+    def test_different_seeds_differ(self):
+        first = random_netlist(10, 50, seed=1)
+        second = random_netlist(10, 50, seed=2)
+        different = any(
+            first.gates[n].inputs != second.gates[n].inputs for n in first.gates
+        )
+        assert different
+
+    def test_requested_shape(self):
+        netlist = random_netlist(7, 33, seed=0)
+        assert len(netlist.inputs) == 7
+        assert netlist.n_gates == 33
+
+    def test_outputs_exist(self):
+        netlist = random_netlist(5, 20, seed=9)
+        assert netlist.outputs
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            random_netlist(0, 10, seed=0)
+        with pytest.raises(ValueError):
+            random_netlist(5, 0, seed=0)
+        with pytest.raises(ValueError):
+            random_netlist(5, 10, seed=0, max_fanin=1)
+
+    def test_generated_netlist_is_simulable(self):
+        from repro.circuits.simulator import simulate3
+
+        netlist = random_netlist(8, 60, seed=77)
+        values = simulate3(netlist, {net: 1 for net in netlist.inputs})
+        assert all(values[po] in (0, 1) for po in netlist.outputs)
+
+
+class TestLibrary:
+    def test_available_names(self):
+        names = available_circuits()
+        assert "c17" in names and "s27" in names
+
+    def test_c17(self):
+        c17 = load_circuit("c17")
+        assert c17.n_gates == 6
+        assert len(c17.inputs) == 5
+
+    def test_s27_scan_core(self):
+        s27 = load_circuit("s27")
+        assert len(s27.inputs) == 7
+        assert s27.n_gates == 10
+
+    def test_every_library_circuit_loads(self):
+        for name in available_circuits():
+            netlist = load_circuit(name)
+            assert netlist.n_gates > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            load_circuit("c9999")
+
+
+class TestPaths:
+    def test_c17_has_eleven_paths(self):
+        c17 = load_circuit("c17")
+        paths = list(enumerate_paths(c17))
+        assert len(paths) == 11
+        assert count_paths(c17) == 11
+
+    def test_paths_start_at_inputs_end_at_outputs(self):
+        c17 = load_circuit("c17")
+        for path in enumerate_paths(c17):
+            assert path.start in c17.inputs
+            assert path.end in c17.outputs
+
+    def test_paths_follow_connections(self):
+        c17 = load_circuit("c17")
+        for path in enumerate_paths(c17):
+            for net, next_net in zip(path.nets, path.nets[1:]):
+                assert net in c17.gates[next_net].inputs
+
+    def test_limit_respected(self):
+        c17 = load_circuit("c17")
+        assert len(list(enumerate_paths(c17, limit=4))) == 4
+
+    def test_count_matches_enumeration_on_generated(self):
+        netlist = random_netlist(6, 25, seed=3)
+        enumerated = len(list(enumerate_paths(netlist, limit=100_000)))
+        assert enumerated == count_paths(netlist)
+
+    def test_path_properties(self):
+        path = Path(("a", "b", "c"))
+        assert path.length == 2
+        assert str(path) == "a -> b -> c"
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            Path(())

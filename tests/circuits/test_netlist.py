@@ -1,0 +1,139 @@
+"""Unit tests for the netlist data structure."""
+
+import pytest
+
+from repro.circuits.netlist import Gate, GateType, Netlist, NetlistError
+
+
+def tiny_netlist() -> Netlist:
+    return Netlist(
+        name="tiny",
+        inputs=["a", "b"],
+        outputs=["y"],
+        gates=[
+            Gate("n1", GateType.NAND, ("a", "b")),
+            Gate("y", GateType.NOT, ("n1",)),
+        ],
+    )
+
+
+class TestGate:
+    def test_not_requires_single_input(self):
+        with pytest.raises(NetlistError):
+            Gate("y", GateType.NOT, ("a", "b"))
+
+    def test_xor_requires_two_inputs(self):
+        with pytest.raises(NetlistError):
+            Gate("y", GateType.XOR, ("a",))
+
+    def test_no_inputs_rejected(self):
+        with pytest.raises(NetlistError):
+            Gate("y", GateType.AND, ())
+
+    def test_unnamed_output_rejected(self):
+        with pytest.raises(NetlistError):
+            Gate("", GateType.AND, ("a", "b"))
+
+
+class TestGateType:
+    def test_controlling_values(self):
+        assert GateType.AND.controlling_value == 0
+        assert GateType.NAND.controlling_value == 0
+        assert GateType.OR.controlling_value == 1
+        assert GateType.NOR.controlling_value == 1
+        assert GateType.XOR.controlling_value is None
+        assert GateType.NOT.controlling_value is None
+
+    def test_inversion_flags(self):
+        assert GateType.NAND.inverting
+        assert GateType.NOR.inverting
+        assert GateType.NOT.inverting
+        assert GateType.XNOR.inverting
+        assert not GateType.AND.inverting
+        assert not GateType.BUF.inverting
+
+
+class TestNetlistStructure:
+    def test_topological_order_respects_dependencies(self):
+        netlist = tiny_netlist()
+        order = [gate.output for gate in netlist.topological_order()]
+        assert order.index("n1") < order.index("y")
+
+    def test_double_driver_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist(
+                "bad",
+                inputs=["a"],
+                outputs=["y"],
+                gates=[
+                    Gate("y", GateType.BUF, ("a",)),
+                    Gate("y", GateType.NOT, ("a",)),
+                ],
+            )
+
+    def test_driving_an_input_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist(
+                "bad",
+                inputs=["a"],
+                outputs=["a"],
+                gates=[Gate("a", GateType.NOT, ("a",))],
+            )
+
+    def test_undriven_net_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist(
+                "bad",
+                inputs=["a"],
+                outputs=["y"],
+                gates=[Gate("y", GateType.AND, ("a", "ghost"))],
+            )
+
+    def test_undriven_output_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist("bad", inputs=["a"], outputs=["ghost"], gates=[])
+
+    def test_combinational_loop_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist(
+                "loop",
+                inputs=["a"],
+                outputs=["y"],
+                gates=[
+                    Gate("x", GateType.AND, ("a", "y")),
+                    Gate("y", GateType.NOT, ("x",)),
+                ],
+            )
+
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist("bad", inputs=["a", "a"], outputs=[], gates=[])
+
+
+class TestNetlistQueries:
+    def test_fanout(self):
+        netlist = tiny_netlist()
+        assert netlist.fanout("a") == ("n1",)
+        assert netlist.fanout("n1") == ("y",)
+        assert netlist.fanout("y") == ()
+
+    def test_fanout_cone(self):
+        netlist = tiny_netlist()
+        assert netlist.fanout_cone("a") == {"a", "n1", "y"}
+        assert netlist.fanout_cone("y") == {"y"}
+
+    def test_levels_and_depth(self):
+        netlist = tiny_netlist()
+        levels = netlist.levels()
+        assert levels["a"] == 0
+        assert levels["n1"] == 1
+        assert levels["y"] == 2
+        assert netlist.depth() == 2
+
+    def test_all_nets_inputs_first(self):
+        netlist = tiny_netlist()
+        assert netlist.all_nets()[:2] == ("a", "b")
+        assert set(netlist.all_nets()) == {"a", "b", "n1", "y"}
+
+    def test_n_gates(self):
+        assert tiny_netlist().n_gates == 2

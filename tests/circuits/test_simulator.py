@@ -1,0 +1,116 @@
+"""Unit and property tests for 2- and 3-valued simulation."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.bench_parser import parse_bench
+from repro.circuits.library import load_circuit
+from repro.circuits.netlist import GateType
+from repro.circuits.simulator import evaluate_gate3, simulate3, simulate_patterns
+from repro.core.trits import DC, ONE, ZERO
+
+
+class TestGateEvaluation3V:
+    def test_and_truth_table(self):
+        assert evaluate_gate3(GateType.AND, (1, 1)) == 1
+        assert evaluate_gate3(GateType.AND, (1, 0)) == 0
+        assert evaluate_gate3(GateType.AND, (0, DC)) == 0  # controlled
+        assert evaluate_gate3(GateType.AND, (1, DC)) == DC
+
+    def test_or_truth_table(self):
+        assert evaluate_gate3(GateType.OR, (0, 0)) == 0
+        assert evaluate_gate3(GateType.OR, (1, DC)) == 1  # controlled
+        assert evaluate_gate3(GateType.OR, (0, DC)) == DC
+
+    def test_xor_with_x_is_x(self):
+        assert evaluate_gate3(GateType.XOR, (1, DC)) == DC
+        assert evaluate_gate3(GateType.XOR, (1, 0)) == 1
+        assert evaluate_gate3(GateType.XNOR, (1, 1)) == 1
+
+    def test_not_and_buf(self):
+        assert evaluate_gate3(GateType.NOT, (0,)) == 1
+        assert evaluate_gate3(GateType.NOT, (DC,)) == DC
+        assert evaluate_gate3(GateType.BUF, (1,)) == 1
+
+    @pytest.mark.parametrize(
+        "gate_type",
+        [GateType.AND, GateType.NAND, GateType.OR, GateType.NOR, GateType.XOR],
+    )
+    def test_three_valued_is_conservative(self, gate_type):
+        """If the 3-valued result is specified, every completion of the
+        X inputs yields that same binary value."""
+        for values in itertools.product((ZERO, ONE, DC), repeat=2):
+            result = evaluate_gate3(gate_type, values)
+            if result == DC:
+                continue
+            completions = itertools.product(
+                *[(v,) if v != DC else (0, 1) for v in values]
+            )
+            for completion in completions:
+                assert evaluate_gate3(gate_type, completion) == result
+
+
+class TestSimulate3:
+    def test_c17_known_vector(self):
+        c17 = load_circuit("c17")
+        values = simulate3(
+            c17, {"G1": 1, "G2": 1, "G3": 1, "G6": 1, "G7": 1}
+        )
+        # G10=NAND(1,1)=0, G11=NAND(1,1)=0, G16=NAND(1,0)=1,
+        # G19=NAND(0,1)=1, G22=NAND(0,1)=1, G23=NAND(1,1)=0.
+        assert values["G22"] == 1
+        assert values["G23"] == 0
+
+    def test_missing_inputs_default_to_x(self):
+        c17 = load_circuit("c17")
+        values = simulate3(c17, {})
+        assert values["G22"] == DC
+
+    def test_partial_cube_controls_outputs(self):
+        netlist = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)")
+        assert simulate3(netlist, {"a": 0})["y"] == 0
+
+    def test_forced_value_injects_fault(self):
+        netlist = parse_bench("INPUT(a)\nOUTPUT(y)\ny = BUF(a)")
+        values = simulate3(netlist, {"a": 0}, forced={"y": 1})
+        assert values["y"] == 1
+
+
+class TestSimulatePatterns:
+    def test_shape_validation(self):
+        c17 = load_circuit("c17")
+        with pytest.raises(ValueError):
+            simulate_patterns(c17, np.zeros((3, 4), dtype=bool))
+
+    def test_matches_three_valued_on_specified_patterns(self):
+        c17 = load_circuit("c17")
+        rng = np.random.default_rng(3)
+        patterns = rng.random((64, 5)) < 0.5
+        parallel = simulate_patterns(c17, patterns)
+        for row in range(8):  # spot-check a few rows exhaustively
+            cube = {
+                net: int(patterns[row, col])
+                for col, net in enumerate(c17.inputs)
+            }
+            serial = simulate3(c17, cube)
+            for net in c17.all_nets():
+                assert bool(parallel[net][row]) == bool(serial[net])
+
+    @given(st.integers(0, 2**31 - 1))
+    def test_parallel_consistency_on_random_netlist(self, seed):
+        from repro.circuits.generator import random_netlist
+
+        netlist = random_netlist(6, 20, seed=seed % 1000)
+        rng = np.random.default_rng(seed)
+        patterns = rng.random((4, 6)) < 0.5
+        parallel = simulate_patterns(netlist, patterns)
+        cube = {
+            net: int(patterns[0, col]) for col, net in enumerate(netlist.inputs)
+        }
+        serial = simulate3(netlist, cube)
+        for po in netlist.outputs:
+            assert bool(parallel[po][0]) == bool(serial[po])

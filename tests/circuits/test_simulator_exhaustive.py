@@ -1,0 +1,82 @@
+"""Exhaustive oracle for the 3-valued simulator on small circuits.
+
+For every fully-specified input vector, 3-valued simulation must
+equal 2-valued bit-parallel simulation; for every *partial* cube, the
+3-valued result must be the exact consensus of all completions
+(specified where all completions agree, X where they differ) — on
+tree circuits, and conservative (never wrong, possibly X) in general.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.circuits.bench_parser import parse_bench
+from repro.circuits.generator import random_netlist
+from repro.circuits.library import load_circuit
+from repro.circuits.simulator import simulate3, simulate_patterns
+from repro.core.trits import DC
+
+
+@pytest.mark.parametrize("name", ["c17", "s27"])
+def test_fully_specified_matches_bit_parallel(name):
+    netlist = load_circuit(name)
+    n = len(netlist.inputs)
+    vectors = list(itertools.product((0, 1), repeat=n))[: 1 << min(n, 10)]
+    patterns = np.asarray(vectors, dtype=bool)
+    parallel = simulate_patterns(netlist, patterns)
+    for row, bits in enumerate(vectors):
+        serial = simulate3(netlist, dict(zip(netlist.inputs, bits)))
+        for po in netlist.outputs:
+            assert bool(parallel[po][row]) == bool(serial[po])
+
+
+@pytest.mark.parametrize("seed", [10, 20, 30])
+def test_partial_cubes_are_conservative(seed):
+    """If simulate3 says 0/1 under a partial cube, every completion of
+    the X inputs must produce that value."""
+    netlist = random_netlist(5, 15, seed=seed)
+    rng = np.random.default_rng(seed)
+    for _ in range(20):
+        mask = rng.random(5) < 0.5
+        values = rng.integers(0, 2, 5)
+        cube = {
+            net: int(values[i])
+            for i, net in enumerate(netlist.inputs)
+            if mask[i]
+        }
+        partial = simulate3(netlist, cube)
+        free = [net for net in netlist.inputs if net not in cube]
+        for completion in itertools.product((0, 1), repeat=len(free)):
+            full = dict(cube)
+            full.update(zip(free, completion))
+            exact = simulate3(netlist, full)
+            for po in netlist.outputs:
+                if partial[po] != DC:
+                    assert exact[po] == partial[po]
+
+
+def test_tree_circuit_is_exact():
+    """On a fanout-free tree, 3-valued simulation is *exact*: X only
+    where completions genuinely disagree."""
+    netlist = parse_bench(
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\n"
+        "n1 = AND(a, b)\nn2 = OR(c, d)\ny = NAND(n1, n2)"
+    )
+    inputs = netlist.inputs
+    for specified in itertools.product((0, 1, DC), repeat=4):
+        cube = {
+            net: value
+            for net, value in zip(inputs, specified)
+            if value != DC
+        }
+        partial = simulate3(netlist, cube)["y"]
+        free = [net for net in inputs if net not in cube]
+        outcomes = set()
+        for completion in itertools.product((0, 1), repeat=len(free)):
+            full = dict(cube)
+            full.update(zip(free, completion))
+            outcomes.add(simulate3(netlist, full)["y"])
+        expected = outcomes.pop() if len(outcomes) == 1 else DC
+        assert partial == expected

@@ -1,0 +1,124 @@
+"""Unit and property tests for the bit-level I/O layer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding.bitstream import (
+    BitReader,
+    BitWriter,
+    bits_from_string,
+    bits_to_string,
+)
+
+
+class TestBitStringHelpers:
+    def test_parse_simple(self):
+        assert bits_from_string("0110") == [0, 1, 1, 0]
+
+    def test_parse_ignores_grouping(self):
+        assert bits_from_string("01 10_1") == [0, 1, 1, 0, 1]
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            bits_from_string("012")
+
+    def test_format(self):
+        assert bits_to_string([1, 0, 0, 1]) == "1001"
+
+    def test_format_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            bits_to_string([0, 2])
+
+
+class TestBitWriter:
+    def test_empty_writer(self):
+        writer = BitWriter()
+        assert writer.bit_length == 0
+        assert writer.getvalue() == b""
+
+    def test_single_one_is_msb(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        assert writer.getvalue() == b"\x80"
+
+    def test_eight_bits_pack_one_byte(self):
+        writer = BitWriter()
+        writer.write_bitstring("10110001")
+        assert writer.getvalue() == bytes([0b10110001])
+
+    def test_partial_byte_zero_padded(self):
+        writer = BitWriter()
+        writer.write_bitstring("111")
+        assert writer.getvalue() == bytes([0b11100000])
+        assert writer.bit_length == 3
+
+    def test_rejects_invalid_bit(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bit(2)
+
+    def test_iteration_matches_writes(self):
+        writer = BitWriter()
+        writer.write_bitstring("1011001")
+        assert list(writer) == [1, 0, 1, 1, 0, 0, 1]
+
+    def test_len_is_bit_count(self):
+        writer = BitWriter()
+        writer.write_bitstring("10101")
+        assert len(writer) == 5
+
+
+class TestBitReader:
+    def test_read_back_in_order(self):
+        writer = BitWriter()
+        writer.write_bitstring("1100101")
+        reader = BitReader.from_writer(writer)
+        assert reader.read_bits(7) == [1, 1, 0, 0, 1, 0, 1]
+
+    def test_exhaustion_raises(self):
+        reader = BitReader.from_bitstring("1")
+        reader.read_bit()
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_remaining_and_position(self):
+        reader = BitReader.from_bitstring("10101")
+        reader.read_bits(2)
+        assert reader.position == 2
+        assert reader.remaining == 3
+        assert not reader.exhausted
+
+    def test_bit_length_validation(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\x00", 9)
+
+    def test_negative_count_rejected(self):
+        reader = BitReader.from_bitstring("10")
+        with pytest.raises(ValueError):
+            reader.read_bits(-1)
+
+    def test_default_bit_length_is_all_bytes(self):
+        reader = BitReader(b"\xff")
+        assert reader.bit_length == 8
+
+
+class TestRoundTripProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=500))
+    def test_writer_reader_roundtrip(self, bits):
+        writer = BitWriter()
+        writer.write_bits(bits)
+        reader = BitReader.from_writer(writer)
+        assert reader.read_bits(len(bits)) == bits
+        assert reader.exhausted
+
+    @given(st.text(alphabet="01", max_size=300))
+    def test_bitstring_roundtrip(self, text):
+        writer = BitWriter()
+        writer.write_bitstring(text)
+        assert writer.to_bitstring() == text
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=200))
+    def test_byte_packing_length(self, bits):
+        writer = BitWriter()
+        writer.write_bits(bits)
+        assert len(writer.getvalue()) == (len(bits) + 7) // 8

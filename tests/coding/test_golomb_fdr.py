@@ -1,0 +1,111 @@
+"""Unit and property tests for the Golomb and FDR run-length codes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding.fdr import fdr_decode, fdr_encode, fdr_encode_run, fdr_group
+from repro.coding.golomb import (
+    best_golomb_parameter,
+    golomb_decode,
+    golomb_encode,
+    golomb_encode_run,
+    runs_of_zeros,
+)
+
+
+class TestRunsOfZeros:
+    def test_basic(self):
+        assert runs_of_zeros([0, 0, 1, 0, 1, 1]) == ([2, 1, 0], False)
+
+    def test_trailing_zeros(self):
+        assert runs_of_zeros([1, 0, 0]) == ([0, 2], True)
+
+    def test_empty(self):
+        assert runs_of_zeros([]) == ([], False)
+
+    def test_all_zeros(self):
+        assert runs_of_zeros([0, 0, 0]) == ([3], True)
+
+    def test_invalid_bit(self):
+        with pytest.raises(ValueError):
+            runs_of_zeros([0, 2])
+
+
+class TestGolomb:
+    def test_known_codewords_m4(self):
+        # l=5, m=4: q=1, r=1 -> '1' + '0' + '01'
+        assert golomb_encode_run(5, 4) == "1001"
+        assert golomb_encode_run(0, 4) == "000"
+
+    def test_m1_is_unary(self):
+        assert golomb_encode_run(3, 1) == "1110"
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            golomb_encode_run(3, 3)
+
+    def test_negative_run_rejected(self):
+        with pytest.raises(ValueError):
+            golomb_encode_run(-1, 2)
+
+    def test_truncated_code_rejected(self):
+        with pytest.raises(ValueError):
+            golomb_decode("11", 2)  # no separator
+
+    @given(
+        st.lists(st.integers(0, 500), max_size=40),
+        st.sampled_from([1, 2, 4, 8, 16]),
+    )
+    def test_roundtrip(self, runs, m):
+        assert golomb_decode(golomb_encode(runs, m), m) == runs
+
+    def test_best_parameter_tracks_run_scale(self):
+        assert best_golomb_parameter([1, 0, 2, 1]) <= 2
+        assert best_golomb_parameter([200, 180, 220]) >= 32
+
+    def test_best_parameter_empty(self):
+        assert best_golomb_parameter([]) == 1
+
+
+class TestFDR:
+    def test_group_boundaries(self):
+        assert fdr_group(0) == 1
+        assert fdr_group(1) == 1
+        assert fdr_group(2) == 2
+        assert fdr_group(5) == 2
+        assert fdr_group(6) == 3
+        assert fdr_group(13) == 3
+        assert fdr_group(14) == 4
+
+    def test_known_codewords(self):
+        assert fdr_encode_run(0) == "00"
+        assert fdr_encode_run(1) == "01"
+        assert fdr_encode_run(2) == "1000"
+        assert fdr_encode_run(5) == "1011"
+        assert fdr_encode_run(6) == "110000"
+
+    def test_codeword_length_is_2k(self):
+        for length in (0, 3, 9, 40, 1000):
+            k = fdr_group(length)
+            assert len(fdr_encode_run(length)) == 2 * k
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fdr_group(-1)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            fdr_decode("1")
+        with pytest.raises(ValueError):
+            fdr_decode("100")  # tail too short for group 2
+
+    @given(st.lists(st.integers(0, 100_000), max_size=40))
+    def test_roundtrip(self, runs):
+        assert fdr_decode(fdr_encode(runs)) == runs
+
+    @given(st.lists(st.integers(0, 2000), min_size=1, max_size=40))
+    def test_prefix_freeness_via_streaming(self, runs):
+        """Concatenated codewords decode unambiguously — the defining
+        property of the code's prefix structure."""
+        assert fdr_decode(fdr_encode(runs)) == runs

@@ -1,0 +1,128 @@
+"""Unit and property tests for Huffman coding."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding.huffman import (
+    entropy_bound,
+    huffman_code,
+    huffman_code_lengths,
+    weighted_length,
+)
+from repro.coding.prefix import is_prefix_free, kraft_sum
+
+
+class TestHuffmanLengths:
+    def test_classic_example(self):
+        assert huffman_code_lengths({"a": 5, "b": 3, "c": 2}) == {
+            "a": 1,
+            "b": 2,
+            "c": 2,
+        }
+
+    def test_equal_frequencies_four_symbols(self):
+        lengths = huffman_code_lengths({i: 1 for i in range(4)})
+        assert sorted(lengths.values()) == [2, 2, 2, 2]
+
+    def test_zero_frequency_symbols_dropped(self):
+        lengths = huffman_code_lengths({"used": 7, "unused": 0})
+        assert lengths == {"used": 1}
+
+    def test_single_symbol_gets_one_bit(self):
+        assert huffman_code_lengths({"only": 42}) == {"only": 1}
+
+    def test_empty(self):
+        assert huffman_code_lengths({}) == {}
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            huffman_code_lengths({"a": -1})
+
+    def test_skewed_frequencies_give_unary_like_code(self):
+        lengths = huffman_code_lengths({"a": 16, "b": 8, "c": 4, "d": 2, "e": 1})
+        assert lengths["a"] == 1
+        assert max(lengths.values()) == 4
+
+    def test_paper_section_3_3_lengths(self):
+        # v(1)=111U F=5, v(2)=1110 F=3, v(3)=0000 F=2:
+        # Huffman gives lengths 1, 2, 2 (paper: '0', '10', '11').
+        lengths = huffman_code_lengths({1: 5, 2: 3, 3: 2})
+        assert lengths == {1: 1, 2: 2, 3: 2}
+
+
+class TestHuffmanCode:
+    def test_produces_prefix_code(self):
+        code = huffman_code({"a": 9, "b": 5, "c": 2, "d": 1})
+        assert is_prefix_free(list(code.as_dict().values()))
+
+    def test_weighted_length_matches_code(self):
+        frequencies = {"a": 9, "b": 5, "c": 2, "d": 1}
+        code = huffman_code(frequencies)
+        lengths = {s: code.length(s) for s in frequencies}
+        assert weighted_length(lengths, frequencies) == code.expected_length(
+            frequencies
+        )
+
+
+nonzero_freqs = st.dictionaries(
+    st.integers(0, 40),
+    st.integers(min_value=1, max_value=10_000),
+    min_size=1,
+    max_size=24,
+)
+
+
+class TestHuffmanOptimalityProperties:
+    @given(nonzero_freqs)
+    def test_kraft_equality(self, frequencies):
+        """Huffman codes are complete: Kraft sum is exactly 1 (or the
+        single-symbol special case with sum 1/2)."""
+        lengths = huffman_code_lengths(frequencies)
+        total = kraft_sum(list(lengths.values()))
+        if len(lengths) == 1:
+            assert total == 0.5
+        else:
+            assert math.isclose(total, 1.0)
+
+    @given(nonzero_freqs)
+    def test_within_entropy_plus_one_bit_per_symbol(self, frequencies):
+        """Optimal prefix coding lies in [H, H + total_count)."""
+        lengths = huffman_code_lengths(frequencies)
+        cost = weighted_length(lengths, frequencies)
+        bound = entropy_bound(frequencies)
+        total = sum(frequencies.values())
+        if len(frequencies) == 1:
+            assert cost == total  # 1 bit per symbol, entropy 0
+        else:
+            assert bound - 1e-6 <= cost < bound + total
+
+    @given(nonzero_freqs)
+    def test_monotone_frequencies_get_monotone_lengths(self, frequencies):
+        """A more frequent symbol never has a longer codeword."""
+        lengths = huffman_code_lengths(frequencies)
+        items = sorted(frequencies.items(), key=lambda kv: kv[1])
+        for (sym_rare, f_rare), (sym_common, f_common) in zip(items, items[1:]):
+            if f_rare < f_common:
+                assert lengths[sym_rare] >= lengths[sym_common]
+
+    @given(nonzero_freqs)
+    def test_better_than_fixed_length(self, frequencies):
+        """Huffman never beats, err, loses to a fixed-length block code."""
+        lengths = huffman_code_lengths(frequencies)
+        cost = weighted_length(lengths, frequencies)
+        fixed = math.ceil(math.log2(len(frequencies))) if len(frequencies) > 1 else 1
+        assert cost <= fixed * sum(frequencies.values())
+
+
+class TestEntropyBound:
+    def test_uniform(self):
+        assert math.isclose(entropy_bound({"a": 1, "b": 1}), 2.0)
+
+    def test_empty(self):
+        assert entropy_bound({}) == 0.0
+
+    def test_single_symbol_zero_entropy(self):
+        assert entropy_bound({"a": 100}) == 0.0

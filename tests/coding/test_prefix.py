@@ -1,0 +1,122 @@
+"""Unit and property tests for prefix codes and canonical construction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding.prefix import (
+    PrefixCode,
+    PrefixViolationError,
+    canonical_code_from_lengths,
+    is_prefix_free,
+    kraft_sum,
+)
+
+
+class TestIsPrefixFree:
+    def test_accepts_proper_code(self):
+        assert is_prefix_free(["0", "10", "110", "111"])
+
+    def test_rejects_prefix_pair(self):
+        assert not is_prefix_free(["0", "01"])
+
+    def test_rejects_duplicates(self):
+        assert not is_prefix_free(["10", "10"])
+
+    def test_empty_is_prefix_free(self):
+        assert is_prefix_free([])
+
+    def test_nine_c_fixed_code_is_prefix_free(self):
+        from repro.core.nine_c import NINE_C_CODEWORDS
+
+        assert is_prefix_free(list(NINE_C_CODEWORDS.values()))
+
+
+class TestKraftSum:
+    def test_complete_code(self):
+        assert kraft_sum([1, 2, 2]) == 1.0
+
+    def test_incomplete_code(self):
+        assert kraft_sum([2, 2]) == 0.5
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            kraft_sum([1, -1])
+
+
+class TestCanonicalConstruction:
+    def test_known_code(self):
+        code = canonical_code_from_lengths({"a": 1, "b": 2, "c": 2})
+        assert code == {"a": "0", "b": "10", "c": "11"}
+
+    def test_empty(self):
+        assert canonical_code_from_lengths({}) == {}
+
+    def test_single_symbol(self):
+        assert canonical_code_from_lengths({"only": 1}) == {"only": "0"}
+
+    def test_overfull_lengths_rejected(self):
+        with pytest.raises(PrefixViolationError):
+            canonical_code_from_lengths({"a": 1, "b": 1, "c": 1})
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_code_from_lengths({"a": 0})
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 30),
+            st.integers(min_value=1, max_value=12),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    def test_valid_lengths_always_yield_prefix_code(self, lengths):
+        if kraft_sum(list(lengths.values())) > 1.0:
+            return  # not realizable; covered by the rejection test
+        code = canonical_code_from_lengths(lengths)
+        assert is_prefix_free(list(code.values()))
+        assert {s: len(w) for s, w in code.items()} == lengths
+
+
+class TestPrefixCode:
+    def test_encode(self):
+        code = PrefixCode({"x": "0", "y": "10"})
+        assert code.encode(["y", "x", "x"]) == "1000"
+
+    def test_rejects_non_prefix_free(self):
+        with pytest.raises(PrefixViolationError):
+            PrefixCode({"a": "1", "b": "10"})
+
+    def test_rejects_empty_codeword(self):
+        with pytest.raises(ValueError):
+            PrefixCode({"a": ""})
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            PrefixCode({"a": "2"})
+
+    def test_expected_length(self):
+        code = PrefixCode({"a": "0", "b": "11"})
+        assert code.expected_length({"a": 3, "b": 2}) == 7
+
+    def test_decode_tree_structure(self):
+        code = PrefixCode({"a": "0", "b": "10", "c": "11"})
+        tree = code.decode_tree()
+        assert tree["0"] == "a"
+        assert tree["1"]["0"] == "b"
+        assert tree["1"]["1"] == "c"
+
+    def test_contains_and_len(self):
+        code = PrefixCode({"a": "0", "b": "1"})
+        assert "a" in code and "z" not in code
+        assert len(code) == 2
+
+    def test_from_lengths(self):
+        code = PrefixCode.from_lengths({"a": 1, "b": 2, "c": 2})
+        assert code.length("a") == 1
+        assert code.length("c") == 2
+
+    def test_equality(self):
+        assert PrefixCode({"a": "0"}) == PrefixCode({"a": "0"})
+        assert PrefixCode({"a": "0"}) != PrefixCode({"a": "1"})

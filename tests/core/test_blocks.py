@@ -1,0 +1,126 @@
+"""Unit and property tests for input-block partitioning and packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.blocks import MAX_BLOCK_LENGTH, BlockSet, pack_trits, unpack_masks
+from repro.core.trits import parse_trits
+
+from ..conftest import trit_strings
+
+
+class TestPackUnpack:
+    def test_pack_known_value(self):
+        # "10X": position 0 ('1') is the MSB of a 3-bit mask.
+        assert pack_trits(parse_trits("10X")) == (0b100, 0b010)
+
+    def test_pack_all_dc(self):
+        assert pack_trits(parse_trits("XXX")) == (0, 0)
+
+    def test_pack_too_long(self):
+        with pytest.raises(ValueError):
+            pack_trits((0,) * (MAX_BLOCK_LENGTH + 1))
+
+    def test_unpack_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            unpack_masks(0b1, 0b1, 1)
+
+    @given(trit_strings(min_size=1, max_size=MAX_BLOCK_LENGTH))
+    def test_roundtrip(self, text):
+        trits = parse_trits(text)
+        ones, zeros = pack_trits(trits)
+        assert unpack_masks(ones, zeros, len(trits)) == trits
+
+
+class TestBlockSetConstruction:
+    def test_exact_partition(self):
+        blocks = BlockSet.from_string("111000", 3)
+        assert blocks.n_blocks == 2
+        assert blocks.original_bits == 6
+        assert blocks.padded_bits == 6
+
+    def test_padding_with_x(self):
+        blocks = BlockSet.from_string("11111", 3)
+        assert blocks.n_blocks == 2
+        assert blocks.original_bits == 5
+        assert blocks.padded_bits == 6
+        # The padded tail block is 11X.
+        assert blocks.block_string(int(blocks.sequence[1])) == "11X"
+
+    def test_distinct_counting(self):
+        blocks = BlockSet.from_string("111 000 111 111", 3)
+        assert blocks.n_distinct == 2
+        assert sorted(blocks.counts.tolist()) == [1, 3]
+
+    def test_sequence_reconstructs_order(self):
+        blocks = BlockSet.from_string("111 000 111", 3)
+        rendered = list(blocks.iter_block_strings())
+        assert rendered == ["111", "000", "111"]
+
+    def test_x_and_specified_blocks_distinct(self):
+        blocks = BlockSet.from_string("11X 110", 3)
+        assert blocks.n_distinct == 2
+
+    def test_empty_string(self):
+        blocks = BlockSet.from_string("", 4)
+        assert blocks.n_blocks == 0
+        assert blocks.n_distinct == 0
+        assert blocks.care_density() == 0.0
+
+    def test_invalid_block_length(self):
+        with pytest.raises(ValueError):
+            BlockSet.from_string("01", 0)
+        with pytest.raises(ValueError):
+            BlockSet.from_string("01", MAX_BLOCK_LENGTH + 1)
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ValueError):
+            BlockSet.from_trit_array(np.zeros((2, 3), dtype=np.int8), 3)
+
+
+class TestBlockSetStats:
+    def test_specified_bit_count(self):
+        blocks = BlockSet.from_string("11X 0XX", 3)
+        assert blocks.specified_bit_count() == 3
+
+    def test_care_density(self):
+        blocks = BlockSet.from_string("1X" * 6, 4)
+        assert blocks.care_density() == pytest.approx(0.5)
+
+    def test_care_density_counts_padding(self):
+        blocks = BlockSet.from_string("11111", 5)
+        assert blocks.care_density() == 1.0
+
+
+class TestBlockSetProperties:
+    @given(trit_strings(min_size=1, max_size=240), st.integers(1, 16))
+    def test_counts_sum_to_block_count(self, text, block_length):
+        blocks = BlockSet.from_string(text, block_length)
+        assert blocks.counts.sum() == blocks.n_blocks
+        assert blocks.n_blocks == -(-len(parse_trits(text)) // block_length)
+
+    @given(trit_strings(min_size=1, max_size=240), st.integers(1, 16))
+    def test_sequence_indexes_distinct_table(self, text, block_length):
+        blocks = BlockSet.from_string(text, block_length)
+        if blocks.n_blocks:
+            assert blocks.sequence.min() >= 0
+            assert blocks.sequence.max() < blocks.n_distinct
+
+    @given(trit_strings(min_size=1, max_size=120), st.integers(1, 12))
+    def test_blocks_reassemble_to_original(self, text, block_length):
+        """Concatenating the blocks reproduces the padded string."""
+        trits = parse_trits(text)
+        blocks = BlockSet.from_string(text, block_length)
+        reassembled = "".join(blocks.iter_block_strings())
+        from repro.core.trits import format_trits
+
+        original = format_trits(trits, unspecified="X")
+        assert reassembled[: len(original)] == original
+        assert set(reassembled[len(original) :]) <= {"X"}
+
+    @given(trit_strings(min_size=1, max_size=120))
+    def test_masks_disjoint(self, text):
+        blocks = BlockSet.from_string(text, 8)
+        assert (blocks.ones & blocks.zeros == 0).all()

@@ -1,0 +1,103 @@
+"""Unit and property tests for end-to-end compression."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import BlockSet
+from repro.core.compressor import compress_blocks, compression_rate
+from repro.core.covering import UncoverableError
+from repro.core.encoding import EncodingStrategy
+from repro.core.matching import MVSet
+
+from ..conftest import mv_strings, trit_strings
+
+
+class TestCompressionRate:
+    def test_positive_rate(self):
+        assert compression_rate(100, 40) == 60.0
+
+    def test_negative_rate_possible(self):
+        # The paper's Table 1 has -1.0% and -2.0% entries.
+        assert compression_rate(100, 102) == -2.0
+
+    def test_zero_original_rejected(self):
+        with pytest.raises(ValueError):
+            compression_rate(0, 0)
+
+
+class TestCompressBlocks:
+    def test_stream_length_matches_table_prediction(self):
+        blocks = BlockSet.from_string("111 000 111 10X 0X0", 3)
+        result = compress_blocks(
+            blocks, MVSet.from_strings(["111", "000", "UUU"])
+        )
+        assert result.payload_bits == result.table.total_bits
+
+    def test_uncoverable_raises(self):
+        blocks = BlockSet.from_string("010", 3)
+        with pytest.raises(UncoverableError):
+            compress_blocks(blocks, MVSet.from_strings(["111"]))
+
+    def test_rate_computation(self):
+        # 4 blocks of "11": MV "11" used 4 times, Huffman gives 1 bit
+        # per block -> 4 bits vs 8 original.
+        blocks = BlockSet.from_string("11111111", 2)
+        result = compress_blocks(blocks, MVSet.from_strings(["11", "UU"]))
+        assert result.compressed_bits == 4
+        assert result.rate == 50.0
+
+    def test_fill_bits_emitted_after_codeword(self):
+        # Single block 10 encoded by UU: codeword (1 bit) + fills 1,0.
+        blocks = BlockSet.from_string("10", 2)
+        result = compress_blocks(blocks, MVSet.from_strings(["UU"]))
+        bits = "".join(
+            str((result.payload[i // 8] >> (7 - i % 8)) & 1)
+            for i in range(result.payload_bits)
+        )
+        assert bits == "010"  # canonical single-codeword '0', then fills 1,0
+
+    def test_block_length_mismatch(self):
+        blocks = BlockSet.from_string("0101", 4)
+        with pytest.raises(ValueError):
+            compress_blocks(blocks, MVSet.from_strings(["01"]))
+
+    def test_mv_usage_reports_final_frequencies(self):
+        blocks = BlockSet.from_string("111 111 000", 3)
+        result = compress_blocks(blocks, MVSet.from_strings(["111", "000", "UUU"]))
+        assert result.mv_usage() == {"111": 2, "000": 1}
+
+    def test_code_table_bits_positive(self):
+        blocks = BlockSet.from_string("111 000", 3)
+        result = compress_blocks(blocks, MVSet.from_strings(["111", "000", "UUU"]))
+        assert result.code_table_bits() > 0
+
+    def test_subsumption_strategy_never_worse(self):
+        text = "1110 1110 1110 111X 111X 0000 0000 1111 0X01"
+        blocks = BlockSet.from_string(text, 4)
+        mvs = MVSet.from_strings(["1110", "111U", "0000", "UUUU"])
+        plain = compress_blocks(blocks, mvs, EncodingStrategy.HUFFMAN)
+        refined = compress_blocks(blocks, mvs, EncodingStrategy.HUFFMAN_SUBSUME)
+        assert refined.compressed_bits <= plain.compressed_bits
+
+
+class TestCompressorProperties:
+    @settings(max_examples=50)
+    @given(
+        trit_strings(min_size=1, max_size=120),
+        st.lists(mv_strings(4), min_size=1, max_size=6),
+    )
+    def test_stream_bits_always_match_prediction(self, text, mv_texts):
+        blocks = BlockSet.from_string(text, 4)
+        mv_set = MVSet.from_strings(mv_texts + ["UUUU"])
+        for strategy in (EncodingStrategy.HUFFMAN, EncodingStrategy.HUFFMAN_SUBSUME):
+            result = compress_blocks(blocks, mv_set, strategy)
+            assert result.payload_bits == result.table.total_bits
+
+    @settings(max_examples=50)
+    @given(trit_strings(min_size=1, max_size=120))
+    def test_all_u_only_expands_by_one_bit_per_block(self, text):
+        """With only the all-U MV, every block costs K+1 bits."""
+        blocks = BlockSet.from_string(text, 4)
+        result = compress_blocks(blocks, MVSet.from_strings(["UUUU"]))
+        assert result.compressed_bits == blocks.n_blocks * 5

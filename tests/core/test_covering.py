@@ -1,0 +1,115 @@
+"""Unit and property tests for the covering stage (paper Section 3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.blocks import BlockSet
+from repro.core.covering import UncoverableError, cover
+from repro.core.matching import MVSet
+
+from ..conftest import mv_strings, trit_strings
+
+
+class TestCoverBasics:
+    def test_first_match_by_fewest_us(self):
+        # 111 matches both "111" and "UUU"; the specific MV must win.
+        blocks = BlockSet.from_string("111", 3)
+        result = cover(blocks, MVSet.from_strings(["UUU", "111"]))
+        assert result.frequency_map() == {1: 1}
+
+    def test_tie_broken_by_declaration_order(self):
+        # Both MVs fully specified and matching (block is all X).
+        blocks = BlockSet.from_string("XXX", 3)
+        result = cover(blocks, MVSet.from_strings(["000", "111"]))
+        assert result.frequency_map() == {0: 1}
+
+    def test_frequencies_weighted_by_multiplicity(self):
+        blocks = BlockSet.from_string("111 111 000", 3)
+        result = cover(blocks, MVSet.from_strings(["111", "000"]))
+        assert result.frequency_map() == {0: 2, 1: 1}
+
+    def test_uncovered_counted(self):
+        blocks = BlockSet.from_string("111 010", 3)
+        result = cover(blocks, MVSet.from_strings(["111"]))
+        assert result.uncovered == 1
+        assert not result.is_complete
+
+    def test_require_complete_raises(self):
+        blocks = BlockSet.from_string("010", 3)
+        with pytest.raises(UncoverableError):
+            cover(blocks, MVSet.from_strings(["111"]), require_complete=True)
+
+    def test_all_u_covers_everything(self):
+        blocks = BlockSet.from_string("010 111 XXX 0X1", 3)
+        result = cover(blocks, MVSet.from_strings(["UUU"]))
+        assert result.is_complete
+        assert result.frequency_map() == {0: 4}
+
+    def test_length_mismatch(self):
+        blocks = BlockSet.from_string("0101", 4)
+        with pytest.raises(ValueError):
+            cover(blocks, MVSet.from_strings(["111"]))
+
+    def test_covering_order_exposed(self):
+        blocks = BlockSet.from_string("111", 3)
+        result = cover(blocks, MVSet.from_strings(["UUU", "1U1", "111"]))
+        assert result.covering_order == (2, 1, 0)
+
+
+class TestCoverProperties:
+    @given(
+        trit_strings(min_size=1, max_size=150),
+        st.lists(mv_strings(5), min_size=1, max_size=8),
+    )
+    def test_frequencies_account_for_every_covered_block(self, text, mv_texts):
+        blocks = BlockSet.from_string(text, 5)
+        mv_set = MVSet.from_strings(mv_texts)
+        result = cover(blocks, mv_set)
+        assert result.frequencies.sum() + result.uncovered == blocks.n_blocks
+
+    @given(
+        trit_strings(min_size=1, max_size=150),
+        st.lists(mv_strings(5), min_size=1, max_size=8),
+    )
+    def test_assignment_consistent_with_matching(self, text, mv_texts):
+        """Every assigned MV actually matches its block, and unassigned
+        blocks match no MV at all."""
+        blocks = BlockSet.from_string(text, 5)
+        mv_set = MVSet.from_strings(mv_texts)
+        result = cover(blocks, mv_set)
+        for distinct_index in range(blocks.n_distinct):
+            ones = int(blocks.ones[distinct_index])
+            zeros = int(blocks.zeros[distinct_index])
+            assigned = int(result.assignment[distinct_index])
+            if assigned >= 0:
+                assert mv_set[assigned].matches_masks(ones, zeros)
+            else:
+                assert not any(mv.matches_masks(ones, zeros) for mv in mv_set)
+
+    @given(
+        trit_strings(min_size=1, max_size=150),
+        st.lists(mv_strings(5), min_size=1, max_size=8),
+    )
+    def test_assigned_mv_has_minimal_nu_among_matches(self, text, mv_texts):
+        """The covering rule: first match in increasing-NU order."""
+        blocks = BlockSet.from_string(text, 5)
+        mv_set = MVSet.from_strings(mv_texts)
+        result = cover(blocks, mv_set)
+        for distinct_index in range(blocks.n_distinct):
+            assigned = int(result.assignment[distinct_index])
+            if assigned < 0:
+                continue
+            ones = int(blocks.ones[distinct_index])
+            zeros = int(blocks.zeros[distinct_index])
+            matching_nus = [
+                mv.n_unspecified for mv in mv_set if mv.matches_masks(ones, zeros)
+            ]
+            assert mv_set[assigned].n_unspecified == min(matching_nus)
+
+    @given(trit_strings(min_size=1, max_size=100))
+    def test_adding_all_u_makes_covering_complete(self, text):
+        blocks = BlockSet.from_string(text, 4)
+        mv_set = MVSet.from_strings(["1010", "0101", "UUUU"])
+        assert cover(blocks, mv_set).is_complete

@@ -1,0 +1,74 @@
+"""Tests for the decoder hardware model."""
+
+import pytest
+
+from repro.core.blocks import BlockSet
+from repro.core.compressor import compress_blocks
+from repro.core.decoder_hw import decoder_model, decoder_model_for
+from repro.core.encoding import EncodingStrategy, build_encoding_table
+from repro.core.matching import MVSet
+from repro.core.nine_c import NINE_C_CODEWORDS, nine_c_mv_set
+
+
+def nine_c_table(frequencies=None):
+    mvs = nine_c_mv_set(8)
+    freqs = frequencies or {i: 1 for i in range(9)}
+    return mvs, build_encoding_table(
+        mvs, freqs, EncodingStrategy.FIXED, fixed_codewords=NINE_C_CODEWORDS
+    )
+
+
+class TestDecoderModel:
+    def test_nine_c_decoder_shape(self):
+        mvs, table = nine_c_table()
+        model = decoder_model(mvs, table)
+        assert model.n_codewords == 9
+        assert model.max_codeword_bits == 5
+        # K=8 half-U vectors need a 4-fill counter; all-U needs 8.
+        assert model.fill_counter_bits == 4  # ceil(log2(8+1)) = 4
+        assert model.output_buffer_bits == 8
+
+    def test_fsm_states_are_internal_nodes(self):
+        # Code {0, 10, 11}: internal nodes = root + the '1' node = 2.
+        mvs = MVSet.from_strings(["11", "00", "UU"])
+        table = build_encoding_table(mvs, {0: 4, 1: 2, 2: 1})
+        model = decoder_model(mvs, table)
+        assert model.fsm_states == 2
+
+    def test_no_fills_means_no_counter(self):
+        mvs = MVSet.from_strings(["11", "00"])
+        table = build_encoding_table(mvs, {0: 1, 1: 1})
+        assert decoder_model(mvs, table).fill_counter_bits == 0
+
+    def test_table_bits_formula(self):
+        mvs = MVSet.from_strings(["11", "00"])
+        table = build_encoding_table(mvs, {0: 1, 1: 1})
+        model = decoder_model(mvs, table)
+        # 2 codewords x (1 bit + 2*2 trit bits) = 10.
+        assert model.table_bits == 10
+
+    def test_empty_table(self):
+        mvs = MVSet.from_strings(["11"])
+        table = build_encoding_table(mvs, {})
+        model = decoder_model(mvs, table)
+        assert model.n_codewords == 0
+        assert model.fsm_states == 0
+
+    def test_state_register_width(self):
+        mvs, table = nine_c_table()
+        model = decoder_model(mvs, table)
+        assert 2 ** model.state_register_bits >= model.fsm_states
+
+    def test_summary_string(self):
+        mvs, table = nine_c_table()
+        text = decoder_model(mvs, table).summary()
+        assert "9 codewords" in text
+
+    def test_convenience_on_compressed_set(self):
+        blocks = BlockSet.from_string("111 000 111 0X1", 3)
+        compressed = compress_blocks(
+            blocks, MVSet.from_strings(["111", "000", "UUU"])
+        )
+        model = decoder_model_for(compressed)
+        assert model.output_buffer_bits == 3
+        assert model.n_codewords >= 2

@@ -1,0 +1,110 @@
+"""Unit and property tests for the decoder model and losslessness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import BlockSet
+from repro.core.compressor import compress_blocks
+from repro.core.decompressor import decompress, verify_roundtrip
+from repro.core.encoding import EncodingStrategy
+from repro.core.matching import MVSet
+from repro.core.nine_c import compress_nine_c
+
+from ..conftest import mv_strings, trit_strings
+
+
+class TestDecompressBasics:
+    def test_fully_specified_roundtrip(self):
+        blocks = BlockSet.from_string("111000110", 3)
+        result = compress_blocks(
+            blocks, MVSet.from_strings(["111", "000", "UUU"])
+        )
+        assert decompress(result).bits == "111000110"
+
+    def test_dont_cares_get_fill_default(self):
+        blocks = BlockSet.from_string("1X", 2)
+        result = compress_blocks(blocks, MVSet.from_strings(["UU"]))
+        assert decompress(result).bits == "10"
+
+    def test_dont_cares_get_fill_default_one(self):
+        blocks = BlockSet.from_string("1X", 2)
+        result = compress_blocks(
+            blocks, MVSet.from_strings(["UU"]), fill_default=1
+        )
+        assert decompress(result).bits == "11"
+
+    def test_block_accessor(self):
+        blocks = BlockSet.from_string("111000", 3)
+        result = compress_blocks(blocks, MVSet.from_strings(["111", "000"]))
+        decoded = decompress(result)
+        assert decoded.block(0) == "111"
+        assert decoded.block(1) == "000"
+
+    def test_padding_blocks_also_decoded(self):
+        blocks = BlockSet.from_string("11111", 3)  # padded to 6
+        result = compress_blocks(blocks, MVSet.from_strings(["111", "UUU"]))
+        decoded = decompress(result)
+        assert decoded.blocks_decoded == 2
+        assert len(decoded.bits) == 6
+
+
+class TestVerifyRoundtrip:
+    def test_accepts_valid_stream(self):
+        blocks = BlockSet.from_string("110X 0011 XXXX 1100", 4)
+        result = compress_blocks(
+            blocks, MVSet.from_strings(["1100", "0011", "UUUU"])
+        )
+        decoded = verify_roundtrip(result)
+        assert decoded.blocks_decoded == 4
+
+    def test_specified_bits_reproduced_exactly(self):
+        text = "101 X01 1XX"
+        blocks = BlockSet.from_string(text, 3)
+        result = compress_blocks(blocks, MVSet.from_strings(["101", "UUU"]))
+        decoded = verify_roundtrip(result)
+        assert decoded.bits[0:3] == "101"
+        assert decoded.bits[4:6] == "01"  # specified suffix of block 2
+        assert decoded.bits[3] in "01"  # filled don't-care
+
+
+class TestRoundtripProperties:
+    @settings(max_examples=40)
+    @given(
+        trit_strings(min_size=1, max_size=160),
+        st.lists(mv_strings(4), min_size=0, max_size=7),
+    )
+    def test_huffman_roundtrip_lossless(self, text, mv_texts):
+        blocks = BlockSet.from_string(text, 4)
+        mv_set = MVSet.from_strings(mv_texts + ["UUUU"])
+        result = compress_blocks(blocks, mv_set)
+        verify_roundtrip(result)
+
+    @settings(max_examples=40)
+    @given(
+        trit_strings(min_size=1, max_size=160),
+        st.lists(mv_strings(4), min_size=0, max_size=7),
+    )
+    def test_subsumption_roundtrip_lossless(self, text, mv_texts):
+        """Subsumption merges re-route blocks to wider MVs; the stream
+        must still reproduce every specified bit."""
+        blocks = BlockSet.from_string(text, 4)
+        mv_set = MVSet.from_strings(mv_texts + ["UUUU"])
+        result = compress_blocks(blocks, mv_set, EncodingStrategy.HUFFMAN_SUBSUME)
+        verify_roundtrip(result)
+
+    @settings(max_examples=30)
+    @given(trit_strings(min_size=1, max_size=200))
+    def test_nine_c_roundtrip_lossless(self, text):
+        blocks = BlockSet.from_string(text, 8)
+        for use_huffman in (False, True):
+            verify_roundtrip(compress_nine_c(blocks, use_huffman=use_huffman))
+
+    @settings(max_examples=30)
+    @given(trit_strings(min_size=1, max_size=120), st.integers(0, 1))
+    def test_decoded_length_is_padded_length(self, text, fill):
+        blocks = BlockSet.from_string(text, 5)
+        result = compress_blocks(
+            blocks, MVSet.from_strings(["UUUUU"]), fill_default=fill
+        )
+        assert len(decompress(result).bits) == blocks.padded_bits

@@ -1,0 +1,126 @@
+"""Unit tests for codeword assignment and subsumption refinement."""
+
+import pytest
+
+from repro.core.encoding import (
+    EncodingStrategy,
+    build_encoding_table,
+    compressed_size,
+    refine_subsumption,
+)
+from repro.core.matching import MVSet
+
+
+class TestCompressedSize:
+    def test_counts_codeword_and_fills(self):
+        mvs = MVSet.from_strings(["1U0U", "0000"])
+        # MV0: 3 blocks x (2 + 2 fills); MV1: 1 block x (1 + 0 fills).
+        assert compressed_size(mvs, {0: 3, 1: 1}, {0: 2, 1: 1}) == 13
+
+    def test_zero_frequency_ignored(self):
+        mvs = MVSet.from_strings(["11", "00"])
+        assert compressed_size(mvs, {0: 0, 1: 2}, {1: 1}) == 2
+
+
+class TestHuffmanTable:
+    def test_zero_frequency_mv_gets_no_codeword(self):
+        mvs = MVSet.from_strings(["11", "00", "UU"])
+        table = build_encoding_table(mvs, {0: 5, 1: 3, 2: 0})
+        assert 2 not in table.codewords
+        assert set(table.codewords) == {0, 1}
+
+    def test_prefix_code_valid(self):
+        mvs = MVSet.from_strings(["11", "00", "1U", "UU"])
+        table = build_encoding_table(mvs, {0: 9, 1: 5, 2: 2, 3: 1})
+        table.prefix_code()  # raises if not prefix-free
+
+    def test_single_used_mv_gets_one_bit(self):
+        mvs = MVSet.from_strings(["UU"])
+        table = build_encoding_table(mvs, {0: 10})
+        assert table.codewords[0] in ("0", "1")
+        assert table.total_bits == 10 * (1 + 2)
+
+    def test_empty_frequencies(self):
+        mvs = MVSet.from_strings(["11"])
+        table = build_encoding_table(mvs, {})
+        assert table.total_bits == 0
+        assert table.codewords == {}
+
+
+class TestFixedTable:
+    def test_fixed_codewords_used_verbatim(self):
+        mvs = MVSet.from_strings(["11", "00"])
+        table = build_encoding_table(
+            mvs,
+            {0: 4, 1: 2},
+            EncodingStrategy.FIXED,
+            fixed_codewords={0: "0", 1: "10"},
+        )
+        assert table.codewords == {0: "0", 1: "10"}
+        assert table.total_bits == 4 * 1 + 2 * 2
+
+    def test_fixed_requires_codewords(self):
+        mvs = MVSet.from_strings(["11"])
+        with pytest.raises(ValueError):
+            build_encoding_table(mvs, {0: 1}, EncodingStrategy.FIXED)
+
+    def test_fixed_missing_codeword_rejected(self):
+        mvs = MVSet.from_strings(["11", "00"])
+        with pytest.raises(ValueError):
+            build_encoding_table(
+                mvs, {0: 1, 1: 1}, EncodingStrategy.FIXED, fixed_codewords={0: "0"}
+            )
+
+
+class TestSubsumptionRefinement:
+    def test_paper_section_3_3_example(self):
+        """The exact example from the paper: v1=111U/5, v2=1110/3,
+        v3=0000/2.  Plain Huffman: 20 bits; merging v2 into v1: 18."""
+        mvs = MVSet.from_strings(["111U", "1110", "0000"])
+        frequencies = {0: 5, 1: 3, 2: 2}
+
+        plain = build_encoding_table(mvs, frequencies, EncodingStrategy.HUFFMAN)
+        assert plain.total_bits == 20
+
+        refined = build_encoding_table(
+            mvs, frequencies, EncodingStrategy.HUFFMAN_SUBSUME
+        )
+        assert refined.total_bits == 18
+        assert refined.redirect == {1: 0}
+        assert refined.frequencies == {0: 8, 2: 2}
+
+    def test_refinement_returns_redirect_chain_resolved(self):
+        # 11UU subsumes 111U subsumes 1111: chained merges must resolve
+        # to the final representative.
+        mvs = MVSet.from_strings(["11UU", "111U", "1111"])
+        frequencies, redirect = refine_subsumption(
+            mvs, {0: 50, 1: 30, 2: 20}
+        )
+        for source, target in redirect.items():
+            assert target not in redirect, "redirect must be fully resolved"
+            assert frequencies.get(source, 0) == 0 or source not in frequencies
+
+    def test_no_merge_when_not_beneficial(self):
+        # Two unrelated MVs: no subsumption, nothing to merge.
+        mvs = MVSet.from_strings(["1111", "0000"])
+        frequencies, redirect = refine_subsumption(mvs, {0: 5, 1: 5})
+        assert redirect == {}
+        assert frequencies == {0: 5, 1: 5}
+
+    def test_refined_never_worse_than_plain(self):
+        mvs = MVSet.from_strings(["1UUU", "10UU", "100U", "1000", "0000"])
+        frequencies = {0: 10, 1: 8, 2: 6, 3: 4, 4: 2}
+        plain = build_encoding_table(mvs, frequencies, EncodingStrategy.HUFFMAN)
+        refined = build_encoding_table(
+            mvs, frequencies, EncodingStrategy.HUFFMAN_SUBSUME
+        )
+        assert refined.total_bits <= plain.total_bits
+
+    def test_table_accessors(self):
+        mvs = MVSet.from_strings(["111U", "1110", "0000"])
+        table = build_encoding_table(
+            mvs, {0: 5, 1: 3, 2: 2}, EncodingStrategy.HUFFMAN_SUBSUME
+        )
+        assert table.final_mv(1) == 0
+        assert table.final_mv(0) == 0
+        assert table.codeword_for(1) == table.codewords[0]

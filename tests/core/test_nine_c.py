@@ -1,0 +1,112 @@
+"""Unit tests for the 9C baseline, including the paper's K=6 example."""
+
+import pytest
+
+from repro.coding.prefix import is_prefix_free
+from repro.core.blocks import BlockSet
+from repro.core.covering import cover
+from repro.core.nine_c import NINE_C_CODEWORDS, compress_nine_c, nine_c_mv_set
+
+
+class TestNineCMVSet:
+    def test_paper_k6_vectors(self):
+        """The exact nine vectors of the paper's introduction (K=6)."""
+        mvs = [str(mv) for mv in nine_c_mv_set(6)]
+        assert mvs == [
+            "000000",
+            "111111",
+            "000111",
+            "111000",
+            "111UUU",
+            "UUU111",
+            "000UUU",
+            "UUU000",
+            "UUUUUU",
+        ]
+
+    def test_k8_vector_widths(self):
+        mvs = nine_c_mv_set(8)
+        assert all(mv.length == 8 for mv in mvs)
+        assert [mv.n_unspecified for mv in mvs] == [0, 0, 0, 0, 4, 4, 4, 4, 8]
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            nine_c_mv_set(7)
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ValueError):
+            nine_c_mv_set(0)
+
+    def test_fixed_code_is_prefix_free(self):
+        assert is_prefix_free(list(NINE_C_CODEWORDS.values()))
+
+    def test_paper_fixed_codeword_assignment(self):
+        """Section 4: '0' for all-0, '10' for all-1, ... '1111' for all-U."""
+        assert NINE_C_CODEWORDS[0] == "0"
+        assert NINE_C_CODEWORDS[1] == "10"
+        assert NINE_C_CODEWORDS[2] == "11000"
+        assert NINE_C_CODEWORDS[3] == "11001"
+        assert NINE_C_CODEWORDS[4] == "11010"
+        assert NINE_C_CODEWORDS[5] == "11011"
+        assert NINE_C_CODEWORDS[6] == "11100"
+        assert NINE_C_CODEWORDS[7] == "11101"
+        assert NINE_C_CODEWORDS[8] == "1111"
+
+
+class TestNineCEncodingExamples:
+    def test_paper_block_111100_uses_v5_with_fills(self):
+        """Paper Section 1: 111100 is coded as C(v(5)) + fills 100."""
+        blocks = BlockSet.from_string("111100", 6)
+        result = compress_nine_c(blocks)
+        # v(5) = 111UUU has index 4; encoding = '11010' + '100' = 8 bits.
+        assert result.covering.frequency_map() == {4: 1}
+        assert result.compressed_bits == 8
+
+    def test_paper_block_111000_prefers_v4(self):
+        """111000 matches v(4) exactly (0 fills) and must use it."""
+        blocks = BlockSet.from_string("111000", 6)
+        result = compress_nine_c(blocks)
+        assert result.covering.frequency_map() == {3: 1}
+        assert result.compressed_bits == 5  # '11001'
+
+    def test_all_zero_block_costs_one_bit(self):
+        blocks = BlockSet.from_string("000000" * 10, 6)
+        result = compress_nine_c(blocks)
+        assert result.compressed_bits == 10
+
+    def test_arbitrary_block_falls_back_to_all_u(self):
+        blocks = BlockSet.from_string("010101", 6)
+        result = compress_nine_c(blocks)
+        # v(9): '1111' + 6 fills = 10 bits.
+        assert result.covering.frequency_map() == {8: 1}
+        assert result.compressed_bits == 10
+
+    def test_covering_respects_nu_order(self):
+        """An all-X block matches v(1) first (fewest Us, first listed)."""
+        blocks = BlockSet.from_string("XXXXXX", 6)
+        result = cover(blocks, nine_c_mv_set(6))
+        assert result.frequency_map() == {0: 1}
+
+
+class TestNineCHuffmanVariant:
+    def test_huffman_beats_or_ties_fixed_code(self):
+        """9C+HC re-codes the same covering optimally, so it can only
+        match or improve the fixed code (paper: 42.6% -> 46.8% avg)."""
+        text = "00000000" * 50 + "11111111" * 5 + "0101XXXX" * 20 + "1111XXXX" * 10
+        blocks = BlockSet.from_string(text, 8)
+        fixed = compress_nine_c(blocks, use_huffman=False)
+        huffman = compress_nine_c(blocks, use_huffman=True)
+        assert huffman.compressed_bits <= fixed.compressed_bits
+        assert huffman.rate >= fixed.rate
+
+    def test_same_covering_different_codewords(self):
+        text = "00000000" * 5 + "11110000" * 3
+        blocks = BlockSet.from_string(text, 8)
+        fixed = compress_nine_c(blocks, use_huffman=False)
+        huffman = compress_nine_c(blocks, use_huffman=True)
+        assert fixed.covering.frequency_map() == huffman.covering.frequency_map()
+
+    def test_odd_block_length_rejected(self):
+        blocks = BlockSet.from_string("010", 3)
+        with pytest.raises(ValueError):
+            compress_nine_c(blocks)

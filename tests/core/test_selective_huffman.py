@@ -1,0 +1,88 @@
+"""Tests for the selective Huffman baseline (ref [2])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import BlockSet
+from repro.core.selective_huffman import compress_selective_huffman
+
+from ..conftest import trit_strings
+
+
+class TestSelectiveHuffman:
+    def test_single_dominant_pattern(self):
+        blocks = BlockSet.from_string("1100" * 7 + "0110", 4)
+        result = compress_selective_huffman(blocks, n_coded=1)
+        # 7 coded blocks at 1+1 bits + 1 escape at 1+4 bits = 19 bits.
+        assert result.compressed_bits == 7 * 2 + 5
+        assert result.escaped_blocks == 1
+        assert result.rate == pytest.approx(100 * (32 - 19) / 32)
+
+    def test_all_patterns_coded(self):
+        blocks = BlockSet.from_string("1100 0110 1100 0110", 4)
+        result = compress_selective_huffman(blocks, n_coded=4)
+        assert result.escaped_blocks == 0
+        assert result.n_coded == 2  # only two distinct patterns exist
+
+    def test_x_fill_merges_cubes(self):
+        """110X and 1100 collapse to one pattern under 0-fill."""
+        blocks = BlockSet.from_string("110X 1100", 4)
+        result = compress_selective_huffman(blocks, n_coded=1)
+        assert result.escaped_blocks == 0
+
+    def test_fill_default_one(self):
+        blocks = BlockSet.from_string("110X 1101", 4)
+        result = compress_selective_huffman(blocks, n_coded=1, fill_default=1)
+        assert result.escaped_blocks == 0
+
+    def test_invalid_arguments(self):
+        blocks = BlockSet.from_string("1100", 4)
+        with pytest.raises(ValueError):
+            compress_selective_huffman(blocks, n_coded=0)
+        with pytest.raises(ValueError):
+            compress_selective_huffman(blocks, fill_default=2)
+        with pytest.raises(ValueError):
+            compress_selective_huffman(BlockSet.from_string("", 4))
+
+    def test_more_coded_patterns_never_hurt_much(self):
+        """Growing N trades codeword length against escapes; at the
+        extremes full coding beats N=1 on diverse data."""
+        text = "".join(
+            format(i % 13, "04b") + format((i * 7) % 16, "04b")
+            for i in range(40)
+        )
+        blocks = BlockSet.from_string(text, 8)
+        small = compress_selective_huffman(blocks, n_coded=1)
+        large = compress_selective_huffman(blocks, n_coded=16)
+        assert large.compressed_bits <= small.compressed_bits + 8
+
+    @settings(max_examples=40)
+    @given(trit_strings(min_size=8, max_size=200), st.integers(1, 12))
+    def test_size_accounting(self, text, n_coded):
+        """Compressed size decomposes exactly into coded + escaped."""
+        blocks = BlockSet.from_string(text, 4)
+        result = compress_selective_huffman(blocks, n_coded=n_coded)
+        coded_blocks = blocks.n_blocks - result.escaped_blocks
+        assert coded_blocks >= 0
+        minimum = coded_blocks * 2 + result.escaped_blocks * 5
+        assert result.compressed_bits >= minimum
+
+    def test_mv_formulation_subsumes_selective_huffman(self):
+        """The paper's EA search space contains selective Huffman:
+        fully-specified MVs for the frequent patterns + all-U escape.
+        The EA must therefore match or beat it given enough budget."""
+        from repro.core.config import CompressionConfig, EAParameters
+        from repro.core.optimizer import optimize_mv_set
+
+        text = "1100" * 20 + "0011" * 10 + "011X" * 5
+        blocks = BlockSet.from_string(text, 4)
+        selective = compress_selective_huffman(blocks, n_coded=2)
+        config = CompressionConfig(
+            block_length=4,
+            n_vectors=6,
+            runs=2,
+            ea=EAParameters(stagnation_limit=25, max_evaluations=800),
+        )
+        ea = optimize_mv_set(blocks, config, seed=3)
+        assert ea.best_rate >= selective.rate - 1e-9

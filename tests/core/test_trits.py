@@ -1,0 +1,89 @@
+"""Unit tests for the trit alphabet."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.trits import (
+    DC,
+    ONE,
+    ZERO,
+    format_trits,
+    parse_trits,
+    random_trits,
+    trits_to_array,
+)
+
+
+class TestParse:
+    def test_basic(self):
+        assert parse_trits("01X") == (ZERO, ONE, DC)
+
+    def test_u_and_x_and_dash_equivalent(self):
+        assert parse_trits("XUx u-") == (DC,) * 5
+
+    def test_grouping_ignored(self):
+        assert parse_trits("000 111") == (0, 0, 0, 1, 1, 1)
+
+    def test_invalid_character(self):
+        with pytest.raises(ValueError):
+            parse_trits("012")
+
+    def test_empty(self):
+        assert parse_trits("") == ()
+
+
+class TestFormat:
+    def test_default_uses_u(self):
+        assert format_trits((0, 1, 2)) == "01U"
+
+    def test_x_style(self):
+        assert format_trits((0, 1, 2), unspecified="X") == "01X"
+
+    def test_invalid_unspecified_char(self):
+        with pytest.raises(ValueError):
+            format_trits((0,), unspecified="?")
+
+    def test_invalid_trit_value(self):
+        with pytest.raises(ValueError):
+            format_trits((3,))
+
+    @given(st.text(alphabet="01X", max_size=60))
+    def test_roundtrip(self, text):
+        assert format_trits(parse_trits(text), unspecified="X") == text
+
+
+class TestArrayHelpers:
+    def test_trits_to_array_dtype(self):
+        array = trits_to_array((0, 1, 2))
+        assert array.dtype == np.int8
+
+    def test_trits_to_array_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            trits_to_array((0, 3))
+
+    def test_trits_to_array_rejects_2d(self):
+        with pytest.raises(ValueError):
+            trits_to_array(np.zeros((2, 2), dtype=np.int8))
+
+    def test_random_trits_respects_probabilities(self):
+        rng = np.random.default_rng(7)
+        trits = random_trits(5000, rng, probabilities=(0.0, 0.0, 1.0))
+        assert (trits == DC).all()
+
+    def test_random_trits_distribution(self):
+        rng = np.random.default_rng(7)
+        trits = random_trits(30_000, rng, probabilities=(0.5, 0.25, 0.25))
+        zero_fraction = (trits == ZERO).mean()
+        assert 0.45 < zero_fraction < 0.55
+
+    def test_random_trits_rejects_bad_weights(self):
+        rng = np.random.default_rng(7)
+        with pytest.raises(ValueError):
+            random_trits(10, rng, probabilities=(1.0, 1.0))
+
+    def test_random_trits_negative_length(self):
+        rng = np.random.default_rng(7)
+        with pytest.raises(ValueError):
+            random_trits(-1, rng)

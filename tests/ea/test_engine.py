@@ -1,0 +1,135 @@
+"""Unit and integration tests for the evolutionary engine (Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EAParameters
+from repro.ea.engine import EvolutionaryEngine
+from repro.ea.genome import random_genome, validate_genome
+
+
+def count_ones_fitness(genome: np.ndarray) -> float:
+    """Toy maximization problem: number of genes equal to 1."""
+    return float((genome == 1).sum())
+
+
+def make_engine(**kwargs) -> EvolutionaryEngine:
+    params = kwargs.pop(
+        "params",
+        EAParameters(stagnation_limit=30, max_evaluations=2000),
+    )
+    return EvolutionaryEngine(
+        fitness=kwargs.pop("fitness", count_ones_fitness),
+        genome_length=kwargs.pop("genome_length", 24),
+        params=params,
+        seed=kwargs.pop("seed", 99),
+        **kwargs,
+    )
+
+
+class TestEngineBasics:
+    def test_solves_onemax(self):
+        result = make_engine().run()
+        assert result.best_fitness >= 20  # near-optimal on 24 genes
+
+    def test_deterministic_under_seed(self):
+        first = make_engine(seed=5).run()
+        second = make_engine(seed=5).run()
+        assert first.best_fitness == second.best_fitness
+        assert (first.best_genome == second.best_genome).all()
+
+    def test_history_is_monotone_in_best(self):
+        result = make_engine().run()
+        best_so_far = -np.inf
+        for stats in result.history:
+            assert stats.best_fitness >= best_so_far
+            best_so_far = stats.best_fitness
+
+    def test_terminates_by_stagnation(self):
+        params = EAParameters(stagnation_limit=5)
+        result = make_engine(params=params).run()
+        assert "stagnation" in result.terminated_by
+
+    def test_terminates_by_evaluations(self):
+        params = EAParameters(stagnation_limit=10_000, max_evaluations=50)
+        result = make_engine(params=params).run()
+        assert "evaluations" in result.terminated_by
+        assert result.evaluations >= 50
+
+    def test_terminates_by_generations(self):
+        params = EAParameters(stagnation_limit=10_000, max_generations=7)
+        result = make_engine(params=params).run()
+        assert result.generations == 7
+        assert "generations" in result.terminated_by
+
+    def test_invalid_genome_length(self):
+        with pytest.raises(ValueError):
+            make_engine(genome_length=0)
+
+
+class TestEngineRepair:
+    def test_repair_applied_to_every_individual(self):
+        def repair(genome: np.ndarray) -> np.ndarray:
+            fixed = genome.copy()
+            fixed[0] = 2
+            return fixed
+
+        seen = []
+
+        def spy_fitness(genome: np.ndarray) -> float:
+            seen.append(genome.copy())
+            return count_ones_fitness(genome)
+
+        make_engine(fitness=spy_fitness, repair=repair).run()
+        assert seen, "fitness must have been called"
+        assert all(genome[0] == 2 for genome in seen)
+
+
+class TestEngineSeeding:
+    def test_seed_genome_survives_if_fittest(self):
+        optimal = np.ones(24, dtype=np.int8)
+        result = make_engine(
+            initial_genomes=[optimal],
+            params=EAParameters(stagnation_limit=3),
+        ).run()
+        assert result.best_fitness == 24.0
+
+    def test_seed_genome_length_checked(self):
+        with pytest.raises(ValueError):
+            make_engine(initial_genomes=[np.ones(3, dtype=np.int8)])
+
+
+class TestEngineBudget:
+    def test_evaluations_counted(self):
+        params = EAParameters(stagnation_limit=4)
+        result = make_engine(params=params).run()
+        # S initial + C per generation (crossover may add one extra
+        # evaluation when it lands on the last slot of a generation).
+        assert result.evaluations >= 10 + 4 * 5
+
+    def test_population_never_exceeds_s_best(self):
+        """After truncation, champion fitness appears in history."""
+        result = make_engine().run()
+        assert result.history[-1].best_fitness <= result.best_fitness
+
+
+class TestGenomeHelpers:
+    def test_random_genome_range(self):
+        genome = random_genome(100, np.random.default_rng(0))
+        assert genome.min() >= 0 and genome.max() <= 2
+
+    def test_validate_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            validate_genome(np.asarray([0, 3], dtype=np.int8))
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_genome(np.asarray([], dtype=np.int8))
+
+    def test_validate_rejects_2d(self):
+        with pytest.raises(ValueError):
+            validate_genome(np.zeros((2, 2), dtype=np.int8))
+
+    def test_random_genome_bad_length(self):
+        with pytest.raises(ValueError):
+            random_genome(0, np.random.default_rng(0))

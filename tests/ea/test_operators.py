@@ -1,0 +1,134 @@
+"""Unit and property tests for the evolutionary operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ea.operators import (
+    one_point_crossover,
+    point_mutation,
+    reproduce,
+    segment_inversion,
+    uniform_crossover,
+)
+
+genomes = st.lists(st.integers(0, 2), min_size=2, max_size=50).map(
+    lambda xs: np.asarray(xs, dtype=np.int8)
+)
+
+
+def paired_genomes():
+    return st.integers(2, 50).flatmap(
+        lambda n: st.tuples(
+            st.lists(st.integers(0, 2), min_size=n, max_size=n),
+            st.lists(st.integers(0, 2), min_size=n, max_size=n),
+        ).map(
+            lambda ab: (
+                np.asarray(ab[0], dtype=np.int8),
+                np.asarray(ab[1], dtype=np.int8),
+            )
+        )
+    )
+
+
+class TestUniformCrossover:
+    @given(paired_genomes(), st.integers(0, 2**31 - 1))
+    def test_children_take_genes_from_parents_complementarily(self, parents, seed):
+        parent_a, parent_b = parents
+        rng = np.random.default_rng(seed)
+        child_one, child_two = uniform_crossover(parent_a, parent_b, rng)
+        for position in range(parent_a.size):
+            pair = {int(child_one[position]), int(child_two[position])}
+            assert pair == {int(parent_a[position]), int(parent_b[position])}
+
+    def test_parents_unchanged(self):
+        rng = np.random.default_rng(0)
+        parent_a = np.zeros(10, dtype=np.int8)
+        parent_b = np.ones(10, dtype=np.int8)
+        uniform_crossover(parent_a, parent_b, rng)
+        assert (parent_a == 0).all() and (parent_b == 1).all()
+
+    def test_length_mismatch_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            uniform_crossover(
+                np.zeros(3, dtype=np.int8), np.zeros(4, dtype=np.int8), rng
+            )
+
+    def test_actually_mixes(self):
+        rng = np.random.default_rng(1)
+        parent_a = np.zeros(100, dtype=np.int8)
+        parent_b = np.ones(100, dtype=np.int8)
+        child_one, _ = uniform_crossover(parent_a, parent_b, rng)
+        assert 0 < child_one.sum() < 100
+
+
+class TestOnePointCrossover:
+    @given(paired_genomes(), st.integers(0, 2**31 - 1))
+    def test_children_are_prefix_suffix_swaps(self, parents, seed):
+        parent_a, parent_b = parents
+        rng = np.random.default_rng(seed)
+        child_one, child_two = one_point_crossover(parent_a, parent_b, rng)
+        # There must exist a cut making children = A[:c]+B[c:], B[:c]+A[c:].
+        found = False
+        for cut in range(1, parent_a.size):
+            if (
+                (child_one[:cut] == parent_a[:cut]).all()
+                and (child_one[cut:] == parent_b[cut:]).all()
+                and (child_two[:cut] == parent_b[:cut]).all()
+                and (child_two[cut:] == parent_a[cut:]).all()
+            ):
+                found = True
+                break
+        assert found
+
+
+class TestPointMutation:
+    @given(genomes, st.integers(0, 2**31 - 1))
+    def test_at_most_one_gene_changes(self, genome, seed):
+        rng = np.random.default_rng(seed)
+        child = point_mutation(genome, rng)
+        assert (child != genome).sum() <= 1
+
+    @given(genomes, st.integers(0, 2**31 - 1))
+    def test_values_stay_in_alphabet(self, genome, seed):
+        rng = np.random.default_rng(seed)
+        child = point_mutation(genome, rng)
+        assert child.min() >= 0 and child.max() <= 2
+
+    def test_parent_unchanged(self):
+        genome = np.zeros(5, dtype=np.int8)
+        point_mutation(genome, np.random.default_rng(0))
+        assert (genome == 0).all()
+
+
+class TestSegmentInversion:
+    @given(genomes, st.integers(0, 2**31 - 1))
+    def test_multiset_of_genes_preserved(self, genome, seed):
+        rng = np.random.default_rng(seed)
+        child = segment_inversion(genome, rng)
+        assert sorted(child.tolist()) == sorted(genome.tolist())
+
+    @given(genomes, st.integers(0, 2**31 - 1))
+    def test_prefix_and_suffix_untouched(self, genome, seed):
+        """Outside some window [i, j] the child equals the parent."""
+        rng = np.random.default_rng(seed)
+        child = segment_inversion(genome, rng)
+        differing = np.nonzero(child != genome)[0]
+        if differing.size:
+            low, high = differing.min(), differing.max()
+            assert (child[low : high + 1] == genome[low : high + 1][::-1]).all()
+
+    def test_single_gene_genome(self):
+        genome = np.asarray([1], dtype=np.int8)
+        child = segment_inversion(genome, np.random.default_rng(0))
+        assert child.tolist() == [1]
+
+
+class TestReproduce:
+    def test_identical_copy(self):
+        genome = np.asarray([0, 1, 2], dtype=np.int8)
+        child = reproduce(genome)
+        assert (child == genome).all()
+        assert child is not genome

@@ -1,0 +1,51 @@
+"""Unit tests for parent and survivor selection."""
+
+import numpy as np
+import pytest
+
+from repro.ea.selection import Individual, select_parent, truncate
+
+
+def make_individual(fitness: float, birth: int) -> Individual:
+    return Individual(
+        genome=np.zeros(3, dtype=np.int8), fitness=fitness, birth_order=birth
+    )
+
+
+class TestTruncate:
+    def test_keeps_best(self):
+        pool = [make_individual(f, i) for i, f in enumerate([1.0, 5.0, 3.0])]
+        survivors = truncate(pool, 2)
+        assert [ind.fitness for ind in survivors] == [5.0, 3.0]
+
+    def test_tie_broken_by_seniority(self):
+        old = make_individual(2.0, 0)
+        young = make_individual(2.0, 7)
+        assert truncate([young, old], 1) == [old]
+
+    def test_keeps_all_if_fewer_than_requested(self):
+        pool = [make_individual(1.0, 0)]
+        assert len(truncate(pool, 5)) == 1
+
+    def test_zero_survivors_rejected(self):
+        with pytest.raises(ValueError):
+            truncate([make_individual(1.0, 0)], 0)
+
+
+class TestSelectParent:
+    def test_uniform_choice_covers_population(self):
+        rng = np.random.default_rng(0)
+        pool = [make_individual(float(i), i) for i in range(5)]
+        chosen = {select_parent(pool, rng).birth_order for _ in range(200)}
+        assert chosen == {0, 1, 2, 3, 4}
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            select_parent([], np.random.default_rng(0))
+
+
+class TestIndividual:
+    def test_genome_frozen(self):
+        individual = make_individual(1.0, 0)
+        with pytest.raises(ValueError):
+            individual.genome[0] = 1

@@ -1,0 +1,81 @@
+"""Unit tests for termination conditions."""
+
+import pytest
+
+from repro.ea.termination import (
+    AnyOf,
+    EvaluationLimit,
+    GenerationLimit,
+    LoopState,
+    StagnationLimit,
+)
+
+
+def state(generation=0, evaluations=0, stagnant=0, best=0.0) -> LoopState:
+    return LoopState(
+        generation=generation,
+        evaluations=evaluations,
+        generations_without_improvement=stagnant,
+        best_fitness=best,
+    )
+
+
+class TestStagnationLimit:
+    def test_fires_at_limit(self):
+        condition = StagnationLimit(5)
+        assert not condition.should_stop(state(stagnant=4))
+        assert condition.should_stop(state(stagnant=5))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            StagnationLimit(0)
+
+    def test_describe(self):
+        assert StagnationLimit(500).describe() == "stagnation(500)"
+
+
+class TestEvaluationLimit:
+    def test_fires_at_limit(self):
+        condition = EvaluationLimit(100)
+        assert not condition.should_stop(state(evaluations=99))
+        assert condition.should_stop(state(evaluations=100))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            EvaluationLimit(0)
+
+
+class TestGenerationLimit:
+    def test_fires_at_limit(self):
+        condition = GenerationLimit(10)
+        assert not condition.should_stop(state(generation=9))
+        assert condition.should_stop(state(generation=10))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            GenerationLimit(0)
+
+
+class TestAnyOf:
+    def test_any_sub_condition_fires(self):
+        combined = AnyOf(StagnationLimit(5), EvaluationLimit(10))
+        assert combined.should_stop(state(evaluations=10))
+        assert combined.fired == EvaluationLimit(10)
+
+    def test_none_fire(self):
+        combined = AnyOf(StagnationLimit(5), EvaluationLimit(10))
+        assert not combined.should_stop(state(stagnant=1, evaluations=1))
+        assert combined.fired is None
+
+    def test_reports_first_firing(self):
+        combined = AnyOf(StagnationLimit(1), EvaluationLimit(1))
+        combined.should_stop(state(stagnant=1, evaluations=1))
+        assert combined.fired == StagnationLimit(1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AnyOf()
+
+    def test_describe(self):
+        combined = AnyOf(StagnationLimit(2), GenerationLimit(3))
+        assert combined.describe() == "any(stagnation(2), generations(3))"

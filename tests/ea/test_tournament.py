@@ -1,0 +1,85 @@
+"""Tests for tournament parent selection (EA extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EAParameters
+from repro.ea.engine import EvolutionaryEngine
+from repro.ea.selection import Individual, tournament_select
+
+
+def make_individual(fitness: float, birth: int) -> Individual:
+    return Individual(
+        genome=np.zeros(3, dtype=np.int8), fitness=fitness, birth_order=birth
+    )
+
+
+class TestTournamentSelect:
+    def test_prefers_fitter(self):
+        rng = np.random.default_rng(0)
+        weak = make_individual(1.0, 0)
+        strong = make_individual(9.0, 1)
+        wins = sum(
+            tournament_select([weak, strong], rng, 2) is strong
+            for _ in range(300)
+        )
+        # Strong wins every tournament it enters: P(win) = 3/4.
+        assert wins > 200
+
+    def test_tournament_of_population_size_one(self):
+        rng = np.random.default_rng(0)
+        only = make_individual(1.0, 0)
+        assert tournament_select([only], rng, 2) is only
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            tournament_select([], np.random.default_rng(0), 2)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            tournament_select(
+                [make_individual(1.0, 0)], np.random.default_rng(0), 1
+            )
+
+
+class TestEngineWithTournament:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EAParameters(parent_selection="lottery")
+        with pytest.raises(ValueError):
+            EAParameters(parent_selection="tournament", tournament_size=1)
+
+    def test_tournament_engine_solves_onemax(self):
+        def count_ones(genome: np.ndarray) -> float:
+            return float((genome == 1).sum())
+
+        params = EAParameters(
+            parent_selection="tournament",
+            tournament_size=3,
+            stagnation_limit=30,
+            max_evaluations=2000,
+        )
+        engine = EvolutionaryEngine(
+            fitness=count_ones, genome_length=24, params=params, seed=1
+        )
+        result = engine.run()
+        assert result.best_fitness >= 20
+
+    def test_deterministic_under_seed(self):
+        def count_ones(genome: np.ndarray) -> float:
+            return float((genome == 1).sum())
+
+        params = EAParameters(
+            parent_selection="tournament",
+            stagnation_limit=10,
+            max_evaluations=300,
+        )
+        results = [
+            EvolutionaryEngine(
+                fitness=count_ones, genome_length=16, params=params, seed=4
+            )
+            .run()
+            .best_fitness
+            for _ in range(2)
+        ]
+        assert results[0] == results[1]

@@ -1,0 +1,59 @@
+"""Tests for the full EXPERIMENTS.md document writer."""
+
+from repro.experiments.ablations import AblationPoint
+from repro.experiments.report import experiments_markdown
+from repro.experiments.tables import TABLE1_COLUMNS, TABLE2_COLUMNS, TableResult
+
+from .test_report import fake_row
+
+
+def fake_table(columns, kind):
+    rows = []
+    for circuit in ("s349", "s298"):
+        base = fake_row(circuit, 48.0)
+        rows.append(
+            type(base)(
+                circuit=base.circuit,
+                kind=kind,
+                test_set_bits=base.test_set_bits,
+                care_density=base.care_density,
+                anchor_error=base.anchor_error,
+                measured={c: v for c, v in zip(columns, (20.0, 25.0, 48.0, 49.0))},
+                published={c: v for c, v in zip(columns, (20.0, 26.0, 50.0, 52.0))},
+            )
+        )
+    return TableResult(
+        kind=kind,
+        columns=columns,
+        rows=tuple(rows),
+        published_averages={},
+    )
+
+
+class TestExperimentsMarkdown:
+    def test_document_structure(self):
+        document = experiments_markdown(
+            fake_table(TABLE1_COLUMNS, "stuck-at"),
+            fake_table(TABLE2_COLUMNS, "path-delay"),
+            ablations={
+                "K/L sweep": [AblationPoint("K=8,L=9", 40.0, 41.0)],
+            },
+            budget_label="quick",
+        )
+        assert document.startswith("# EXPERIMENTS")
+        assert "## Table 1 — stuck-at test sets" in document
+        assert "## Table 2 — path-delay test sets" in document
+        assert "## Figure 1 — the evolutionary algorithm" in document
+        assert "## Section 3.3 example — subsumption" in document
+        assert "### K/L sweep" in document
+        assert "budget: quick" in document
+
+    def test_shape_checks_embedded(self):
+        document = experiments_markdown(
+            fake_table(TABLE1_COLUMNS, "stuck-at"),
+            fake_table(TABLE2_COLUMNS, "path-delay"),
+            ablations={},
+            budget_label="paper",
+        )
+        assert document.count("### Shape checks") == 2
+        assert "budget: paper" in document

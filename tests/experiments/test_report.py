@@ -1,0 +1,74 @@
+"""Tests for the EXPERIMENTS.md section writers."""
+
+from repro.experiments.ablations import AblationPoint
+from repro.experiments.report import (
+    ablation_markdown,
+    shape_check_markdown,
+    table_markdown,
+)
+from repro.experiments.runner import RowResult
+from repro.experiments.tables import TABLE1_COLUMNS, TableResult
+
+
+def fake_row(circuit: str, ea: float) -> RowResult:
+    return RowResult(
+        circuit=circuit,
+        kind="stuck-at",
+        test_set_bits=1000,
+        care_density=0.4,
+        anchor_error=0.2,
+        measured={"9C": 20.0, "9C+HC": 25.0, "EA": ea, "EA-Best": ea + 1.0},
+        published={"9C": 20.0, "9C+HC": 26.0, "EA": 50.0, "EA-Best": 52.0},
+    )
+
+
+def fake_table() -> TableResult:
+    return TableResult(
+        kind="stuck-at",
+        columns=TABLE1_COLUMNS,
+        rows=(fake_row("s349", 48.0), fake_row("s298", 52.0)),
+        published_averages={"9C": 42.6, "9C+HC": 46.8, "EA": 54.2,
+                            "EA-Best": 55.9},
+    )
+
+
+class TestTableMarkdown:
+    def test_contains_rows_and_average(self):
+        text = table_markdown(fake_table(), "Table 1 (subset)")
+        assert "| s349 |" in text
+        assert "| s298 |" in text
+        assert "**Average**" in text
+        assert "### Table 1 (subset)" in text
+
+    def test_reports_anchor_error(self):
+        text = table_markdown(fake_table(), "t")
+        assert "0.20" in text
+
+
+class TestAblationMarkdown:
+    def test_renders_points(self):
+        points = [
+            AblationPoint("K=8,L=9", 40.0, 42.0),
+            AblationPoint("K=12,L=64", 45.0, 47.0),
+        ]
+        text = ablation_markdown(points, "K/L sweep")
+        assert "| K=8,L=9 | 40.0 | 42.0 |" in text
+        assert "### K/L sweep" in text
+
+
+class TestShapeChecks:
+    def test_all_pass_on_good_shape(self):
+        text = shape_check_markdown(fake_table())
+        assert "FAIL" not in text
+        assert text.count("PASS") == 4
+
+    def test_fails_when_ea_loses(self):
+        bad_rows = (fake_row("s349", 10.0), fake_row("s298", 12.0))
+        bad = TableResult(
+            kind="stuck-at",
+            columns=TABLE1_COLUMNS,
+            rows=bad_rows,
+            published_averages={},
+        )
+        text = shape_check_markdown(bad)
+        assert "FAIL" in text

@@ -1,0 +1,98 @@
+"""Integration tests for the per-row experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import PAPER, QUICK, ExperimentBudget, run_row
+from repro.testdata.registry import (
+    TABLE1_STUCK_AT,
+    TABLE2_PATH_DELAY,
+    row_by_name,
+)
+
+# A micro budget so tests stay fast; correctness is budget-independent.
+MICRO = ExperimentBudget(
+    runs=2,
+    stagnation_limit=8,
+    max_evaluations=250,
+    kl_grid=((8, 16),),
+    search_bit_cap=20_000,
+)
+
+
+class TestRunRowStuckAt:
+    def test_row_produces_all_columns(self):
+        row = row_by_name(TABLE1_STUCK_AT, "s349")
+        result = run_row(row, "stuck-at", budget=MICRO, seed=5)
+        assert set(result.measured) == {"9C", "9C+HC", "EA", "EA-Best"}
+        assert result.circuit == "s349"
+        assert result.kind == "stuck-at"
+
+    def test_nine_c_anchored(self):
+        row = row_by_name(TABLE1_STUCK_AT, "s349")
+        result = run_row(row, "stuck-at", budget=MICRO, seed=5)
+        assert abs(result.measured["9C"] - row.published["9C"]) <= 1.0
+        assert result.anchor_error <= 1.0
+
+    def test_ea_best_at_least_ea(self):
+        row = row_by_name(TABLE1_STUCK_AT, "s349")
+        result = run_row(row, "stuck-at", budget=MICRO, seed=5)
+        assert result.measured["EA-Best"] >= result.measured["EA"] - 1e-9
+
+    def test_deterministic_under_seed(self):
+        row = row_by_name(TABLE1_STUCK_AT, "s298")
+        first = run_row(row, "stuck-at", budget=MICRO, seed=9)
+        second = run_row(row, "stuck-at", budget=MICRO, seed=9)
+        assert first.measured == second.measured
+
+    def test_delta_helper(self):
+        row = row_by_name(TABLE1_STUCK_AT, "s349")
+        result = run_row(row, "stuck-at", budget=MICRO, seed=5)
+        assert result.delta("9C") == pytest.approx(
+            result.measured["9C"] - row.published["9C"]
+        )
+
+
+class TestRunRowPathDelay:
+    def test_row_produces_all_columns(self):
+        row = row_by_name(TABLE2_PATH_DELAY, "s27")
+        result = run_row(row, "path-delay", budget=MICRO, seed=5)
+        assert set(result.measured) == {"9C", "9C+HC", "EA1", "EA2"}
+
+    def test_invalid_kind_rejected(self):
+        row = row_by_name(TABLE2_PATH_DELAY, "s27")
+        with pytest.raises(ValueError):
+            run_row(row, "transition", budget=MICRO)
+
+
+class TestSubsampling:
+    def test_large_set_search_capped_but_rate_on_full(self):
+        """A row bigger than the cap still reports a full-set rate."""
+        row = row_by_name(TABLE1_STUCK_AT, "s953")  # 5220 bits
+        tiny_cap = ExperimentBudget(
+            runs=1,
+            stagnation_limit=5,
+            max_evaluations=120,
+            kl_grid=((8, 16),),
+            search_bit_cap=2_000,  # force subsampling
+        )
+        result = run_row(row, "stuck-at", budget=tiny_cap, seed=3)
+        # Anchor (full set) must still hold even though search sampled.
+        assert abs(result.measured["9C"] - row.published["9C"]) <= 1.0
+        assert "EA" in result.measured
+
+
+class TestBudgets:
+    def test_quick_budget_values(self):
+        assert QUICK.runs == 3
+        assert QUICK.stagnation_limit == 30
+
+    def test_paper_budget_matches_section4(self):
+        assert PAPER.runs == 5
+        assert PAPER.stagnation_limit == 500
+        assert PAPER.max_evaluations is None
+
+    def test_ea_parameters_inherit_paper_probabilities(self):
+        params = QUICK.ea_parameters()
+        assert params.crossover_probability == 0.30
+        assert params.mutation_probability == 0.30
+        assert params.inversion_probability == 0.10

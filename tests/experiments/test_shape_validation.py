@@ -1,0 +1,54 @@
+"""Tests for TableResult's qualitative shape helpers."""
+
+from repro.experiments.runner import RowResult
+from repro.experiments.tables import TABLE1_COLUMNS, TableResult
+
+
+def row(circuit, nine_c, nine_c_hc, ea, ea_best):
+    return RowResult(
+        circuit=circuit,
+        kind="stuck-at",
+        test_set_bits=1000,
+        care_density=0.4,
+        anchor_error=0.1,
+        measured={
+            "9C": nine_c, "9C+HC": nine_c_hc, "EA": ea, "EA-Best": ea_best,
+        },
+        published={
+            "9C": nine_c, "9C+HC": nine_c_hc, "EA": ea, "EA-Best": ea_best,
+        },
+    )
+
+
+def table(*rows):
+    return TableResult(
+        kind="stuck-at",
+        columns=TABLE1_COLUMNS,
+        rows=rows,
+        published_averages={},
+    )
+
+
+class TestOrderingHolds:
+    def test_paper_shape_passes(self):
+        result = table(row("a", 20, 25, 50, 52), row("b", 30, 35, 55, 56))
+        assert result.ordering_holds()
+
+    def test_inverted_shape_fails(self):
+        result = table(row("a", 50, 40, 20, 22))
+        assert not result.ordering_holds()
+
+
+class TestWins:
+    def test_counts_strict_wins_only(self):
+        result = table(
+            row("a", 20, 25, 50, 52),   # EA beats 9C
+            row("b", 30, 35, 30, 36),   # EA ties 9C -> not a win
+        )
+        assert result.wins("EA", "9C") == 1
+        assert result.wins("9C", "EA") == 0
+
+    def test_averages_over_subset(self):
+        result = table(row("a", 20, 25, 50, 52), row("b", 40, 45, 60, 62))
+        assert result.measured_average("9C") == 30.0
+        assert result.published_subset_average("EA") == 55.0

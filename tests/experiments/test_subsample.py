@@ -1,0 +1,45 @@
+"""Tests for the search-subsampling helper used on huge table rows."""
+
+import numpy as np
+
+from repro.experiments.runner import _subsample
+from repro.testdata.synthetic import SyntheticSpec, synthetic_test_set
+
+
+def make_set(n_patterns=100, pattern_bits=50):
+    return synthetic_test_set(
+        SyntheticSpec(
+            "sub", n_patterns=n_patterns, pattern_bits=pattern_bits,
+            care_density=0.4, seed=3,
+        )
+    )
+
+
+class TestSubsample:
+    def test_small_set_returned_unchanged(self):
+        test_set = make_set()
+        assert _subsample(test_set, max_bits=10_000, seed=1) is test_set
+
+    def test_large_set_reduced_under_cap(self):
+        test_set = make_set()
+        sample = _subsample(test_set, max_bits=1_000, seed=1)
+        assert sample.total_bits <= 1_000
+        assert sample.n_inputs == test_set.n_inputs
+
+    def test_sampled_patterns_are_original_rows(self):
+        test_set = make_set()
+        sample = _subsample(test_set, max_bits=1_000, seed=1)
+        originals = {test_set.pattern_string(i) for i in range(100)}
+        for row in range(sample.n_patterns):
+            assert sample.pattern_string(row) in originals
+
+    def test_deterministic_under_seed(self):
+        test_set = make_set()
+        first = _subsample(test_set, max_bits=1_000, seed=7)
+        second = _subsample(test_set, max_bits=1_000, seed=7)
+        assert first.to_string() == second.to_string()
+
+    def test_statistics_roughly_preserved(self):
+        test_set = make_set(n_patterns=400)
+        sample = _subsample(test_set, max_bits=4_000, seed=2)
+        assert abs(sample.x_density() - test_set.x_density()) < 0.1

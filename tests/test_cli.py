@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_table1_defaults(self):
+        arguments = build_parser().parse_args(["table1"])
+        assert arguments.command == "table1"
+        assert arguments.budget == "quick"
+        assert not arguments.full
+
+    def test_table2_with_options(self):
+        arguments = build_parser().parse_args(
+            ["table2", "--circuits", "s27", "--budget", "paper", "--seed", "7"]
+        )
+        assert arguments.circuits == ["s27"]
+        assert arguments.budget == "paper"
+        assert arguments.seed == 7
+
+    def test_compress_arguments(self):
+        arguments = build_parser().parse_args(
+            ["compress", "file.txt", "--k", "8", "--l", "9"]
+        )
+        assert arguments.k == 8 and arguments.l == 9
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_ablate_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablate", "nonsense"])
+
+
+class TestCompressCommand:
+    def test_compress_file(self, tmp_path, capsys):
+        path = tmp_path / "patterns.txt"
+        path.write_text(
+            "# demo patterns\n"
+            + "\n".join(["11001100XXXX", "110011001111", "XXXX11001100"] * 6)
+        )
+        code = main(
+            [
+                "compress",
+                str(path),
+                "--k", "4",
+                "--l", "6",
+                "--runs", "1",
+                "--stagnation", "5",
+                "--max-evaluations", "120",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "9C" in output and "EA" in output
+
+
+class TestAtpgCommand:
+    def test_atpg_c17(self, capsys):
+        code = main(["atpg", "c17", "--k", "4", "--l", "8"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fault coverage" in output
+        assert "EA" in output

@@ -1,0 +1,106 @@
+"""Tests for the transcribed paper tables."""
+
+import numpy as np
+import pytest
+
+from repro.testdata.registry import (
+    TABLE1_AVERAGES,
+    TABLE1_STUCK_AT,
+    TABLE2_AVERAGES,
+    TABLE2_PATH_DELAY,
+    PaperRow,
+    row_by_name,
+)
+
+
+class TestTableShapes:
+    def test_table1_has_39_rows(self):
+        assert len(TABLE1_STUCK_AT) == 39
+
+    def test_table2_has_29_rows(self):
+        assert len(TABLE2_PATH_DELAY) == 29
+
+    def test_sizes_sorted_ascending_table1(self):
+        sizes = [row.test_set_bits for row in TABLE1_STUCK_AT]
+        assert sizes == sorted(sizes)
+
+    def test_sizes_sorted_ascending_table2(self):
+        sizes = [row.test_set_bits for row in TABLE2_PATH_DELAY]
+        assert sizes == sorted(sizes)
+
+    def test_columns_table1(self):
+        for row in TABLE1_STUCK_AT:
+            assert set(row.published) == {"9C", "9C+HC", "EA", "EA-Best"}
+
+    def test_columns_table2(self):
+        for row in TABLE2_PATH_DELAY:
+            assert set(row.published) == {"9C", "9C+HC", "EA1", "EA2"}
+
+
+class TestSizesFactorExactly:
+    """Every size divides by the pattern width — the cross-check that
+    validates both the transcription and the input-width choices."""
+
+    def test_table1_widths_divide_sizes(self):
+        for row in TABLE1_STUCK_AT:
+            assert row.test_set_bits % row.pattern_bits == 0
+            assert row.n_patterns >= 1
+
+    def test_table2_widths_divide_sizes(self):
+        for row in TABLE2_PATH_DELAY:
+            assert row.test_set_bits % row.pattern_bits == 0
+            # Path-delay patterns are vector pairs: width is even.
+            assert row.pattern_bits % 2 == 0
+
+    def test_known_row_values(self):
+        s349 = row_by_name(TABLE1_STUCK_AT, "s349")
+        assert s349.test_set_bits == 624
+        assert s349.n_patterns == 26
+        assert s349.published["EA"] == 54.2
+
+        s27 = row_by_name(TABLE2_PATH_DELAY, "s27")
+        assert s27.test_set_bits == 448
+        assert s27.pattern_bits == 14  # 2 x 7 inputs
+        assert s27.published["9C"] == -5.0
+
+
+class TestPublishedAverages:
+    def test_table1_averages_match_rows(self):
+        """The paper's last-line averages agree with its own rows."""
+        for column, published in TABLE1_AVERAGES.items():
+            computed = np.mean(
+                [row.published[column] for row in TABLE1_STUCK_AT]
+            )
+            assert computed == pytest.approx(published, abs=0.06)
+
+    def test_table2_averages_match_rows(self):
+        for column, published in TABLE2_AVERAGES.items():
+            computed = np.mean(
+                [row.published[column] for row in TABLE2_PATH_DELAY]
+            )
+            assert computed == pytest.approx(published, abs=0.06)
+
+    def test_paper_headline_ordering(self):
+        """9C < 9C+HC < EA < EA-Best on the published averages."""
+        assert (
+            TABLE1_AVERAGES["9C"]
+            < TABLE1_AVERAGES["9C+HC"]
+            < TABLE1_AVERAGES["EA"]
+            < TABLE1_AVERAGES["EA-Best"]
+        )
+        assert (
+            TABLE2_AVERAGES["9C"]
+            < TABLE2_AVERAGES["9C+HC"]
+            < TABLE2_AVERAGES["EA1"]
+            < TABLE2_AVERAGES["EA2"]
+        )
+
+
+class TestPaperRowValidation:
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(ValueError):
+            PaperRow("bad", 100, 7, {"9C": 0.0})
+
+    def test_row_lookup_missing(self):
+        with pytest.raises(KeyError):
+            row_by_name(TABLE1_STUCK_AT, "c9999")

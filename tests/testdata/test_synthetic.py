@@ -1,0 +1,105 @@
+"""Unit and property tests for the synthetic test-set generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trits import DC
+from repro.testdata.synthetic import SyntheticSpec, synthetic_test_set
+
+
+def spec(**overrides) -> SyntheticSpec:
+    base = dict(
+        name="t", n_patterns=40, pattern_bits=30, care_density=0.5, seed=1
+    )
+    base.update(overrides)
+    return SyntheticSpec(**base)
+
+
+class TestSpecValidation:
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            spec(care_density=1.5)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            spec(n_patterns=0)
+
+    def test_invalid_bias(self):
+        with pytest.raises(ValueError):
+            spec(one_bias=-0.1)
+
+    def test_with_care_density(self):
+        updated = spec().with_care_density(0.2)
+        assert updated.care_density == 0.2
+        assert updated.seed == spec().seed
+
+    def test_total_bits(self):
+        assert spec().total_bits == 1200
+
+
+class TestGeneration:
+    def test_exact_care_density(self):
+        """Gumbel top-k placement hits the requested count exactly."""
+        ts = synthetic_test_set(spec(care_density=0.37))
+        expected = round(0.37 * 1200) / 1200
+        assert ts.care_density() == pytest.approx(expected)
+
+    def test_deterministic_under_seed(self):
+        first = synthetic_test_set(spec())
+        second = synthetic_test_set(spec())
+        assert first.to_string() == second.to_string()
+
+    def test_different_seeds_differ(self):
+        first = synthetic_test_set(spec(seed=1))
+        second = synthetic_test_set(spec(seed=2))
+        assert first.to_string() != second.to_string()
+
+    def test_extreme_densities(self):
+        all_x = synthetic_test_set(spec(care_density=0.0))
+        assert all_x.care_density() == 0.0
+        dense = synthetic_test_set(spec(care_density=1.0))
+        assert dense.care_density() == 1.0
+
+    def test_hot_columns_create_column_structure(self):
+        """Some columns should be specified far more often than others."""
+        ts = synthetic_test_set(
+            spec(n_patterns=300, pattern_bits=50, care_density=0.3, seed=5)
+        )
+        column_care = (ts.patterns != DC).mean(axis=0)
+        assert column_care.max() > 2.0 * column_care.mean()
+
+    def test_compressible_structure(self):
+        """The generated sets must repeat blocks (what real cubes do) —
+        far fewer distinct blocks than a uniform random set."""
+        structured = synthetic_test_set(
+            spec(n_patterns=200, pattern_bits=64, care_density=0.3, seed=9)
+        )
+        rng = np.random.default_rng(9)
+        uniform = np.where(
+            rng.random((200, 64)) < 0.3,
+            (rng.random((200, 64)) < 0.5).astype(np.int8),
+            np.int8(DC),
+        )
+        distinct_structured = structured.blocks(8).n_distinct
+        from repro.core.blocks import BlockSet
+
+        distinct_uniform = BlockSet.from_trit_array(
+            uniform.reshape(-1).astype(np.int8), 8
+        ).n_distinct
+        assert distinct_structured < distinct_uniform
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(5, 60),
+        st.integers(5, 60),
+        st.floats(0.05, 0.95),
+        st.integers(0, 10_000),
+    )
+    def test_density_always_exact(self, t, n, density, seed):
+        ts = synthetic_test_set(
+            SyntheticSpec("p", t, n, care_density=density, seed=seed)
+        )
+        expected = round(density * t * n)
+        assert int((ts.patterns != DC).sum()) == expected

@@ -1,0 +1,69 @@
+"""Unit tests for the TestSet container."""
+
+import numpy as np
+import pytest
+
+from repro.core.trits import DC
+from repro.testdata.test_set import TestSet
+
+
+class TestConstruction:
+    def test_from_strings(self):
+        ts = TestSet.from_strings("t", ["01X", "X10"])
+        assert ts.n_patterns == 2
+        assert ts.n_inputs == 3
+        assert ts.total_bits == 6
+
+    def test_from_strings_width_mismatch(self):
+        with pytest.raises(ValueError):
+            TestSet.from_strings("t", ["01", "011"])
+
+    def test_from_strings_empty(self):
+        with pytest.raises(ValueError):
+            TestSet.from_strings("t", [])
+
+    def test_from_cubes(self):
+        ts = TestSet.from_cubes(
+            "t", [{"a": 1}, {"b": 0, "a": 0}], input_order=["a", "b"]
+        )
+        assert ts.pattern_string(0) == "1X"
+        assert ts.pattern_string(1) == "00"
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            TestSet("t", np.asarray([[0, 3]], dtype=np.int8))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            TestSet("t", np.zeros(5, dtype=np.int8))
+
+
+class TestStatistics:
+    def test_densities(self):
+        ts = TestSet.from_strings("t", ["01XX", "XXXX"])
+        assert ts.care_density() == pytest.approx(0.25)
+        assert ts.x_density() == pytest.approx(0.75)
+
+    def test_to_string_row_major(self):
+        ts = TestSet.from_strings("t", ["01X", "110"])
+        assert ts.to_string() == "01X110"
+
+    def test_flatten_matches_to_string(self):
+        ts = TestSet.from_strings("t", ["0X1", "1X0"])
+        flat = ts.flatten()
+        assert flat.tolist() == [0, DC, 1, 1, DC, 0]
+
+
+class TestBlocks:
+    def test_blocks_partition(self):
+        ts = TestSet.from_strings("t", ["0101", "1111"])
+        blocks = ts.blocks(4)
+        assert blocks.n_blocks == 2
+        assert blocks.original_bits == 8
+
+    def test_blocks_cross_pattern_boundaries(self):
+        """The paper's string view: blocks may straddle patterns."""
+        ts = TestSet.from_strings("t", ["011", "100"])
+        blocks = ts.blocks(2)
+        assert blocks.n_blocks == 3
+        assert list(blocks.iter_block_strings()) == ["01", "11", "00"]
