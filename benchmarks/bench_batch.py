@@ -1,0 +1,152 @@
+"""Scalar vs batched fitness pricing throughput (the PR's tentpole).
+
+Three contenders price the same genome batch against the same block
+set:
+
+* ``reference`` — the pre-batching per-genome algorithm (dict/heap
+  Huffman over a Python covering loop), pinned here so the speedup is
+  always measured against the same baseline;
+* ``scalar``    — today's :class:`CompressionRateFitness` called once
+  per genome (a batch-of-one wrapper over the batch engine);
+* ``batched``   — one :meth:`BatchCompressionRateFitness.evaluate_batch`
+  call for the whole generation.
+
+Run with ``pytest benchmarks/bench_batch.py --benchmark-only`` and
+compare the ``genomes_per_second`` extra-info columns, or use
+``python benchmarks/run_bench.py`` for a JSON trajectory artifact
+(``BENCH_fitness.json``) suitable for regression tracking.  The
+tentpole target is ≥5× batched over the reference scalar path on the
+``medium`` workload (200 patterns × 64 bits, K=12, L=64).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding.huffman import huffman_code_lengths
+from repro.core.covering import cover_masks
+from repro.core.fitness import (
+    INVALID_FITNESS,
+    BatchCompressionRateFitness,
+    CompressionRateFitness,
+)
+from repro.ea.genome import random_genome
+from repro.testdata.synthetic import SyntheticSpec, synthetic_test_set
+
+# (spec, K, L, genomes per batch) — "medium" is the paper's default
+# EA configuration on the acceptance workload.
+WORKLOADS = {
+    "small": (
+        SyntheticSpec("bench-small", n_patterns=50, pattern_bits=32,
+                      care_density=0.4, seed=11),
+        8, 16, 64,
+    ),
+    "medium": (
+        SyntheticSpec("bench-medium", n_patterns=200, pattern_bits=64,
+                      care_density=0.4, seed=12),
+        12, 64, 256,
+    ),
+    "large": (
+        SyntheticSpec("bench-large", n_patterns=500, pattern_bits=128,
+                      care_density=0.35, seed=13),
+        12, 64, 256,
+    ),
+}
+
+
+def reference_scalar_fitness(blocks, n_vectors, block_length):
+    """The seed's per-genome pricing path, kept verbatim as baseline."""
+    shifts = np.arange(block_length - 1, -1, -1, dtype=np.uint64)
+    weights = np.left_shift(np.uint64(1), shifts)
+    original = blocks.original_bits
+
+    def evaluate(genome: np.ndarray) -> float:
+        grid = genome.reshape(n_vectors, block_length)
+        ones = ((grid == 1) * weights).sum(axis=1, dtype=np.uint64)
+        zeros = ((grid == 0) * weights).sum(axis=1, dtype=np.uint64)
+        n_unspecified = (grid == 2).sum(axis=1).astype(np.int64)
+        order = np.argsort(n_unspecified, kind="stable")
+        _, frequencies, uncovered = cover_masks(
+            blocks.ones, blocks.zeros, blocks.counts, ones, zeros, order
+        )
+        if uncovered:
+            return INVALID_FITNESS
+        active = {int(i): int(f) for i, f in enumerate(frequencies) if f > 0}
+        lengths = huffman_code_lengths(active)
+        compressed = sum(
+            frequency * (lengths[index] + int(n_unspecified[index]))
+            for index, frequency in active.items()
+        )
+        return 100.0 * (original - compressed) / original
+
+    return evaluate
+
+
+@pytest.fixture(scope="module", params=sorted(WORKLOADS))
+def workload(request):
+    spec, block_length, n_vectors, batch_size = WORKLOADS[request.param]
+    blocks = synthetic_test_set(spec).blocks(block_length)
+    rng = np.random.default_rng(spec.seed)
+    genomes = np.stack(
+        [
+            random_genome(n_vectors * block_length, rng)
+            for _ in range(batch_size)
+        ]
+    )
+    genomes[:, -block_length:] = 2  # all-U tail, as the optimizer pins it
+    return request.param, blocks, block_length, n_vectors, genomes
+
+
+def _report(benchmark, n_genomes):
+    benchmark.extra_info["genomes"] = n_genomes
+    benchmark.extra_info["genomes_per_second"] = (
+        n_genomes / benchmark.stats.stats.mean
+    )
+
+
+def test_reference_scalar_path(benchmark, workload):
+    name, blocks, block_length, n_vectors, genomes = workload
+    evaluate = reference_scalar_fitness(blocks, n_vectors, block_length)
+    benchmark.group = f"fitness-{name}"
+    rates = benchmark(lambda: [evaluate(genome) for genome in genomes])
+    _report(benchmark, len(genomes))
+    assert len(rates) == len(genomes)
+
+
+def test_scalar_wrapper_path(benchmark, workload):
+    name, blocks, block_length, n_vectors, genomes = workload
+    fitness = CompressionRateFitness(
+        blocks, n_vectors=n_vectors, block_length=block_length
+    )
+    benchmark.group = f"fitness-{name}"
+    rates = benchmark(lambda: [fitness(genome) for genome in genomes])
+    _report(benchmark, len(genomes))
+    assert len(rates) == len(genomes)
+
+
+def test_batched_path(benchmark, workload):
+    name, blocks, block_length, n_vectors, genomes = workload
+    fitness = BatchCompressionRateFitness(
+        blocks, n_vectors=n_vectors, block_length=block_length
+    )
+    benchmark.group = f"fitness-{name}"
+    rates = benchmark(fitness.evaluate_batch, genomes)
+    _report(benchmark, len(genomes))
+    assert rates.shape == (len(genomes),)
+
+
+def test_all_paths_agree(workload):
+    """Not a benchmark: the three contenders must price identically."""
+    _, blocks, block_length, n_vectors, genomes = workload
+    evaluate = reference_scalar_fitness(blocks, n_vectors, block_length)
+    scalar = CompressionRateFitness(
+        blocks, n_vectors=n_vectors, block_length=block_length
+    )
+    batch = BatchCompressionRateFitness(
+        blocks, n_vectors=n_vectors, block_length=block_length
+    )
+    sample = genomes[:16]
+    batched_rates = batch.evaluate_batch(sample)
+    for index, genome in enumerate(sample):
+        assert batched_rates[index] == evaluate(genome) == scalar(genome)

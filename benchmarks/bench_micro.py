@@ -14,7 +14,7 @@ from repro.coding.huffman import huffman_code_lengths
 from repro.core.blocks import BlockSet
 from repro.core.compressor import compress_blocks
 from repro.core.decompressor import decompress
-from repro.core.fitness import CompressionRateFitness
+from repro.core.fitness import BatchCompressionRateFitness, CompressionRateFitness
 from repro.core.matching import MVSet
 from repro.core.nine_c import compress_nine_c
 from repro.ea.genome import random_genome
@@ -49,6 +49,18 @@ def test_fitness_evaluation(benchmark, medium_blocks):
     genome[-12:] = 2  # all-U tail, as the optimizer pins it
     rate = benchmark(fitness, genome)
     assert rate > -100.0
+
+
+def test_fitness_generation_batch(benchmark, medium_blocks):
+    """One generation priced in one batched call (C=64, L=64, K=12)."""
+    fitness = BatchCompressionRateFitness(
+        medium_blocks, n_vectors=64, block_length=12
+    )
+    rng = np.random.default_rng(3)
+    genomes = rng.integers(0, 3, size=(64, 64 * 12), dtype=np.int8)
+    genomes[:, -12:] = 2
+    rates = benchmark(fitness.evaluate_batch, genomes)
+    assert rates.shape == (64,)
 
 
 def test_huffman_on_64_symbols(benchmark):

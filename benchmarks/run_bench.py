@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Emit a fitness-throughput trajectory artifact (``BENCH_fitness.json``).
+
+Times the three pricing paths of ``bench_batch.py`` — the pinned
+pre-batching reference, the batch-of-one scalar wrapper, and the
+batched generation kernel — on the small/medium/large synthetic
+workloads, and writes one JSON document with genomes/second plus the
+batched-over-reference and batched-over-scalar speedups.  Future PRs
+re-run this script and diff the JSON to catch throughput regressions::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--output BENCH_fitness.json]
+
+The artifact intentionally avoids pytest-benchmark's statistics so it
+stays a small, diffable file; use ``pytest benchmarks/bench_batch.py
+--benchmark-only`` for full distributions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np  # noqa: E402
+
+from bench_batch import WORKLOADS, reference_scalar_fitness  # noqa: E402
+from repro.core.fitness import (  # noqa: E402
+    BatchCompressionRateFitness,
+    CompressionRateFitness,
+)
+from repro.ea.genome import random_genome  # noqa: E402
+from repro.testdata.synthetic import synthetic_test_set  # noqa: E402
+
+
+def best_seconds(function, repeats: int) -> float:
+    """Best-of-N wall time — robust to noisy shared machines."""
+    function()  # warm caches and allocations
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_workload(name: str, repeats: int) -> dict:
+    spec, block_length, n_vectors, batch_size = WORKLOADS[name]
+    blocks = synthetic_test_set(spec).blocks(block_length)
+    rng = np.random.default_rng(spec.seed)
+    genomes = np.stack(
+        [random_genome(n_vectors * block_length, rng) for _ in range(batch_size)]
+    )
+    genomes[:, -block_length:] = 2
+
+    reference = reference_scalar_fitness(blocks, n_vectors, block_length)
+    scalar = CompressionRateFitness(
+        blocks, n_vectors=n_vectors, block_length=block_length
+    )
+    batch = BatchCompressionRateFitness(
+        blocks, n_vectors=n_vectors, block_length=block_length
+    )
+    assert np.allclose(
+        batch.evaluate_batch(genomes[:8]),
+        [reference(genome) for genome in genomes[:8]],
+    ), "pricing paths disagree; refusing to benchmark"
+
+    seconds = {
+        "reference_scalar": best_seconds(
+            lambda: [reference(genome) for genome in genomes], repeats
+        ),
+        "scalar_wrapper": best_seconds(
+            lambda: [scalar(genome) for genome in genomes], repeats
+        ),
+        "batched": best_seconds(lambda: batch.evaluate_batch(genomes), repeats),
+    }
+    throughput = {
+        path: batch_size / elapsed for path, elapsed in seconds.items()
+    }
+    return {
+        "workload": name,
+        "n_patterns": spec.n_patterns,
+        "pattern_bits": spec.pattern_bits,
+        "block_length": block_length,
+        "n_vectors": n_vectors,
+        "batch_size": batch_size,
+        "n_distinct_blocks": blocks.n_distinct,
+        "genomes_per_second": {
+            path: round(value, 1) for path, value in throughput.items()
+        },
+        "speedup_batched_vs_reference": round(
+            throughput["batched"] / throughput["reference_scalar"], 2
+        ),
+        "speedup_batched_vs_scalar_wrapper": round(
+            throughput["batched"] / throughput["scalar_wrapper"], 2
+        ),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_fitness.json",
+        help="where to write the JSON artifact",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=7, help="best-of-N timing repeats"
+    )
+    args = parser.parse_args()
+
+    document = {
+        "benchmark": "batched fitness engine (cover + Huffman + price)",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "workloads": [
+            bench_workload(name, args.repeats) for name in sorted(WORKLOADS)
+        ],
+    }
+    args.output.write_text(json.dumps(document, indent=2) + "\n")
+    for row in document["workloads"]:
+        print(
+            f"{row['workload']:>7}: batched {row['genomes_per_second']['batched']:>9}/s  "
+            f"vs reference ×{row['speedup_batched_vs_reference']}  "
+            f"vs wrapper ×{row['speedup_batched_vs_scalar_wrapper']}"
+        )
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

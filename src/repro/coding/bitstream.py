@@ -79,9 +79,24 @@ class BitWriter:
         self._bit_count += 1
 
     def write_bits(self, bits: Iterable[int]) -> None:
-        """Append a sequence of bits in order."""
+        """Append a sequence of bits in order.
+
+        Bulk counterpart of :meth:`write_bit` with the buffer and
+        cursor hoisted into locals — the compressor emits every block
+        through here, so per-bit attribute/method dispatch matters.
+        """
+        buffer = self._buffer
+        position = self._bit_count
         for bit in bits:
-            self.write_bit(bit)
+            if bit not in (0, 1):
+                self._bit_count = position
+                raise ValueError(f"invalid bit value {bit!r}")
+            if position & 7 == 0:
+                buffer.append(0)
+            if bit:
+                buffer[position >> 3] |= 0x80 >> (position & 7)
+            position += 1
+        self._bit_count = position
 
     def write_bitstring(self, text: str) -> None:
         """Append bits given as a string such as ``"0110"``."""

@@ -11,7 +11,13 @@ from .multi_scan import (
     split_into_chains,
 )
 from .config import CompressionConfig, EAParameters
-from .covering import CoveringResult, UncoverableError, cover, cover_masks
+from .covering import (
+    CoveringResult,
+    UncoverableError,
+    cover,
+    cover_masks,
+    cover_masks_batch,
+)
 from .decompressor import DecodedTestSet, decompress, verify_roundtrip
 from .encoding import (
     EncodingStrategy,
@@ -20,7 +26,11 @@ from .encoding import (
     compressed_size,
     refine_subsumption,
 )
-from .fitness import INVALID_FITNESS, CompressionRateFitness
+from .fitness import (
+    INVALID_FITNESS,
+    BatchCompressionRateFitness,
+    CompressionRateFitness,
+)
 from .matching import MatchingVector, MVSet
 from .nine_c import (
     DEFAULT_NINE_C_BLOCK_LENGTH,
@@ -61,6 +71,7 @@ __all__ = [
     "UncoverableError",
     "cover",
     "cover_masks",
+    "cover_masks_batch",
     "DecodedTestSet",
     "decompress",
     "verify_roundtrip",
@@ -70,6 +81,7 @@ __all__ = [
     "compressed_size",
     "refine_subsumption",
     "INVALID_FITNESS",
+    "BatchCompressionRateFitness",
     "CompressionRateFitness",
     "MatchingVector",
     "MVSet",

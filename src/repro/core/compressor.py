@@ -20,8 +20,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from ..coding.bitstream import BitWriter
 from .blocks import BlockSet
 from .covering import CoveringResult, UncoverableError, cover
@@ -132,28 +130,25 @@ def compress_blocks(
         mv_set, covering.frequency_map(), strategy, fixed_codewords
     )
 
-    # Emit the stream block by block, in test-set order.
+    # Emit the stream block by block, in test-set order.  Each distinct
+    # block always produces the same bits (codeword + fills), so that
+    # run is materialized once as a tuple and replayed per occurrence —
+    # no per-block dict lookups, int() conversions or list building.
     writer = BitWriter()
-    codeword_bits: dict[int, list[int]] = {
-        mv_index: [1 if ch == "1" else 0 for ch in word]
+    codeword_bits: dict[int, tuple[int, ...]] = {
+        mv_index: tuple(1 if ch == "1" else 0 for ch in word)
         for mv_index, word in table.codewords.items()
     }
-    # Cache per distinct block: final MV and fill bits.
-    assignment = covering.assignment
-    fills_cache: list[list[int] | None] = [None] * blocks.n_distinct
-    final_mv_cache = np.asarray(
-        [table.final_mv(int(mv_index)) for mv_index in assignment], dtype=np.int64
-    )
-    for distinct_index in blocks.sequence:
-        distinct_index = int(distinct_index)
-        final_mv = int(final_mv_cache[distinct_index])
-        fills = fills_cache[distinct_index]
-        if fills is None:
-            block_trits = blocks.block_trits(distinct_index)
-            fills = mv_set[final_mv].fill_bits(block_trits, fill_default)
-            fills_cache[distinct_index] = fills
-        writer.write_bits(codeword_bits[final_mv])
-        writer.write_bits(fills)
+    emitted_bits: list[tuple[int, ...]] = []
+    for distinct_index, mv_index in enumerate(covering.assignment.tolist()):
+        final_mv = table.final_mv(mv_index)
+        fills = mv_set[final_mv].fill_bits(
+            blocks.block_trits(distinct_index), fill_default
+        )
+        emitted_bits.append(codeword_bits[final_mv] + tuple(fills))
+    write_bits = writer.write_bits
+    for distinct_index in blocks.sequence.tolist():
+        write_bits(emitted_bits[distinct_index])
 
     if writer.bit_length != table.total_bits:
         raise AssertionError(

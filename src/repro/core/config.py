@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from .blocks import MAX_BLOCK_LENGTH
 from .encoding import EncodingStrategy
 
 __all__ = ["EAParameters", "CompressionConfig"]
@@ -119,8 +120,11 @@ class CompressionConfig:
     ea: EAParameters = field(default_factory=EAParameters)
 
     def __post_init__(self) -> None:
-        if self.block_length < 1:
-            raise ValueError("block_length must be >= 1")
+        if not 1 <= self.block_length <= MAX_BLOCK_LENGTH:
+            raise ValueError(
+                f"block_length must be in [1, {MAX_BLOCK_LENGTH}] "
+                f"(blocks are packed into uint64 masks), got {self.block_length}"
+            )
         if self.n_vectors < 1:
             raise ValueError("n_vectors must be >= 1")
         if self.fill_default not in (0, 1):

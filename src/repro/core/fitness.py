@@ -1,31 +1,196 @@
 """Fitness evaluation: the compression rate of a genome's MV set.
 
-This is the EA's inner loop, so it avoids object construction: a
-genome is reshaped to ``(L, K)``, packed into mask arrays with
-vectorized numpy, covered via :func:`repro.core.covering.cover_masks`,
-and priced with Huffman code lengths.  For a genome whose MVs cannot
-cover every block the paper assigns "a sufficiently small number";
-we use a large negative constant, far below any reachable rate.
+This is the EA's inner loop.  The workhorse is
+:class:`BatchCompressionRateFitness`, which prices an entire
+generation of ``C`` genomes in a handful of numpy kernel calls:
+
+1. the ``(C, L·K)`` genome matrix is packed into ``(C, L)`` mask and
+   fill-count arrays in one vectorized pass (no ``MVSet`` objects);
+2. :func:`repro.core.covering.cover_masks_batch` broadcasts the block
+   masks against every genome's MVs at once and returns per-genome MV
+   frequencies, early-exiting genomes whose MVs cannot cover every
+   block;
+3. :func:`repro.coding.huffman.huffman_total_bits_batch` prices all
+   frequency rows with a lockstep two-queue merge (no per-genome dict
+   or heap), and the fill bits are one matrix dot away.
+
+:class:`CompressionRateFitness` keeps the historical single-genome
+callable API as a thin batch-of-one wrapper, so existing callers keep
+working unchanged.  For a genome whose MVs cannot cover every block
+the paper assigns "a sufficiently small number"; we use a large
+negative constant, far below any reachable rate.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..coding.huffman import huffman_code_lengths
+from ..coding.huffman import huffman_total_bits_batch
 from .blocks import BlockSet
-from .covering import cover_masks
+from .covering import cover_bits_batch, unpack_mask_bits
 from .encoding import EncodingStrategy, build_encoding_table
 from .matching import MVSet
 from .trits import DC, ONE, ZERO
 
-__all__ = ["INVALID_FITNESS", "CompressionRateFitness"]
+__all__ = [
+    "INVALID_FITNESS",
+    "BatchCompressionRateFitness",
+    "CompressionRateFitness",
+]
 
 INVALID_FITNESS = -1.0e6  # far below 100·(orig−comp)/orig for any valid encoding
 
 
+class BatchCompressionRateFitness:
+    """Price a whole generation of genomes against a fixed block set.
+
+    >>> blocks = BlockSet.from_string("111 000 111 111", 3)
+    >>> fit = BatchCompressionRateFitness(blocks, n_vectors=2, block_length=3)
+    >>> genomes = MVSet.from_strings(["111", "UUU"]).to_genome()[None, :]
+    >>> [round(rate, 1) for rate in fit.evaluate_batch(genomes)]
+    [41.7]
+    """
+
+    def __init__(
+        self,
+        blocks: BlockSet,
+        n_vectors: int,
+        block_length: int,
+        strategy: EncodingStrategy = EncodingStrategy.HUFFMAN,
+        invalid_fitness: float = INVALID_FITNESS,
+    ) -> None:
+        if blocks.block_length != block_length:
+            raise ValueError(
+                f"block set has K={blocks.block_length}, expected {block_length}"
+            )
+        if n_vectors < 1:
+            raise ValueError("n_vectors must be >= 1")
+        if blocks.original_bits == 0:
+            raise ValueError("cannot evaluate fitness on an empty test set")
+        if strategy is EncodingStrategy.FIXED:
+            raise ValueError("fitness evaluation requires a frequency-based strategy")
+        self._blocks = blocks
+        self._n_vectors = n_vectors
+        self._block_length = block_length
+        self._strategy = strategy
+        self._invalid_fitness = invalid_fitness
+        shifts = np.arange(block_length - 1, -1, -1, dtype=np.uint64)
+        self._weights = np.left_shift(np.uint64(1), shifts)
+        # Block bit matrix for the GEMM covering kernel — the block
+        # table is fixed, so unpack it once for every future batch.
+        self._block_bits = np.concatenate(
+            [
+                unpack_mask_bits(blocks.ones, block_length),
+                unpack_mask_bits(blocks.zeros, block_length),
+            ],
+            axis=1,
+        )
+        self.evaluations = 0
+
+    @property
+    def blocks(self) -> BlockSet:
+        """The block set this fitness prices against."""
+        return self._blocks
+
+    @property
+    def genome_length(self) -> int:
+        """L·K — expected gene count per genome."""
+        return self._n_vectors * self._block_length
+
+    def genome_masks_batch(
+        self, genomes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pack a ``(C, L·K)`` genome matrix into per-MV mask arrays.
+
+        Returns ``(ones, zeros, n_unspecified)``, each of shape
+        ``(C, L)``; one vectorized pass over the whole batch.
+        """
+        matrix = np.asarray(genomes, dtype=np.int8)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+        if matrix.ndim != 2 or matrix.shape[1] != self.genome_length:
+            raise ValueError(
+                f"genome batch must be (C, {self.genome_length}), "
+                f"got shape {matrix.shape}"
+            )
+        grid = matrix.reshape(-1, self._n_vectors, self._block_length)
+        ones = ((grid == ONE) * self._weights).sum(axis=2, dtype=np.uint64)
+        zeros = ((grid == ZERO) * self._weights).sum(axis=2, dtype=np.uint64)
+        n_unspecified = (grid == DC).sum(axis=2).astype(np.int64)
+        return ones, zeros, n_unspecified
+
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        """Compression rate (%) for every genome row; one kernel pass.
+
+        Rows whose MVs cannot cover every input block come back as
+        ``invalid_fitness``.  Identical, element for element, to
+        calling the single-genome path on each row.
+        """
+        matrix = np.asarray(genomes, dtype=np.int8)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+        if matrix.ndim != 2 or matrix.shape[1] != self.genome_length:
+            raise ValueError(
+                f"genome batch must be (C, {self.genome_length}), "
+                f"got shape {matrix.shape}"
+            )
+        n_genomes = matrix.shape[0]
+        self.evaluations += n_genomes
+        if n_genomes == 0:
+            return np.empty(0, dtype=np.float64)
+        if self._strategy is EncodingStrategy.HUFFMAN_SUBSUME:
+            return np.asarray(
+                [self._evaluate_with_subsumption(row) for row in matrix],
+                dtype=np.float64,
+            )
+        grid = matrix.reshape(n_genomes, self._n_vectors, self._block_length)
+        n_unspecified = (grid == DC).sum(axis=2).astype(np.int64)
+        orders = np.argsort(n_unspecified, axis=1, kind="stable")
+        # MV bit rows for the GEMM covering kernel, straight from the
+        # trit grid (no uint64 mask packing on the hot path), with the
+        # L axis pre-permuted into covering order.
+        ordered_grid = grid[np.arange(n_genomes)[:, None], orders]
+        mv_bits = np.concatenate(
+            [ordered_grid == ZERO, ordered_grid == ONE], axis=2
+        ).astype(np.float32)
+        _, frequencies, uncovered = cover_bits_batch(
+            self._block_bits,
+            self._blocks.counts,
+            mv_bits,
+            orders,
+            want_assignment=False,
+        )
+        rates = np.full(n_genomes, self._invalid_fitness, dtype=np.float64)
+        valid = uncovered == 0
+        if valid.any():
+            codeword_bits = huffman_total_bits_batch(frequencies[valid])
+            fill_bits = (frequencies[valid] * n_unspecified[valid]).sum(axis=1)
+            compressed = codeword_bits + fill_bits
+            original = self._blocks.original_bits
+            rates[valid] = 100.0 * (original - compressed) / original
+        return rates
+
+    def _evaluate_with_subsumption(self, genome: np.ndarray) -> float:
+        """Slower path that applies the Section 3.3 subsumption merges."""
+        from .covering import cover
+
+        mv_set = MVSet.from_genome(genome, self._block_length)
+        covering = cover(self._blocks, mv_set)
+        if covering.uncovered:
+            return self._invalid_fitness
+        table = build_encoding_table(
+            mv_set, covering.frequency_map(), EncodingStrategy.HUFFMAN_SUBSUME
+        )
+        original = self._blocks.original_bits
+        return 100.0 * (original - table.total_bits) / original
+
+
 class CompressionRateFitness:
     """Callable genome → compression rate (%) for a fixed block set.
+
+    Thin batch-of-one wrapper over :class:`BatchCompressionRateFitness`
+    — kept so single-genome callers (optimizer, examples, tests) see
+    the historical API and exact historical values.
 
     >>> blocks = BlockSet.from_string("111 000 111 111", 3)
     >>> fit = CompressionRateFitness(blocks, n_vectors=2, block_length=3)
@@ -42,81 +207,40 @@ class CompressionRateFitness:
         strategy: EncodingStrategy = EncodingStrategy.HUFFMAN,
         invalid_fitness: float = INVALID_FITNESS,
     ) -> None:
-        if blocks.block_length != block_length:
-            raise ValueError(
-                f"block set has K={blocks.block_length}, expected {block_length}"
-            )
-        if blocks.original_bits == 0:
-            raise ValueError("cannot evaluate fitness on an empty test set")
-        if strategy is EncodingStrategy.FIXED:
-            raise ValueError("fitness evaluation requires a frequency-based strategy")
-        self._blocks = blocks
+        self._batch = BatchCompressionRateFitness(
+            blocks, n_vectors, block_length, strategy, invalid_fitness
+        )
         self._n_vectors = n_vectors
         self._block_length = block_length
-        self._strategy = strategy
-        self._invalid_fitness = invalid_fitness
-        shifts = np.arange(block_length - 1, -1, -1, dtype=np.uint64)
-        self._weights = np.left_shift(np.uint64(1), shifts)
         self.evaluations = 0
 
     @property
     def blocks(self) -> BlockSet:
         """The block set this fitness prices against."""
-        return self._blocks
+        return self._batch.blocks
+
+    @property
+    def batch(self) -> BatchCompressionRateFitness:
+        """The underlying batch engine (shared with ``evaluate_batch``)."""
+        return self._batch
 
     def genome_masks(
         self, genome: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Pack a genome into per-MV ``(ones, zeros, n_unspecified)`` arrays."""
-        grid = np.asarray(genome, dtype=np.int8).reshape(
-            self._n_vectors, self._block_length
-        )
-        ones = ((grid == ONE) * self._weights).sum(axis=1, dtype=np.uint64)
-        zeros = ((grid == ZERO) * self._weights).sum(axis=1, dtype=np.uint64)
-        n_unspecified = (grid == DC).sum(axis=1).astype(np.int64)
-        return ones, zeros, n_unspecified
+        ones, zeros, n_unspecified = self._batch.genome_masks_batch(genome)
+        return ones[0], zeros[0], n_unspecified[0]
 
     def __call__(self, genome: np.ndarray) -> float:
         """Compression rate achieved by the genome's matching vectors."""
         self.evaluations += 1
-        if self._strategy is EncodingStrategy.HUFFMAN_SUBSUME:
-            return self._evaluate_with_subsumption(genome)
-        mv_ones, mv_zeros, n_unspecified = self.genome_masks(genome)
-        order = np.argsort(n_unspecified, kind="stable")
-        _, frequencies, uncovered = cover_masks(
-            self._blocks.ones,
-            self._blocks.zeros,
-            self._blocks.counts,
-            mv_ones,
-            mv_zeros,
-            order,
-        )
-        if uncovered:
-            return self._invalid_fitness
-        active = {
-            int(i): int(f) for i, f in enumerate(frequencies) if f > 0
-        }
-        lengths = huffman_code_lengths(active)
-        compressed = sum(
-            frequency * (lengths[index] + int(n_unspecified[index]))
-            for index, frequency in active.items()
-        )
-        original = self._blocks.original_bits
-        return 100.0 * (original - compressed) / original
+        return float(self._batch.evaluate_batch(genome)[0])
 
-    def _evaluate_with_subsumption(self, genome: np.ndarray) -> float:
-        """Slower path that applies the Section 3.3 subsumption merges."""
-        from .covering import cover
-
-        mv_set = MVSet.from_genome(genome, self._block_length)
-        covering = cover(self._blocks, mv_set)
-        if covering.uncovered:
-            return self._invalid_fitness
-        table = build_encoding_table(
-            mv_set, covering.frequency_map(), EncodingStrategy.HUFFMAN_SUBSUME
-        )
-        original = self._blocks.original_bits
-        return 100.0 * (original - table.total_bits) / original
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        """Batched evaluation; lets the EA engine batch this fitness."""
+        rates = self._batch.evaluate_batch(genomes)
+        self.evaluations += rates.size
+        return rates
 
     def evaluate_mv_set(self, mv_set: MVSet) -> float:
         """Convenience: rate for an explicit :class:`MVSet`."""

@@ -18,7 +18,7 @@ from ..ea.engine import EAResult, EvolutionaryEngine
 from .blocks import BlockSet
 from .compressor import CompressedTestSet, compress_blocks
 from .config import CompressionConfig
-from .fitness import CompressionRateFitness
+from .fitness import BatchCompressionRateFitness
 from .matching import MVSet
 from .nine_c import nine_c_mv_set
 from .trits import DC
@@ -119,7 +119,7 @@ class EAMVOptimizer:
         outcomes = []
         for run_index, child_seed in enumerate(child_seeds):
             rng = np.random.default_rng(child_seed)
-            fitness = CompressionRateFitness(
+            fitness = BatchCompressionRateFitness(
                 blocks,
                 n_vectors=config.n_vectors,
                 block_length=config.block_length,

@@ -1,7 +1,12 @@
 """Self-contained evolutionary-algorithm engine (GAME [33] substitute)."""
 
 from .adaptive import AdaptiveOperatorScheduler
-from .engine import EAResult, EvolutionaryEngine, GenerationStats
+from .engine import (
+    DEFAULT_CACHE_SIZE,
+    EAResult,
+    EvolutionaryEngine,
+    GenerationStats,
+)
 from .genome import TRIT_ALPHABET_SIZE, random_genome, validate_genome
 from .operators import (
     one_point_crossover,
@@ -22,6 +27,7 @@ from .termination import (
 
 __all__ = [
     "AdaptiveOperatorScheduler",
+    "DEFAULT_CACHE_SIZE",
     "EAResult",
     "EvolutionaryEngine",
     "GenerationStats",

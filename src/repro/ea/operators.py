@@ -11,7 +11,12 @@ Paper, Section 3.1:
 * *inversion* "produces a child by reverting the ordering of the genes
   between two random positions of a parent".
 
-All operators are pure: parents are never modified.
+All operators are pure: parents are never modified.  Each call draws
+from the RNG a fixed number of times in a fixed order and is
+vectorized internally (one bulk draw, numpy gene manipulation) — the
+batched engine relies on that stability to generate a whole
+generation of genomes up front and price them in one fitness call
+while staying bit-for-bit reproducible under a seed.
 """
 
 from __future__ import annotations
@@ -37,8 +42,8 @@ def uniform_crossover(
     if parent_a.shape != parent_b.shape:
         raise ValueError("parents must have equal genome length")
     take_from_a = rng.random(parent_a.size) < 0.5
-    child_one = np.where(take_from_a, parent_a, parent_b).astype(np.int8)
-    child_two = np.where(take_from_a, parent_b, parent_a).astype(np.int8)
+    child_one = np.where(take_from_a, parent_a, parent_b).astype(np.int8, copy=False)
+    child_two = np.where(take_from_a, parent_b, parent_a).astype(np.int8, copy=False)
     return child_one, child_two
 
 
@@ -51,8 +56,12 @@ def one_point_crossover(
     if parent_a.size < 2:
         return parent_a.copy(), parent_b.copy()
     cut = int(rng.integers(1, parent_a.size))
-    child_one = np.concatenate([parent_a[:cut], parent_b[cut:]]).astype(np.int8)
-    child_two = np.concatenate([parent_b[:cut], parent_a[cut:]]).astype(np.int8)
+    child_one = np.concatenate([parent_a[:cut], parent_b[cut:]]).astype(
+        np.int8, copy=False
+    )
+    child_two = np.concatenate([parent_b[:cut], parent_a[cut:]]).astype(
+        np.int8, copy=False
+    )
     return child_one, child_two
 
 
@@ -73,7 +82,8 @@ def segment_inversion(parent: np.ndarray, rng: np.random.Generator) -> np.ndarra
     child = parent.copy()
     if child.size < 2:
         return child
-    first, second = sorted(int(x) for x in rng.integers(0, child.size, size=2))
+    draws = rng.integers(0, child.size, size=2)
+    first, second = int(draws.min()), int(draws.max())
     child[first : second + 1] = child[first : second + 1][::-1]
     return child
 
