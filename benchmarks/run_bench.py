@@ -1,18 +1,28 @@
 #!/usr/bin/env python
-"""Emit a fitness-throughput trajectory artifact (``BENCH_fitness.json``).
+"""Emit benchmark trajectory artifacts (``BENCH_*.json``).
 
-Times the three pricing paths of ``bench_batch.py`` — the pinned
-pre-batching reference, the batch-of-one scalar wrapper, and the
-batched generation kernel — on the small/medium/large synthetic
-workloads, and writes one JSON document with genomes/second plus the
-batched-over-reference and batched-over-scalar speedups.  Future PRs
-re-run this script and diff the JSON to catch throughput regressions::
+Two artifacts, both small and diffable so future PRs re-run this
+script and catch regressions:
 
-    PYTHONPATH=src python benchmarks/run_bench.py [--output BENCH_fitness.json]
+* ``BENCH_fitness.json`` — times the three pricing paths of
+  ``bench_batch.py`` (pinned pre-batching reference, batch-of-one
+  scalar wrapper, batched generation kernel) on the
+  small/medium/large synthetic workloads: genomes/second plus
+  batched-over-reference and batched-over-scalar speedups.
+* ``BENCH_parallel.json`` — runs/second of the multi-run EA fan-out
+  through the serial, thread, and process backends at jobs ∈
+  {1, 2, 4, 8} (``bench_parallel.scaling_report``), with ``cpu_count``
+  recorded so scaling is judged against the machine's ceiling.
 
-The artifact intentionally avoids pytest-benchmark's statistics so it
-stays a small, diffable file; use ``pytest benchmarks/bench_batch.py
---benchmark-only`` for full distributions.
+::
+
+    PYTHONPATH=src python benchmarks/run_bench.py \\
+        [--output BENCH_fitness.json] [--parallel-output BENCH_parallel.json] \\
+        [--fitness-only | --parallel-only]
+
+The artifacts intentionally avoid pytest-benchmark's statistics; use
+``pytest benchmarks/bench_batch.py --benchmark-only`` (or
+``bench_parallel.py``) for full distributions.
 """
 
 from __future__ import annotations
@@ -102,35 +112,78 @@ def bench_workload(name: str, repeats: int) -> dict:
     }
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_fitness.json",
-        help="where to write the JSON artifact",
-    )
-    parser.add_argument(
-        "--repeats", type=int, default=7, help="best-of-N timing repeats"
-    )
-    args = parser.parse_args()
-
+def emit_fitness_artifact(output: Path, repeats: int) -> None:
     document = {
         "benchmark": "batched fitness engine (cover + Huffman + price)",
         "python": platform.python_version(),
         "numpy": np.__version__,
         "workloads": [
-            bench_workload(name, args.repeats) for name in sorted(WORKLOADS)
+            bench_workload(name, repeats) for name in sorted(WORKLOADS)
         ],
     }
-    args.output.write_text(json.dumps(document, indent=2) + "\n")
+    output.write_text(json.dumps(document, indent=2) + "\n")
     for row in document["workloads"]:
         print(
             f"{row['workload']:>7}: batched {row['genomes_per_second']['batched']:>9}/s  "
             f"vs reference ×{row['speedup_batched_vs_reference']}  "
             f"vs wrapper ×{row['speedup_batched_vs_scalar_wrapper']}"
         )
-    print(f"wrote {args.output}")
+    print(f"wrote {output}")
+
+
+def emit_parallel_artifact(output: Path, repeats: int) -> None:
+    from bench_parallel import scaling_report
+
+    document = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        **scaling_report(repeats=repeats),
+    }
+    output.write_text(json.dumps(document, indent=2) + "\n")
+    for row in document["results"]:
+        print(
+            f"{row['backend']:>8} jobs={row['jobs']}: "
+            f"{row['runs_per_second']:>6}/s  ×{row['speedup_vs_serial']} vs serial"
+        )
+    print(
+        f"wrote {output} (cpu_count={document['cpu_count']}; speedups are "
+        "bounded by available cores)"
+    )
+
+
+def main() -> None:
+    root = Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=root / "BENCH_fitness.json",
+        help="where to write the fitness JSON artifact",
+    )
+    parser.add_argument(
+        "--parallel-output",
+        type=Path,
+        default=root / "BENCH_parallel.json",
+        help="where to write the parallel-scaling JSON artifact",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=7, help="best-of-N timing repeats"
+    )
+    only = parser.add_mutually_exclusive_group()
+    only.add_argument(
+        "--fitness-only", action="store_true", help="skip the parallel artifact"
+    )
+    only.add_argument(
+        "--parallel-only", action="store_true", help="skip the fitness artifact"
+    )
+    args = parser.parse_args()
+
+    if not args.parallel_only:
+        emit_fitness_artifact(args.output, args.repeats)
+    if not args.fitness_only:
+        # Multi-run EA timings are much coarser than single-kernel ones;
+        # cap the repeats so a refresh stays in minutes.
+        emit_parallel_artifact(args.parallel_output, min(args.repeats, 3))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,11 @@
+"""Compatibility shim: metadata lives in ``pyproject.toml``.
+
+Kept so ``pip install -e .`` also works on minimal environments where
+the ``wheel`` package (needed by the PEP 660 editable-wheel path) or a
+package index is unavailable — pip then falls back to the legacy
+``setup.py develop`` route, which only needs setuptools.
+"""
+
+from setuptools import setup
+
+setup()

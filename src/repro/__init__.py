@@ -44,7 +44,7 @@ from .core import (
     verify_roundtrip,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BlockSet",

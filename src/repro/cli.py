@@ -14,10 +14,14 @@ Examples
 ::
 
     python -m repro table1 --circuits s349 s298 --seed 1
-    python -m repro table1 --full --budget paper
+    python -m repro table1 --full --budget paper --jobs 0
     python -m repro compress my_tests.txt --k 12 --l 64
     python -m repro atpg c17
-    python -m repro ablate kl --circuit s349
+    python -m repro ablate kl --circuit s349 --jobs 4
+
+Every command takes ``--jobs N`` (1 = serial, 0 = all CPU cores) and
+``--backend {process,thread}``; results are independent of both — the
+same seed gives the same table at any job count.
 """
 
 from __future__ import annotations
@@ -30,12 +34,33 @@ from .core.compressor import compress_blocks
 from .core.config import CompressionConfig, EAParameters
 from .core.nine_c import compress_nine_c
 from .core.optimizer import EAMVOptimizer
+from .parallel import ExecutionBackend, resolve_backend
 from .testdata.calibration import calibrate_spec
 from .testdata.registry import TABLE1_STUCK_AT, row_by_name
 from .testdata.synthetic import SyntheticSpec
 from .testdata.test_set import TestSet
 
 __all__ = ["main"]
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """The global parallel-execution knobs, shared by every command."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel workers: 1 = serial (default), 0 = all CPU cores",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("process", "thread"),
+        default="process",
+        help="pool flavor used when --jobs asks for parallelism",
+    )
+
+
+def _resolve_backend(arguments: argparse.Namespace) -> ExecutionBackend:
+    return resolve_backend(arguments.jobs, arguments.backend)
 
 
 def _add_table_arguments(parser: argparse.ArgumentParser) -> None:
@@ -52,6 +77,7 @@ def _add_table_arguments(parser: argparse.ArgumentParser) -> None:
         help="EA effort per row (paper = 5 runs, 500-gen stagnation)",
     )
     parser.add_argument("--seed", type=int, default=2005)
+    _add_execution_arguments(parser)
 
 
 def _table_command(arguments: argparse.Namespace, which: int) -> int:
@@ -75,7 +101,11 @@ def _table_command(arguments: argparse.Namespace, which: int) -> int:
 
         circuits = DEFAULT_QUICK_TABLE1 if which == 1 else DEFAULT_QUICK_TABLE2
     result = builder(
-        circuits=circuits, budget=budget, seed=arguments.seed, progress=print
+        circuits=circuits,
+        budget=budget,
+        seed=arguments.seed,
+        progress=print,
+        backend=_resolve_backend(arguments),
     )
     print()
     print(format_table(result))
@@ -106,7 +136,9 @@ def _compress_command(arguments: argparse.Namespace) -> int:
             max_evaluations=arguments.max_evaluations,
         ),
     )
-    optimizer = EAMVOptimizer(config, seed=arguments.seed)
+    optimizer = EAMVOptimizer(
+        config, seed=arguments.seed, backend=_resolve_backend(arguments)
+    )
     result = optimizer.optimize(test_set.blocks(arguments.k))
     print(
         f"EA     rate: {result.mean_rate:6.2f}% mean, "
@@ -143,9 +175,9 @@ def _atpg_command(arguments: argparse.Namespace) -> int:
         runs=3,
         ea=EAParameters(stagnation_limit=30, max_evaluations=1200),
     )
-    result = EAMVOptimizer(config, seed=arguments.seed).optimize(
-        test_set.blocks(arguments.k)
-    )
+    result = EAMVOptimizer(
+        config, seed=arguments.seed, backend=_resolve_backend(arguments)
+    ).optimize(test_set.blocks(arguments.k))
     print(
         f"EA     rate: {result.mean_rate:6.2f}% mean, "
         f"{result.best_rate:6.2f}% best"
@@ -176,28 +208,33 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
     )
 
     test_set = _calibrated_test_set(arguments.circuit, arguments.seed)
+    backend = _resolve_backend(arguments)
     if arguments.study == "kl":
-        points = kl_sweep(test_set, seed=arguments.seed)
+        points = kl_sweep(test_set, seed=arguments.seed, backend=backend)
         print(ablation_markdown(points, f"K/L sweep on {arguments.circuit}"))
     elif arguments.study == "operators":
-        points = operator_sweep(test_set, seed=arguments.seed)
+        points = operator_sweep(test_set, seed=arguments.seed, backend=backend)
         print(
             ablation_markdown(
                 points, f"Operator probabilities on {arguments.circuit}"
             )
         )
     elif arguments.study == "seeding":
-        points = seeding_ablation(test_set, seed=arguments.seed)
+        points = seeding_ablation(test_set, seed=arguments.seed, backend=backend)
         print(ablation_markdown(points, f"9C seeding on {arguments.circuit}"))
     elif arguments.study == "subsumption":
-        points = subsumption_ablation(test_set, seed=arguments.seed)
+        points = subsumption_ablation(
+            test_set, seed=arguments.seed, backend=backend
+        )
         print(
             ablation_markdown(
                 points, f"Subsumption encoding on {arguments.circuit}"
             )
         )
     else:  # decoder
-        costs = decoder_cost_study(test_set, seed=arguments.seed)
+        costs = decoder_cost_study(
+            test_set, seed=arguments.seed, backend=backend
+        )
         for method, values in costs.items():
             print(
                 f"{method:6s} rate {values['rate']:6.2f}%  payload "
@@ -225,28 +262,37 @@ def _report_command(arguments: argparse.Namespace) -> int:
 
     circuits1 = None if arguments.full else DEFAULT_QUICK_TABLE1
     circuits2 = None if arguments.full else DEFAULT_QUICK_TABLE2
+    backend = _resolve_backend(arguments)
     print("building Table 1 ...")
     table1 = build_table1(
-        circuits=circuits1, budget=budget, seed=arguments.seed, progress=print
+        circuits=circuits1,
+        budget=budget,
+        seed=arguments.seed,
+        progress=print,
+        backend=backend,
     )
     print("building Table 2 ...")
     table2 = build_table2(
-        circuits=circuits2, budget=budget, seed=arguments.seed, progress=print
+        circuits=circuits2,
+        budget=budget,
+        seed=arguments.seed,
+        progress=print,
+        backend=backend,
     )
     print("running ablations on s349 ...")
     test_set = _calibrated_test_set("s349", arguments.seed)
     ablations = {
         "K/L sweep (s349, source of EA-Best)": kl_sweep(
-            test_set, seed=arguments.seed
+            test_set, seed=arguments.seed, backend=backend
         ),
         "Operator probabilities (s349)": operator_sweep(
-            test_set, seed=arguments.seed
+            test_set, seed=arguments.seed, backend=backend
         ),
         "9C seeding of the initial population (s349)": seeding_ablation(
-            test_set, seed=arguments.seed
+            test_set, seed=arguments.seed, backend=backend
         ),
         "Subsumption-aware encoding (s349, Section 3.3)": subsumption_ablation(
-            test_set, seed=arguments.seed
+            test_set, seed=arguments.seed, backend=backend
         ),
     }
     document = experiments_markdown(
@@ -278,12 +324,14 @@ def build_parser() -> argparse.ArgumentParser:
     compress.add_argument("--stagnation", type=int, default=50)
     compress.add_argument("--max-evaluations", type=int, default=2000)
     compress.add_argument("--seed", type=int, default=2005)
+    _add_execution_arguments(compress)
 
     atpg = commands.add_parser("atpg", help="ATPG + compression demo")
     atpg.add_argument("circuit")
     atpg.add_argument("--k", type=int, default=12)
     atpg.add_argument("--l", type=int, default=64)
     atpg.add_argument("--seed", type=int, default=2005)
+    _add_execution_arguments(atpg)
 
     ablate = commands.add_parser("ablate", help="run an ablation study")
     ablate.add_argument(
@@ -291,6 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ablate.add_argument("--circuit", default="s349")
     ablate.add_argument("--seed", type=int, default=2005)
+    _add_execution_arguments(ablate)
 
     report = commands.add_parser(
         "report", help="regenerate EXPERIMENTS.md from measured runs"
@@ -301,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--full", action="store_true")
     report.add_argument("--seed", type=int, default=2005)
+    _add_execution_arguments(report)
     return parser
 
 

@@ -43,6 +43,8 @@ from .optimizer import (
     EAMVOptimizer,
     OptimizationResult,
     RunOutcome,
+    RunTask,
+    execute_run_task,
     optimize_mv_set,
 )
 from .trits import DC, ONE, ZERO, format_trits, parse_trits
@@ -94,6 +96,8 @@ __all__ = [
     "EAMVOptimizer",
     "OptimizationResult",
     "RunOutcome",
+    "RunTask",
+    "execute_run_task",
     "optimize_mv_set",
     "DC",
     "ONE",

@@ -12,18 +12,27 @@ implemented here as a parameterized study:
 * **subsumption-aware encoding** — the Section 3.3 example:
   "Handling such cases explicitly could improve the compression
   rate."
+
+Every sweep point is an independent set of EA runs, all sharing the
+same master seed (a controlled comparison: variants differ only in
+the knob under study).  The points' runs are flattened into one
+self-seeded task list and submitted through an
+:class:`repro.parallel.ExecutionBackend`, with per-point progress
+released in point order; results are identical on every backend.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
+from ..core.blocks import BlockSet
 from ..core.compressor import compress_blocks
 from ..core.config import CompressionConfig, EAParameters
 from ..core.encoding import EncodingStrategy
 from ..core.nine_c import DEFAULT_NINE_C_BLOCK_LENGTH, compress_nine_c
-from ..core.optimizer import EAMVOptimizer
+from ..core.optimizer import EAMVOptimizer, OptimizationResult, execute_run_task
+from ..parallel import ExecutionBackend, SerialBackend, grouped_map
 from ..testdata.test_set import TestSet
 
 __all__ = [
@@ -46,26 +55,55 @@ class AblationPoint:
     evaluations: int = 0
 
 
-def _run(
+def _sweep(
     test_set: TestSet,
-    block_length: int,
-    n_vectors: int,
-    ea: EAParameters,
-    runs: int,
+    points: Sequence[tuple[str, CompressionConfig]],
     seed: int,
-    strategy: EncodingStrategy = EncodingStrategy.HUFFMAN,
-) -> tuple[float, float, int]:
-    config = CompressionConfig(
-        block_length=block_length,
-        n_vectors=n_vectors,
-        runs=runs,
-        ea=ea,
-        strategy=strategy,
+    backend: ExecutionBackend | None,
+    progress: Callable[[str], None] | None,
+) -> list[AblationPoint]:
+    """Run every (label, config) point and collect its rates.
+
+    All points' runs go through the backend as one flat task list;
+    each point re-uses the same master seed so variants face identical
+    random initial conditions (the knob under study is the only
+    difference).
+    """
+    backend = backend or SerialBackend()
+    blocks_cache: dict[int, BlockSet] = {}
+    tasks_per_point = []
+    for _, config in points:
+        if config.block_length not in blocks_cache:
+            blocks_cache[config.block_length] = test_set.blocks(
+                config.block_length
+            )
+        optimizer = EAMVOptimizer(config, seed=seed)
+        tasks_per_point.append(
+            optimizer.build_run_tasks(blocks_cache[config.block_length])
+        )
+
+    grouped = grouped_map(
+        backend,
+        execute_run_task,
+        [
+            (label, tasks)
+            for (label, _), tasks in zip(points, tasks_per_point)
+        ],
+        progress=progress,
     )
-    result = EAMVOptimizer(config, seed=seed).optimize(
-        test_set.blocks(block_length)
-    )
-    return result.mean_rate, result.best_rate, result.total_evaluations
+
+    results = []
+    for (label, config), point_outcomes in zip(points, grouped):
+        result = OptimizationResult(config=config, runs=tuple(point_outcomes))
+        results.append(
+            AblationPoint(
+                label=label,
+                mean_rate=result.mean_rate,
+                best_rate=result.best_rate,
+                evaluations=result.total_evaluations,
+            )
+        )
+    return results
 
 
 def kl_sweep(
@@ -74,23 +112,24 @@ def kl_sweep(
     ea: EAParameters | None = None,
     runs: int = 3,
     seed: int = 7,
+    backend: ExecutionBackend | None = None,
+    progress: Callable[[str], None] | None = None,
 ) -> list[AblationPoint]:
     """Compression rate across (K, L) — the source of 'EA-Best'."""
     ea = ea or EAParameters(stagnation_limit=30, max_evaluations=1200)
-    points = []
-    for block_length, n_vectors in grid:
-        mean_rate, best_rate, evaluations = _run(
-            test_set, block_length, n_vectors, ea, runs, seed
+    points = [
+        (
+            f"K={block_length},L={n_vectors}",
+            CompressionConfig(
+                block_length=block_length,
+                n_vectors=n_vectors,
+                runs=runs,
+                ea=ea,
+            ),
         )
-        points.append(
-            AblationPoint(
-                label=f"K={block_length},L={n_vectors}",
-                mean_rate=mean_rate,
-                best_rate=best_rate,
-                evaluations=evaluations,
-            )
-        )
-    return points
+        for block_length, n_vectors in grid
+    ]
+    return _sweep(test_set, points, seed, backend, progress)
 
 
 def operator_sweep(
@@ -99,6 +138,8 @@ def operator_sweep(
     n_vectors: int = 64,
     runs: int = 3,
     seed: int = 7,
+    backend: ExecutionBackend | None = None,
+    progress: Callable[[str], None] | None = None,
 ) -> list[AblationPoint]:
     """Vary the operator-probability mix around the paper's setting."""
     base = dict(stagnation_limit=30, max_evaluations=1200)
@@ -123,20 +164,16 @@ def operator_sweep(
             **base,
         ),
     }
-    points = []
-    for label, ea in variants.items():
-        mean_rate, best_rate, evaluations = _run(
-            test_set, block_length, n_vectors, ea, runs, seed
+    points = [
+        (
+            label,
+            CompressionConfig(
+                block_length=block_length, n_vectors=n_vectors, runs=runs, ea=ea
+            ),
         )
-        points.append(
-            AblationPoint(
-                label=label,
-                mean_rate=mean_rate,
-                best_rate=best_rate,
-                evaluations=evaluations,
-            )
-        )
-    return points
+        for label, ea in variants.items()
+    ]
+    return _sweep(test_set, points, seed, backend, progress)
 
 
 def seeding_ablation(
@@ -145,26 +182,24 @@ def seeding_ablation(
     n_vectors: int = 64,
     runs: int = 3,
     seed: int = 7,
+    backend: ExecutionBackend | None = None,
+    progress: Callable[[str], None] | None = None,
 ) -> list[AblationPoint]:
     """Random initial population vs one individual seeded with 9C MVs."""
     base = dict(stagnation_limit=30, max_evaluations=1200)
-    points = []
-    for label, ea in (
-        ("random init (paper)", EAParameters(**base)),
-        ("9C-seeded init", EAParameters(seed_nine_c=True, **base)),
-    ):
-        mean_rate, best_rate, evaluations = _run(
-            test_set, block_length, n_vectors, ea, runs, seed
+    points = [
+        (
+            label,
+            CompressionConfig(
+                block_length=block_length, n_vectors=n_vectors, runs=runs, ea=ea
+            ),
         )
-        points.append(
-            AblationPoint(
-                label=label,
-                mean_rate=mean_rate,
-                best_rate=best_rate,
-                evaluations=evaluations,
-            )
+        for label, ea in (
+            ("random init (paper)", EAParameters(**base)),
+            ("9C-seeded init", EAParameters(seed_nine_c=True, **base)),
         )
-    return points
+    ]
+    return _sweep(test_set, points, seed, backend, progress)
 
 
 def subsumption_ablation(
@@ -173,6 +208,8 @@ def subsumption_ablation(
     n_vectors: int = 64,
     runs: int = 3,
     seed: int = 7,
+    backend: ExecutionBackend | None = None,
+    progress: Callable[[str], None] | None = None,
 ) -> list[AblationPoint]:
     """Plain Huffman vs subsumption-refined encoding of the same MVs.
 
@@ -184,7 +221,9 @@ def subsumption_ablation(
         block_length=block_length, n_vectors=n_vectors, runs=runs, ea=ea
     )
     blocks = test_set.blocks(block_length)
-    result = EAMVOptimizer(config, seed=seed).optimize(blocks)
+    result = EAMVOptimizer(config, seed=seed, backend=backend).optimize(blocks)
+    if progress is not None:
+        progress(f"  search done ({runs} runs); re-encoding both ways")
     plain = [
         compress_blocks(blocks, run.mv_set, EncodingStrategy.HUFFMAN).rate
         for run in result.runs
@@ -214,6 +253,7 @@ def decoder_cost_study(
     block_length: int = 12,
     n_vectors: int = 64,
     seed: int = 7,
+    backend: ExecutionBackend | None = None,
 ) -> dict[str, dict[str, float]]:
     """Payload vs code-table cost for 9C and the EA decoder.
 
@@ -230,7 +270,11 @@ def decoder_cost_study(
         ea=EAParameters(stagnation_limit=30, max_evaluations=1200),
     )
     blocks = test_set.blocks(block_length)
-    best = EAMVOptimizer(ea_config, seed=seed).optimize(blocks).best_mv_set
+    best = (
+        EAMVOptimizer(ea_config, seed=seed, backend=backend)
+        .optimize(blocks)
+        .best_mv_set
+    )
     ea = compress_blocks(blocks, best)
     return {
         "9C": {

@@ -15,11 +15,26 @@ run count and stagnation window so a full table regenerates in
 minutes on a laptop.  Test sets larger than ``search_bit_cap`` are
 subsampled for the EA *search* only — the reported rate always prices
 the found MV sets on the complete test set.
+
+Parallel architecture
+---------------------
+All EA work of a row — every independent run of every configuration,
+including the whole EA-Best K/L grid — is flattened into one list of
+self-seeded :class:`repro.core.optimizer.RunTask` units and submitted
+through an :class:`repro.parallel.ExecutionBackend` in a single
+``map`` call, so a row with a 5-point grid and 5 runs per point keeps
+30 workers busy at once.  Seeds are spawned per configuration from the
+row seed via :func:`repro.parallel.spawn_seeds` (one
+``SeedSequence`` child per configuration, one grandchild per run), so
+results are bit-identical on every backend and at every job count.
+Per-configuration progress is routed through an ordered fan-in — no
+interleaved lines under concurrency.
 """
 
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,7 +44,13 @@ from ..core.compressor import compress_blocks
 from ..core.config import CompressionConfig, EAParameters
 from ..core.encoding import EncodingStrategy
 from ..core.nine_c import DEFAULT_NINE_C_BLOCK_LENGTH, compress_nine_c
-from ..core.optimizer import EAMVOptimizer
+from ..core.optimizer import (
+    EAMVOptimizer,
+    OptimizationResult,
+    RunTask,
+    execute_run_task,
+)
+from ..parallel import ExecutionBackend, SerialBackend, grouped_map, spawn_seeds
 from ..testdata.calibration import calibrate_spec
 from ..testdata.registry import PaperRow
 from ..testdata.synthetic import SyntheticSpec
@@ -47,6 +68,32 @@ class ExperimentBudget:
     max_evaluations: int | None
     kl_grid: tuple[tuple[int, int], ...]  # EA-Best candidates (K, L)
     search_bit_cap: int  # subsample test sets beyond this for the search
+
+    def __post_init__(self) -> None:
+        if self.runs < 1:
+            raise ValueError(f"budget runs must be >= 1, got {self.runs}")
+        if self.stagnation_limit < 1:
+            raise ValueError(
+                f"stagnation_limit must be >= 1, got {self.stagnation_limit}"
+            )
+        if self.max_evaluations is not None and self.max_evaluations < 1:
+            raise ValueError(
+                f"max_evaluations must be >= 1 or None, got {self.max_evaluations}"
+            )
+        if not self.kl_grid:
+            raise ValueError(
+                "kl_grid must name at least one (K, L) candidate — "
+                "EA-Best is a maximum over the grid"
+            )
+        if any(
+            block_length < 1 or n_vectors < 1
+            for block_length, n_vectors in self.kl_grid
+        ):
+            raise ValueError(f"kl_grid entries must be positive, got {self.kl_grid}")
+        if self.search_bit_cap < 1:
+            raise ValueError(
+                f"search_bit_cap must be >= 1, got {self.search_bit_cap}"
+            )
 
     def ea_parameters(self) -> EAParameters:
         """Paper operator probabilities with this budget's termination."""
@@ -103,36 +150,102 @@ def _subsample(test_set: TestSet, max_bits: int, seed: int) -> TestSet:
     )
 
 
-def _ea_rates(
-    test_set: TestSet,
-    block_length: int,
-    n_vectors: int,
+@dataclass(frozen=True)
+class _EAConfigJob:
+    """One EA configuration of a row, expanded to per-run tasks."""
+
+    label: str
+    block_length: int
+    tasks: tuple[RunTask, ...]
+
+
+def _config_jobs(
+    search_set: TestSet,
+    configurations: list[tuple[str, int, int]],
     budget: ExperimentBudget,
     seed: int,
-) -> tuple[float, float]:
-    """(mean rate, best rate) over ``budget.runs`` EA runs.
+) -> list[_EAConfigJob]:
+    """Build self-seeded run tasks for every (label, K, L) of a row.
 
-    The search may run on a subsample; every run's best MV set is
-    re-priced on the full test set with Huffman coding.
+    Each configuration gets its own :class:`~numpy.random.SeedSequence`
+    child of the row seed, and the optimizer spawns one grandchild per
+    run — the spawn tree fixes every run's stream before any work is
+    submitted, so execution order can never change results.
     """
-    search_set = _subsample(test_set, budget.search_bit_cap, seed)
-    config = CompressionConfig(
-        block_length=block_length,
-        n_vectors=n_vectors,
-        runs=budget.runs,
-        ea=budget.ea_parameters(),
+    blocks_cache: dict[int, BlockSet] = {}
+    jobs = []
+    for (label, block_length, n_vectors), child in zip(
+        configurations, spawn_seeds(seed, len(configurations))
+    ):
+        if block_length not in blocks_cache:
+            blocks_cache[block_length] = search_set.blocks(block_length)
+        config = CompressionConfig(
+            block_length=block_length,
+            n_vectors=n_vectors,
+            runs=budget.runs,
+            ea=budget.ea_parameters(),
+        )
+        optimizer = EAMVOptimizer(config, seed=child)
+        jobs.append(
+            _EAConfigJob(
+                label=label,
+                block_length=block_length,
+                tasks=optimizer.build_run_tasks(blocks_cache[block_length]),
+            )
+        )
+    return jobs
+
+
+def _execute_config_jobs(
+    jobs: list[_EAConfigJob],
+    test_set: TestSet,
+    search_is_full: bool,
+    backend: ExecutionBackend,
+    progress: Callable[[str], None] | None,
+) -> list[tuple[float, float]]:
+    """(mean rate, best rate) per configuration, via one flat fan-out.
+
+    The search may have run on a subsample; every run's best MV set is
+    then re-priced on the full test set with Huffman coding.  Progress
+    emits one line per configuration, released in configuration order
+    as soon as all of a configuration's runs are in.
+    """
+    grouped = grouped_map(
+        backend,
+        execute_run_task,
+        [(job.label, job.tasks) for job in jobs],
+        progress=progress,
+        # `seconds` is elapsed since the row's flat submission started
+        # (grouped_map's clock), not this configuration's own duration —
+        # label it as a running total.
+        describe=lambda label, n_runs, seconds: (
+            f"  {label}: {n_runs} runs searched [t={seconds:5.1f}s]"
+        ),
     )
-    result = EAMVOptimizer(config, seed=seed).optimize(
-        search_set.blocks(block_length)
-    )
-    if search_set is test_set:
-        return result.mean_rate, result.best_rate
-    full_blocks = test_set.blocks(block_length)
-    rates = [
-        compress_blocks(full_blocks, run.mv_set, EncodingStrategy.HUFFMAN).rate
-        for run in result.runs
-    ]
-    return float(np.mean(rates)), float(max(rates))
+
+    rates = []
+    full_blocks_cache: dict[int, BlockSet] = {}
+    for job, job_outcomes in zip(jobs, grouped):
+        result = OptimizationResult(
+            config=job.tasks[0].config, runs=tuple(job_outcomes)
+        )
+        if search_is_full:
+            rates.append((result.mean_rate, result.best_rate))
+            continue
+        if job.block_length not in full_blocks_cache:
+            full_blocks_cache[job.block_length] = test_set.blocks(
+                job.block_length
+            )
+        repriced = [
+            compress_blocks(
+                full_blocks_cache[job.block_length],
+                run.mv_set,
+                EncodingStrategy.HUFFMAN,
+            ).rate
+            for run in result.runs
+        ]
+        rates.append((float(np.mean(repriced)), float(max(repriced))))
+    return rates
 
 
 def run_row(
@@ -141,15 +254,20 @@ def run_row(
     budget: ExperimentBudget = QUICK,
     seed: int = 2005,
     spec_overrides: dict | None = None,
+    backend: ExecutionBackend | None = None,
+    progress: Callable[[str], None] | None = None,
 ) -> RowResult:
     """Reproduce one table row: calibrate, then run all methods.
 
     ``kind`` is ``"stuck-at"`` (Table 1 columns: 9C, 9C+HC, EA,
     EA-Best) or ``"path-delay"`` (Table 2 columns: 9C, 9C+HC, EA1,
-    EA2).
+    EA2).  All EA runs of the row (including the EA-Best grid) fan out
+    through ``backend``; results are independent of the backend and
+    job count.
     """
     if kind not in ("stuck-at", "path-delay"):
         raise ValueError(f"unknown experiment kind {kind!r}")
+    backend = backend or SerialBackend()
     started = time.perf_counter()
     spec = SyntheticSpec(
         name=row.circuit,
@@ -169,18 +287,27 @@ def run_row(
     }
 
     if kind == "stuck-at":
-        mean_rate, _ = _ea_rates(test_set, 12, 64, budget, seed)
+        configurations = [("EA K=12,L=64", 12, 64)] + [
+            (f"EA-Best K={block_length},L={n_vectors}", block_length, n_vectors)
+            for block_length, n_vectors in budget.kl_grid
+        ]
+    else:
+        configurations = [("EA1 K=8,L=9", 8, 9), ("EA2 K=12,L=64", 12, 64)]
+
+    search_set = _subsample(test_set, budget.search_bit_cap, seed)
+    jobs = _config_jobs(search_set, configurations, budget, seed)
+    rates = _execute_config_jobs(
+        jobs, test_set, search_set is test_set, backend, progress
+    )
+
+    if kind == "stuck-at":
+        mean_rate, _ = rates[0]
         measured["EA"] = mean_rate
-        best_over_grid = -float("inf")
-        for block_length, n_vectors in budget.kl_grid:
-            _, best = _ea_rates(
-                test_set, block_length, n_vectors, budget, seed + 1
-            )
-            best_over_grid = max(best_over_grid, best)
+        best_over_grid = max(best for _, best in rates[1:])
         measured["EA-Best"] = max(best_over_grid, mean_rate)
     else:
-        measured["EA1"], _ = _ea_rates(test_set, 8, 9, budget, seed)
-        measured["EA2"], _ = _ea_rates(test_set, 12, 64, budget, seed)
+        measured["EA1"] = rates[0][0]
+        measured["EA2"] = rates[1][0]
 
     return RowResult(
         circuit=row.circuit,

@@ -1,0 +1,228 @@
+"""Execution backends: serial, thread-pool, and process-pool.
+
+All backends implement one method —
+``map(function, items, *, on_result=None)`` — with the same contract:
+
+* results come back as a list in **submission order**, regardless of
+  which worker finished first;
+* ``on_result(index, result)`` fires as units complete (completion
+  order), always from the submitting thread, so callers can feed an
+  :class:`repro.parallel.progress.OrderedProgress` without extra
+  locking;
+* the first failing unit (lowest submission index) has its exception
+  re-raised after pending work is cancelled.
+
+Backend choice
+--------------
+``SerialBackend`` is the default and the reference semantics.
+``ThreadBackend`` suits GEMM-bound fitness work: NumPy releases the
+GIL inside the covering kernel's matrix products, and threads share
+the block table without copying.  ``ProcessBackend`` is for full-run
+fan-out (whole EA runs, table rows): work units and their results must
+be picklable, and each worker is marked via a pool initializer so any
+*nested* backend inside a worker degrades to serial execution instead
+of forking a pool-of-pools.
+
+Fork safety: workers never rely on inherited global RNG state — every
+work unit carries its own :class:`numpy.random.SeedSequence` (see
+:mod:`repro.parallel.seeding`), which is also what makes results
+identical across start methods (``fork`` vs ``spawn``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from collections.abc import Callable, Sequence
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
+    "in_worker",
+]
+
+OnResult = Callable[[int, Any], None]
+
+# Set (via pool initializer) in process-pool workers; nested backends
+# check it and run serially rather than forking a pool from a worker.
+_IN_WORKER = False
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def in_worker() -> bool:
+    """True inside a :class:`ProcessBackend` worker process."""
+    return _IN_WORKER
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Anything that can run ``function`` over ``items`` in order."""
+
+    jobs: int
+
+    def map(
+        self,
+        function: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        on_result: OnResult | None = None,
+    ) -> list[Any]:
+        """Apply ``function`` to every item; results in input order."""
+        ...
+
+
+def _serial_map(
+    function: Callable[[Any], Any],
+    items: Sequence[Any],
+    on_result: OnResult | None,
+) -> list[Any]:
+    results = []
+    for index, item in enumerate(items):
+        result = function(item)
+        if on_result is not None:
+            on_result(index, result)
+        results.append(result)
+    return results
+
+
+class SerialBackend:
+    """Run every unit inline — the default and reference semantics."""
+
+    jobs = 1
+
+    def map(
+        self,
+        function: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        on_result: OnResult | None = None,
+    ) -> list[Any]:
+        return _serial_map(function, items, on_result)
+
+    def __repr__(self) -> str:
+        return "SerialBackend()"
+
+
+class _PoolBackend:
+    """Shared executor-driven map for thread and process pools."""
+
+    jobs: int
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def _executor(self, max_workers: int) -> Executor:
+        raise NotImplementedError
+
+    def map(
+        self,
+        function: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        on_result: OnResult | None = None,
+    ) -> list[Any]:
+        items = list(items)
+        if in_worker() or self.jobs == 1 or len(items) <= 1:
+            return _serial_map(function, items, on_result)
+        results: list[Any] = [None] * len(items)
+        failures: dict[int, BaseException] = {}
+        with self._executor(min(self.jobs, len(items))) as executor:
+            futures = {
+                executor.submit(function, item): index
+                for index, item in enumerate(items)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    results[index] = future.result()
+                except BaseException as error:  # re-raised below, in order
+                    failures[index] = error
+                    for pending in futures:
+                        pending.cancel()
+                else:
+                    if on_result is not None:
+                        on_result(index, results[index])
+        if failures:
+            raise failures[min(failures)]
+        return results
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class ThreadBackend(_PoolBackend):
+    """Thread-pool backend for GIL-releasing (NumPy-bound) work."""
+
+    def _executor(self, max_workers: int) -> Executor:
+        return ThreadPoolExecutor(max_workers=max_workers)
+
+
+class ProcessBackend(_PoolBackend):
+    """Process-pool backend for full-run fan-out.
+
+    Work units (``function`` and each item) must be picklable —
+    module-level callables over plain dataclasses.  ``fork`` is used
+    on Linux (cheap workers, shared read-only block tables), the
+    platform-default start method elsewhere; workers are marked so
+    nested backends degrade to serial execution instead of spawning
+    pools from within workers.
+    """
+
+    def _executor(self, max_workers: int) -> Executor:
+        # Prefer fork only on Linux (cheap workers, shared read-only
+        # block tables).  macOS also *offers* fork but CPython made
+        # spawn its default there for a reason — forked children can
+        # abort inside Accelerate/Objective-C — so everywhere else we
+        # take the platform default.
+        context = (
+            multiprocessing.get_context("fork")
+            if sys.platform.startswith("linux")
+            else multiprocessing.get_context()
+        )
+        return ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=context,
+            initializer=_mark_worker,
+        )
+
+
+def resolve_backend(
+    jobs: int | None = None, kind: str = "process"
+) -> ExecutionBackend:
+    """Backend for a ``--jobs`` value: 1/None = serial, 0 = all cores.
+
+    ``kind`` selects the pool flavor used when ``jobs`` asks for
+    parallelism: ``"process"`` (default; full-run fan-out) or
+    ``"thread"`` (GEMM-bound work, or platforms where fork is
+    expensive).
+    """
+    if kind not in ("process", "thread"):
+        raise ValueError(f"unknown backend kind {kind!r}")
+    if jobs is None:
+        return SerialBackend()
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs == 1:
+        return SerialBackend()
+    if kind == "thread":
+        return ThreadBackend(jobs)
+    return ProcessBackend(jobs)

@@ -1,0 +1,84 @@
+"""Grouped fan-out: many labeled groups of units, one flat submission.
+
+The experiment layers all share one shape: several labeled groups of
+work units (a table row's EA configurations × runs, an ablation's
+sweep points × runs) that should saturate the backend as a single
+flat task list, then be reassembled per group — with one progress
+line per group, released in group order as each group's last unit
+completes.  :func:`grouped_map` is that shape, so the index
+bookkeeping (owner table, per-group countdown, cursor regrouping)
+lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from .backends import ExecutionBackend
+from .progress import OrderedProgress
+
+__all__ = ["grouped_map"]
+
+DescribeGroup = Callable[[str, int, float], str]
+
+
+def _default_describe(label: str, n_items: int, seconds: float) -> str:
+    return f"  {label}: done"
+
+
+def grouped_map(
+    backend: ExecutionBackend,
+    function: Callable[[Any], Any],
+    groups: Sequence[tuple[str, Sequence[Any]]],
+    *,
+    progress: Callable[[str], None] | None = None,
+    describe: DescribeGroup | None = None,
+) -> list[list[Any]]:
+    """Run ``(label, items)`` groups through one flat ``backend.map``.
+
+    Returns one result list per group, in group order (each list in
+    its items' order).  ``describe(label, n_items, seconds)`` builds
+    the per-group progress line (seconds measured from submission);
+    lines go through an :class:`OrderedProgress` so they appear in
+    group order no matter which group finishes first.
+    """
+    describe = describe or _default_describe
+    flat = [item for _, items in groups for item in items]
+    owner = [
+        group_index
+        for group_index, (_, items) in enumerate(groups)
+        for _ in items
+    ]
+    fan_in = OrderedProgress(progress)
+    remaining = [len(items) for _, items in groups]
+    started = time.perf_counter()
+
+    def finish(group_index: int) -> None:
+        label, items = groups[group_index]
+        fan_in.publish(
+            group_index,
+            describe(label, len(items), time.perf_counter() - started),
+        )
+
+    # Empty groups complete immediately — they must not hold up the
+    # ordered release of later groups' lines.
+    for group_index, count in enumerate(remaining):
+        if count == 0:
+            finish(group_index)
+
+    def on_result(flat_index: int, result: Any) -> None:
+        group_index = owner[flat_index]
+        remaining[group_index] -= 1
+        if remaining[group_index] == 0:
+            finish(group_index)
+
+    results = backend.map(function, flat, on_result=on_result)
+
+    regrouped = []
+    cursor = 0
+    for _, items in groups:
+        regrouped.append(results[cursor : cursor + len(items)])
+        cursor += len(items)
+    return regrouped

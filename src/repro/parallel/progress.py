@@ -1,0 +1,54 @@
+"""Ordered progress fan-in for concurrent work.
+
+Workers complete in arbitrary order, but humans read log lines top to
+bottom.  :class:`OrderedProgress` sits between backend completions and
+a single sink callable (usually ``print``): messages are published
+under their submission index and released strictly in index order, so
+the table built with ``--jobs 8`` prints its rows in exactly the same
+order as the serial run — just faster.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+
+__all__ = ["OrderedProgress"]
+
+
+class OrderedProgress:
+    """Release ``(index, message)`` pairs to ``sink`` in index order.
+
+    The sink is only ever invoked while holding an internal lock, so a
+    plain ``print`` sink never interleaves lines even if backends call
+    :meth:`publish` from several threads.  ``sink=None`` discards all
+    messages (callers then don't need a conditional at every call
+    site), and a ``None`` message marks an index as complete without
+    printing anything — later messages are not held up by silent
+    units.
+    """
+
+    def __init__(self, sink: Callable[[str], None] | None) -> None:
+        self._sink = sink
+        self._lock = threading.Lock()
+        self._pending: dict[int, str | None] = {}
+        self._next_index = 0
+
+    @property
+    def next_index(self) -> int:
+        """The lowest index not yet released (exposed for tests)."""
+        return self._next_index
+
+    def publish(self, index: int, message: str | None) -> None:
+        """Record ``message`` for ``index``; flush any ready prefix."""
+        if index < 0:
+            raise ValueError(f"index must be >= 0, got {index}")
+        with self._lock:
+            if index < self._next_index or index in self._pending:
+                raise ValueError(f"index {index} already published")
+            self._pending[index] = message
+            while self._next_index in self._pending:
+                ready = self._pending.pop(self._next_index)
+                self._next_index += 1
+                if self._sink is not None and ready is not None:
+                    self._sink(ready)

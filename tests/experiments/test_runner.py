@@ -81,6 +81,53 @@ class TestSubsampling:
         assert "EA" in result.measured
 
 
+class TestBudgetValidation:
+    def _budget(self, **overrides):
+        fields = dict(
+            runs=3,
+            stagnation_limit=30,
+            max_evaluations=1500,
+            kl_grid=((8, 16),),
+            search_bit_cap=50_000,
+        )
+        fields.update(overrides)
+        return ExperimentBudget(**fields)
+
+    def test_valid_budget_accepted(self):
+        assert self._budget().runs == 3
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(ValueError, match="runs must be >= 1"):
+            self._budget(runs=0)
+
+    def test_negative_runs_rejected(self):
+        with pytest.raises(ValueError, match="runs must be >= 1"):
+            self._budget(runs=-2)
+
+    def test_empty_kl_grid_rejected(self):
+        with pytest.raises(ValueError, match="kl_grid"):
+            self._budget(kl_grid=())
+
+    def test_nonpositive_grid_entry_rejected(self):
+        with pytest.raises(ValueError, match="kl_grid"):
+            self._budget(kl_grid=((8, 16), (0, 4)))
+
+    def test_zero_stagnation_rejected(self):
+        with pytest.raises(ValueError, match="stagnation_limit"):
+            self._budget(stagnation_limit=0)
+
+    def test_zero_max_evaluations_rejected(self):
+        with pytest.raises(ValueError, match="max_evaluations"):
+            self._budget(max_evaluations=0)
+
+    def test_none_max_evaluations_allowed(self):
+        assert self._budget(max_evaluations=None).max_evaluations is None
+
+    def test_zero_search_bit_cap_rejected(self):
+        with pytest.raises(ValueError, match="search_bit_cap"):
+            self._budget(search_bit_cap=0)
+
+
 class TestBudgets:
     def test_quick_budget_values(self):
         assert QUICK.runs == 3

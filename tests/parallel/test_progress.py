@@ -1,0 +1,70 @@
+"""Tests for the ordered progress fan-in."""
+
+import threading
+
+import pytest
+
+from repro.parallel import OrderedProgress
+
+
+class TestOrderedProgress:
+    def test_in_order_publishes_flow_through(self):
+        seen = []
+        fan_in = OrderedProgress(seen.append)
+        for index in range(3):
+            fan_in.publish(index, f"line {index}")
+        assert seen == ["line 0", "line 1", "line 2"]
+
+    def test_out_of_order_publishes_are_buffered(self):
+        seen = []
+        fan_in = OrderedProgress(seen.append)
+        fan_in.publish(2, "c")
+        fan_in.publish(0, "a")
+        assert seen == ["a"]  # 1 still missing, so 2 is held back
+        fan_in.publish(1, "b")
+        assert seen == ["a", "b", "c"]
+
+    def test_none_sink_discards_everything(self):
+        fan_in = OrderedProgress(None)
+        fan_in.publish(1, "late")
+        fan_in.publish(0, "early")
+        assert fan_in.next_index == 2
+
+    def test_none_message_advances_without_emitting(self):
+        seen = []
+        fan_in = OrderedProgress(seen.append)
+        fan_in.publish(0, None)
+        fan_in.publish(1, "visible")
+        assert seen == ["visible"]
+
+    def test_duplicate_index_rejected(self):
+        fan_in = OrderedProgress(None)
+        fan_in.publish(0, "once")
+        with pytest.raises(ValueError):
+            fan_in.publish(0, "twice")
+        fan_in.publish(2, "pending twice")
+        with pytest.raises(ValueError):
+            fan_in.publish(2, "pending twice")
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            OrderedProgress(None).publish(-1, "nope")
+
+    def test_threaded_publishes_release_in_index_order(self):
+        seen = []
+        fan_in = OrderedProgress(seen.append)
+        indices = [3, 1, 4, 0, 2, 5]
+        barrier = threading.Barrier(len(indices))
+
+        def worker(index):
+            barrier.wait()
+            fan_in.publish(index, str(index))
+
+        threads = [
+            threading.Thread(target=worker, args=(index,)) for index in indices
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert seen == ["0", "1", "2", "3", "4", "5"]

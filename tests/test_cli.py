@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.parallel import ProcessBackend, SerialBackend, ThreadBackend
 
 
 class TestParser:
@@ -33,6 +34,54 @@ class TestParser:
     def test_ablate_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["ablate", "nonsense"])
+
+    def test_jobs_defaults_to_serial(self):
+        for argv in (
+            ["table1"],
+            ["table2"],
+            ["compress", "file.txt"],
+            ["atpg", "c17"],
+            ["ablate", "kl"],
+            ["report"],
+        ):
+            arguments = build_parser().parse_args(argv)
+            assert arguments.jobs == 1
+            assert arguments.backend == "process"
+
+    def test_jobs_and_backend_parsed(self):
+        arguments = build_parser().parse_args(
+            ["table1", "--seed", "1", "--jobs", "4", "--backend", "thread"]
+        )
+        assert arguments.jobs == 4
+        assert arguments.backend == "thread"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--jobs", "2", "--backend", "x"])
+
+
+class TestResolvedBackends:
+    def test_jobs_one_resolves_serial(self):
+        from repro.cli import _resolve_backend
+
+        arguments = build_parser().parse_args(["table1", "--jobs", "1"])
+        assert isinstance(_resolve_backend(arguments), SerialBackend)
+
+    def test_jobs_n_resolves_pool(self):
+        from repro.cli import _resolve_backend
+
+        arguments = build_parser().parse_args(["table1", "--jobs", "3"])
+        backend = _resolve_backend(arguments)
+        assert isinstance(backend, ProcessBackend)
+        assert backend.jobs == 3
+
+    def test_thread_kind_resolves_thread_pool(self):
+        from repro.cli import _resolve_backend
+
+        arguments = build_parser().parse_args(
+            ["table1", "--jobs", "3", "--backend", "thread"]
+        )
+        assert isinstance(_resolve_backend(arguments), ThreadBackend)
 
 
 class TestCompressCommand:
@@ -65,3 +114,44 @@ class TestAtpgCommand:
         output = capsys.readouterr().out
         assert "fault coverage" in output
         assert "EA" in output
+
+
+class TestJobsSmoke:
+    """End-to-end --jobs: parallel output must equal the serial output."""
+
+    ARGS = [
+        "--k", "4",
+        "--l", "6",
+        "--runs", "2",
+        "--stagnation", "5",
+        "--max-evaluations", "120",
+        "--seed", "3",
+    ]
+
+    def _patterns_file(self, tmp_path):
+        path = tmp_path / "patterns.txt"
+        path.write_text(
+            "\n".join(["11001100XXXX", "110011001111", "XXXX11001100"] * 6)
+        )
+        return str(path)
+
+    def test_compress_thread_jobs_matches_serial(self, tmp_path, capsys):
+        path = self._patterns_file(tmp_path)
+        assert main(["compress", path, *self.ARGS, "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(
+                ["compress", path, *self.ARGS, "--jobs", "2",
+                 "--backend", "thread"]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == serial
+
+    @pytest.mark.slow
+    def test_compress_process_jobs_matches_serial(self, tmp_path, capsys):
+        path = self._patterns_file(tmp_path)
+        assert main(["compress", path, *self.ARGS, "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["compress", path, *self.ARGS, "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
