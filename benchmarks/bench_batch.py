@@ -1,22 +1,23 @@
-"""Scalar vs batched fitness pricing throughput (the PR's tentpole).
+"""Fitness pricing throughput: batching (PR 1) and covering kernels.
 
-Three contenders price the same genome batch against the same block
-set:
+Two comparisons share the synthetic workloads:
 
-* ``reference`` — the pre-batching per-genome algorithm (dict/heap
-  Huffman over a Python covering loop), pinned here so the speedup is
-  always measured against the same baseline;
-* ``scalar``    — today's :class:`CompressionRateFitness` called once
-  per genome (a batch-of-one wrapper over the batch engine);
-* ``batched``   — one :meth:`BatchCompressionRateFitness.evaluate_batch`
-  call for the whole generation.
+* **Batching** — the pre-batching per-genome ``reference`` algorithm
+  (dict/heap Huffman over a Python covering loop, pinned verbatim),
+  the batch-of-one ``scalar`` wrapper, and the ``batched``
+  generation path (PR 1's tentpole: ≥5× batched over reference on
+  ``medium``).
+* **Covering kernels** — the same batched pipeline under each
+  registered kernel (``gemm``, ``bitpack``, ``scalar``;
+  :mod:`repro.core.kernels`), including the ``wide`` K = 96 workload
+  the single-word seed could not express.  The kernel acceptance
+  target is bitpack beating gemm on the bandwidth-bound ``large``
+  table.
 
 Run with ``pytest benchmarks/bench_batch.py --benchmark-only`` and
 compare the ``genomes_per_second`` extra-info columns, or use
 ``python benchmarks/run_bench.py`` for a JSON trajectory artifact
-(``BENCH_fitness.json``) suitable for regression tracking.  The
-tentpole target is ≥5× batched over the reference scalar path on the
-``medium`` workload (200 patterns × 64 bits, K=12, L=64).
+(``BENCH_fitness.json``) suitable for regression tracking.
 """
 
 from __future__ import annotations
@@ -31,6 +32,7 @@ from repro.core.fitness import (
     BatchCompressionRateFitness,
     CompressionRateFitness,
 )
+from repro.core.kernels import available_kernels, select_kernel_name
 from repro.ea.genome import random_genome
 from repro.testdata.synthetic import SyntheticSpec, synthetic_test_set
 
@@ -53,6 +55,20 @@ WORKLOADS = {
         12, 64, 256,
     ),
 }
+
+# The kernel comparison adds a wide-block workload (two-word masks);
+# the pinned reference path cannot price it — K > 64 was impossible
+# before the multi-word refactor — so it lives outside WORKLOADS.
+KERNEL_WORKLOADS = {
+    **WORKLOADS,
+    "wide": (
+        SyntheticSpec("bench-wide", n_patterns=400, pattern_bits=192,
+                      care_density=0.35, seed=14),
+        96, 32, 128,
+    ),
+}
+
+KERNELS = tuple(available_kernels())
 
 
 def reference_scalar_fitness(blocks, n_vectors, block_length):
@@ -150,3 +166,57 @@ def test_all_paths_agree(workload):
     batched_rates = batch.evaluate_batch(sample)
     for index, genome in enumerate(sample):
         assert batched_rates[index] == evaluate(genome) == scalar(genome)
+
+
+def build_kernel_workload(name):
+    """Blocks + genome batch for one kernel-comparison workload."""
+    spec, block_length, n_vectors, batch_size = KERNEL_WORKLOADS[name]
+    blocks = synthetic_test_set(spec).blocks(block_length)
+    rng = np.random.default_rng(spec.seed)
+    genomes = np.stack(
+        [
+            random_genome(n_vectors * block_length, rng)
+            for _ in range(batch_size)
+        ]
+    )
+    genomes[:, -block_length:] = 2  # all-U tail, as the optimizer pins it
+    return blocks, block_length, n_vectors, genomes
+
+
+@pytest.fixture(scope="module", params=sorted(KERNEL_WORKLOADS))
+def kernel_workload(request):
+    return (request.param, *build_kernel_workload(request.param))
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_kernel_path(benchmark, kernel_workload, kernel):
+    """The batched pipeline under each registered covering kernel."""
+    name, blocks, block_length, n_vectors, genomes = kernel_workload
+    fitness = BatchCompressionRateFitness(
+        blocks, n_vectors=n_vectors, block_length=block_length, kernel=kernel
+    )
+    benchmark.group = f"kernel-{name}"
+    benchmark.extra_info["auto_pick"] = select_kernel_name(
+        len(genomes), blocks.n_distinct, n_vectors, block_length
+    )
+    rates = benchmark(fitness.evaluate_batch, genomes)
+    _report(benchmark, len(genomes))
+    assert rates.shape == (len(genomes),)
+
+
+def test_kernels_agree(kernel_workload):
+    """Not a benchmark: every kernel must price bit-identically."""
+    _, blocks, block_length, n_vectors, genomes = kernel_workload
+    sample = genomes[:16]
+    rates = {
+        kernel: BatchCompressionRateFitness(
+            blocks,
+            n_vectors=n_vectors,
+            block_length=block_length,
+            kernel=kernel,
+        ).evaluate_batch(sample)
+        for kernel in KERNELS
+    }
+    reference = rates[KERNELS[0]]
+    for kernel in KERNELS[1:]:
+        assert (rates[kernel] == reference).all(), kernel

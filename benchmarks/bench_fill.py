@@ -9,7 +9,6 @@ the paper's Section 1.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.config import CompressionConfig, EAParameters
 from repro.core.nine_c import compress_nine_c

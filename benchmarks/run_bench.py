@@ -8,7 +8,11 @@ script and catch regressions:
   ``bench_batch.py`` (pinned pre-batching reference, batch-of-one
   scalar wrapper, batched generation kernel) on the
   small/medium/large synthetic workloads: genomes/second plus
-  batched-over-reference and batched-over-scalar speedups.
+  batched-over-reference and batched-over-scalar speedups.  A
+  ``kernel_comparison`` section times the batched pipeline under
+  every registered covering kernel (gemm, bitpack, scalar) on the
+  same workloads plus the ``wide`` K = 96 one, recording the
+  bitpack-over-gemm speedup and what ``auto`` would pick.
 * ``BENCH_parallel.json`` — runs/second of the multi-run EA fan-out
   through the serial, thread, and process backends at jobs ∈
   {1, 2, 4, 8} (``bench_parallel.scaling_report``), with ``cpu_count``
@@ -39,11 +43,18 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import numpy as np  # noqa: E402
 
-from bench_batch import WORKLOADS, reference_scalar_fitness  # noqa: E402
+from bench_batch import (  # noqa: E402
+    KERNEL_WORKLOADS,
+    KERNELS,
+    WORKLOADS,
+    build_kernel_workload,
+    reference_scalar_fitness,
+)
 from repro.core.fitness import (  # noqa: E402
     BatchCompressionRateFitness,
     CompressionRateFitness,
 )
+from repro.core.kernels import select_kernel_name  # noqa: E402
 from repro.ea.genome import random_genome  # noqa: E402
 from repro.testdata.synthetic import synthetic_test_set  # noqa: E402
 
@@ -112,6 +123,49 @@ def bench_workload(name: str, repeats: int) -> dict:
     }
 
 
+def bench_kernels(name: str, repeats: int) -> dict:
+    """Per-kernel throughput of the batched pipeline on one workload."""
+    blocks, block_length, n_vectors, genomes = build_kernel_workload(name)
+    batch_size = len(genomes)
+    fitnesses = {
+        kernel: BatchCompressionRateFitness(
+            blocks,
+            n_vectors=n_vectors,
+            block_length=block_length,
+            kernel=kernel,
+        )
+        for kernel in KERNELS
+    }
+    sample_rates = [
+        fitness.evaluate_batch(genomes[:8]) for fitness in fitnesses.values()
+    ]
+    assert all(
+        (rates == sample_rates[0]).all() for rates in sample_rates
+    ), "kernels disagree; refusing to benchmark"
+
+    throughput = {
+        kernel: batch_size
+        / best_seconds(lambda f=fitness: f.evaluate_batch(genomes), repeats)
+        for kernel, fitness in fitnesses.items()
+    }
+    return {
+        "workload": name,
+        "block_length": block_length,
+        "n_vectors": n_vectors,
+        "batch_size": batch_size,
+        "n_distinct_blocks": blocks.n_distinct,
+        "genomes_per_second": {
+            kernel: round(value, 1) for kernel, value in throughput.items()
+        },
+        "speedup_bitpack_vs_gemm": round(
+            throughput["bitpack"] / throughput["gemm"], 2
+        ),
+        "auto_selects": select_kernel_name(
+            batch_size, blocks.n_distinct, n_vectors, block_length
+        ),
+    }
+
+
 def emit_fitness_artifact(output: Path, repeats: int) -> None:
     document = {
         "benchmark": "batched fitness engine (cover + Huffman + price)",
@@ -120,6 +174,9 @@ def emit_fitness_artifact(output: Path, repeats: int) -> None:
         "workloads": [
             bench_workload(name, repeats) for name in sorted(WORKLOADS)
         ],
+        "kernel_comparison": [
+            bench_kernels(name, repeats) for name in sorted(KERNEL_WORKLOADS)
+        ],
     }
     output.write_text(json.dumps(document, indent=2) + "\n")
     for row in document["workloads"]:
@@ -127,6 +184,14 @@ def emit_fitness_artifact(output: Path, repeats: int) -> None:
             f"{row['workload']:>7}: batched {row['genomes_per_second']['batched']:>9}/s  "
             f"vs reference ×{row['speedup_batched_vs_reference']}  "
             f"vs wrapper ×{row['speedup_batched_vs_scalar_wrapper']}"
+        )
+    for row in document["kernel_comparison"]:
+        rates = row["genomes_per_second"]
+        print(
+            f"{row['workload']:>7} kernels: "
+            + "  ".join(f"{kernel}={rates[kernel]}/s" for kernel in sorted(rates))
+            + f"  bitpack/gemm ×{row['speedup_bitpack_vs_gemm']}"
+            + f"  (auto → {row['auto_selects']})"
         )
     print(f"wrote {output}")
 

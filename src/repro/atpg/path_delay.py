@@ -31,7 +31,6 @@ from dataclasses import dataclass
 from ..circuits.netlist import GateType, Netlist
 from ..circuits.paths import Path, enumerate_paths
 from ..circuits.simulator import simulate3
-from ..core.trits import DC
 from ..testdata.test_set import TestSet
 from .podem import justify
 

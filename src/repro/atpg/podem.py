@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 
 from ..circuits.netlist import GateType, Netlist
 from ..circuits.simulator import simulate3
-from ..core.trits import DC, ONE, ZERO
+from ..core.trits import DC
 from .faults import StuckAtFault
 
 __all__ = ["PodemResult", "podem", "justify"]

@@ -32,6 +32,7 @@ from pathlib import Path
 
 from .core.compressor import compress_blocks
 from .core.config import CompressionConfig, EAParameters
+from .core.kernels import KERNEL_CHOICES
 from .core.nine_c import compress_nine_c
 from .core.optimizer import EAMVOptimizer
 from .parallel import ExecutionBackend, resolve_backend
@@ -56,6 +57,15 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         choices=("process", "thread"),
         default="process",
         help="pool flavor used when --jobs asks for parallelism",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help=(
+            "covering kernel pricing the EA fitness (auto picks per "
+            "workload shape; all kernels give bit-identical results)"
+        ),
     )
 
 
@@ -106,6 +116,7 @@ def _table_command(arguments: argparse.Namespace, which: int) -> int:
         seed=arguments.seed,
         progress=print,
         backend=_resolve_backend(arguments),
+        kernel=arguments.kernel,
     )
     print()
     print(format_table(result))
@@ -131,6 +142,7 @@ def _compress_command(arguments: argparse.Namespace) -> int:
         block_length=arguments.k,
         n_vectors=arguments.l,
         runs=arguments.runs,
+        kernel=arguments.kernel,
         ea=EAParameters(
             stagnation_limit=arguments.stagnation,
             max_evaluations=arguments.max_evaluations,
@@ -173,6 +185,7 @@ def _atpg_command(arguments: argparse.Namespace) -> int:
         block_length=arguments.k,
         n_vectors=arguments.l,
         runs=3,
+        kernel=arguments.kernel,
         ea=EAParameters(stagnation_limit=30, max_evaluations=1200),
     )
     result = EAMVOptimizer(
@@ -210,21 +223,31 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
     test_set = _calibrated_test_set(arguments.circuit, arguments.seed)
     backend = _resolve_backend(arguments)
     if arguments.study == "kl":
-        points = kl_sweep(test_set, seed=arguments.seed, backend=backend)
+        points = kl_sweep(
+            test_set, seed=arguments.seed, backend=backend,
+            kernel=arguments.kernel,
+        )
         print(ablation_markdown(points, f"K/L sweep on {arguments.circuit}"))
     elif arguments.study == "operators":
-        points = operator_sweep(test_set, seed=arguments.seed, backend=backend)
+        points = operator_sweep(
+            test_set, seed=arguments.seed, backend=backend,
+            kernel=arguments.kernel,
+        )
         print(
             ablation_markdown(
                 points, f"Operator probabilities on {arguments.circuit}"
             )
         )
     elif arguments.study == "seeding":
-        points = seeding_ablation(test_set, seed=arguments.seed, backend=backend)
+        points = seeding_ablation(
+            test_set, seed=arguments.seed, backend=backend,
+            kernel=arguments.kernel,
+        )
         print(ablation_markdown(points, f"9C seeding on {arguments.circuit}"))
     elif arguments.study == "subsumption":
         points = subsumption_ablation(
-            test_set, seed=arguments.seed, backend=backend
+            test_set, seed=arguments.seed, backend=backend,
+            kernel=arguments.kernel,
         )
         print(
             ablation_markdown(
@@ -233,7 +256,8 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
         )
     else:  # decoder
         costs = decoder_cost_study(
-            test_set, seed=arguments.seed, backend=backend
+            test_set, seed=arguments.seed, backend=backend,
+            kernel=arguments.kernel,
         )
         for method, values in costs.items():
             print(
@@ -270,6 +294,7 @@ def _report_command(arguments: argparse.Namespace) -> int:
         seed=arguments.seed,
         progress=print,
         backend=backend,
+        kernel=arguments.kernel,
     )
     print("building Table 2 ...")
     table2 = build_table2(
@@ -278,21 +303,26 @@ def _report_command(arguments: argparse.Namespace) -> int:
         seed=arguments.seed,
         progress=print,
         backend=backend,
+        kernel=arguments.kernel,
     )
     print("running ablations on s349 ...")
     test_set = _calibrated_test_set("s349", arguments.seed)
     ablations = {
         "K/L sweep (s349, source of EA-Best)": kl_sweep(
-            test_set, seed=arguments.seed, backend=backend
+            test_set, seed=arguments.seed, backend=backend,
+            kernel=arguments.kernel,
         ),
         "Operator probabilities (s349)": operator_sweep(
-            test_set, seed=arguments.seed, backend=backend
+            test_set, seed=arguments.seed, backend=backend,
+            kernel=arguments.kernel,
         ),
         "9C seeding of the initial population (s349)": seeding_ablation(
-            test_set, seed=arguments.seed, backend=backend
+            test_set, seed=arguments.seed, backend=backend,
+            kernel=arguments.kernel,
         ),
         "Subsumption-aware encoding (s349, Section 3.3)": subsumption_ablation(
-            test_set, seed=arguments.seed, backend=backend
+            test_set, seed=arguments.seed, backend=backend,
+            kernel=arguments.kernel,
         ),
     }
     document = experiments_markdown(

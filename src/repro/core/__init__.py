@@ -1,7 +1,13 @@
 """Core library: the paper's code-based test compression contribution."""
 
 from .baselines import RunLengthResult, compress_fdr, compress_golomb
-from .blocks import MAX_BLOCK_LENGTH, BlockSet, pack_trits, unpack_masks
+from .blocks import (
+    WORD_BITS,
+    BlockSet,
+    mask_word_count,
+    pack_trits,
+    unpack_masks,
+)
 from .compressor import CompressedTestSet, compress_blocks, compression_rate
 from .decoder_hw import DecoderModel, decoder_model, decoder_model_for
 from .multi_scan import (
@@ -17,6 +23,18 @@ from .covering import (
     cover,
     cover_masks,
     cover_masks_batch,
+)
+from .kernels import (
+    KERNEL_CHOICES,
+    BitpackKernel,
+    CoveringKernel,
+    GemmKernel,
+    ScalarKernel,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+    resolve_kernel,
+    select_kernel_name,
 )
 from .decompressor import DecodedTestSet, decompress, verify_roundtrip
 from .encoding import (
@@ -60,10 +78,21 @@ __all__ = [
     "MultiScanResult",
     "compress_multi_scan",
     "split_into_chains",
-    "MAX_BLOCK_LENGTH",
+    "WORD_BITS",
     "BlockSet",
+    "mask_word_count",
     "pack_trits",
     "unpack_masks",
+    "KERNEL_CHOICES",
+    "BitpackKernel",
+    "CoveringKernel",
+    "GemmKernel",
+    "ScalarKernel",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
+    "resolve_kernel",
+    "select_kernel_name",
     "CompressedTestSet",
     "compress_blocks",
     "compression_rate",

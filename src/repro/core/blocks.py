@@ -14,6 +14,16 @@ with ``X`` positions in neither mask.  An MV with masks
 ``(ones & mv_zeros) == 0 and (zeros & mv_ones) == 0`` — a pair of
 AND/compare operations instead of a per-position loop.
 
+Masks are stored as little-endian ``uint64`` *words*: a K-trit block
+packs into ``ceil(K / 64)`` words, where word 0 holds the least
+significant 64 bits of the K-bit integer whose position-0 trit has
+weight ``2**(K-1)``.  For ``K <= 64`` that is exactly the historical
+single-``uint64`` layout and masks stay one-dimensional ``(D,)``
+arrays; wider blocks use ``(D, W)`` word arrays.  The word helpers
+(:func:`mask_word_count`, :func:`pack_bits_to_words`,
+:func:`int_to_words`, :func:`words_to_int`) are shared by the covering
+kernels in :mod:`repro.core.kernels`.
+
 Real test sets repeat blocks heavily, so :class:`BlockSet` stores the
 *distinct* blocks with multiplicities plus the original sequence as
 indices into the distinct table.  EA fitness evaluation (thousands of
@@ -28,29 +38,114 @@ import numpy as np
 
 from .trits import DC, ONE, ZERO, format_trits, parse_trits, trits_to_array
 
-__all__ = ["MAX_BLOCK_LENGTH", "pack_trits", "unpack_masks", "BlockSet"]
+__all__ = [
+    "WORD_BITS",
+    "BlockSet",
+    "int_to_words",
+    "mask_word_count",
+    "masks_as_words",
+    "pack_bits_to_words",
+    "pack_trits",
+    "unpack_masks",
+    "unpack_words_to_bits",
+    "words_to_int",
+]
 
-MAX_BLOCK_LENGTH = 64  # masks are uint64; the paper uses K = 8 and K = 12
+WORD_BITS = 64  # one mask word; K > 64 simply uses more words
+
+
+def mask_word_count(block_length: int) -> int:
+    """Number of uint64 words needed for ``block_length``-trit masks.
+
+    >>> mask_word_count(12), mask_word_count(64), mask_word_count(96)
+    (1, 1, 2)
+    """
+    if block_length < 1:
+        raise ValueError(f"block length must be >= 1, got {block_length}")
+    return -(-block_length // WORD_BITS)
 
 
 def _bit_weights(block_length: int) -> np.ndarray:
-    """Per-position uint64 weights; position 0 (leftmost) is the MSB."""
+    """Per-position uint64 weights; position 0 (leftmost) is the MSB.
+
+    Only valid for single-word masks (``block_length <= 64``); wider
+    blocks go through :func:`pack_bits_to_words`.
+    """
     shifts = np.arange(block_length - 1, -1, -1, dtype=np.uint64)
     return np.left_shift(np.uint64(1), shifts)
+
+
+def pack_bits_to_words(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(..., K)`` 0/1 array into ``(..., W)`` uint64 words.
+
+    Position 0 of the last axis is the most significant bit of the
+    K-bit value; the output words are little-endian (word 0 = least
+    significant), so for ``K <= 64`` the single output word equals the
+    historical flat mask.
+
+    >>> pack_bits_to_words(np.array([1, 0, 1])).tolist()
+    [5]
+    """
+    bits = np.asarray(bits)
+    block_length = bits.shape[-1]
+    n_words = mask_word_count(block_length)
+    if n_words == 1:
+        weights = _bit_weights(block_length)
+        return (bits * weights).sum(axis=-1, dtype=np.uint64)[..., None]
+    pad = n_words * WORD_BITS - block_length
+    if pad:
+        pad_widths = [(0, 0)] * (bits.ndim - 1) + [(pad, 0)]
+        bits = np.pad(bits, pad_widths)
+    grouped = bits.reshape(bits.shape[:-1] + (n_words, WORD_BITS))
+    word_weights = _bit_weights(WORD_BITS)
+    big_endian = (grouped * word_weights).sum(axis=-1, dtype=np.uint64)
+    return big_endian[..., ::-1]
+
+
+def unpack_words_to_bits(words: np.ndarray, block_length: int) -> np.ndarray:
+    """Invert :func:`pack_bits_to_words`: ``(..., W)`` words → ``(..., K)``.
+
+    Returns a uint64 0/1 array with position 0 (the MSB) first.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    exponents = np.arange(block_length - 1, -1, -1, dtype=np.int64)
+    word_index = exponents // WORD_BITS
+    shifts = (exponents % WORD_BITS).astype(np.uint64)
+    return (words[..., word_index] >> shifts) & np.uint64(1)
+
+
+def int_to_words(value: int, n_words: int) -> tuple[int, ...]:
+    """Split an arbitrary-precision mask into little-endian words.
+
+    >>> int_to_words(5, 2)
+    (5, 0)
+    """
+    mask = (1 << WORD_BITS) - 1
+    return tuple((value >> (WORD_BITS * w)) & mask for w in range(n_words))
+
+
+def words_to_int(words) -> int:
+    """Rebuild the arbitrary-precision mask from little-endian words."""
+    value = 0
+    for index, word in enumerate(words):
+        value |= int(word) << (WORD_BITS * index)
+    return value
 
 
 def pack_trits(trits) -> tuple[int, int]:
     """Pack a trit sequence into ``(ones, zeros)`` integer masks.
 
+    The masks are arbitrary-precision Python ints, so any block length
+    works; position 0 carries weight ``2**(K-1)``.
+
     >>> pack_trits(parse_trits("10X"))
     (4, 2)
     """
     array = trits_to_array(trits)
-    if array.size > MAX_BLOCK_LENGTH:
-        raise ValueError(f"block length {array.size} exceeds {MAX_BLOCK_LENGTH}")
-    weights = _bit_weights(array.size)
-    ones = int(weights[array == ONE].sum()) if array.size else 0
-    zeros = int(weights[array == ZERO].sum()) if array.size else 0
+    if array.size == 0:
+        return 0, 0
+    ones = words_to_int(pack_bits_to_words(array == ONE))
+    zeros = words_to_int(pack_bits_to_words(array == ZERO))
     return ones, zeros
 
 
@@ -74,6 +169,18 @@ def unpack_masks(ones: int, zeros: int, block_length: int) -> tuple[int, ...]:
     return tuple(trits)
 
 
+def masks_as_words(masks: np.ndarray) -> np.ndarray:
+    """View a mask array in canonical word form ``(N, W)``.
+
+    Single-word masks are stored flat ``(N,)``; this reshapes either
+    storage to two dimensions without copying.
+    """
+    masks = np.asarray(masks, dtype=np.uint64)
+    if masks.ndim == 1:
+        return masks.reshape(-1, 1)
+    return masks
+
+
 @dataclass(frozen=True)
 class BlockSet:
     """The input blocks of one test set, uniquified with multiplicities.
@@ -81,14 +188,18 @@ class BlockSet:
     Attributes
     ----------
     block_length:
-        ``K``, the number of trits per input block.
+        ``K``, the number of trits per input block (any positive
+        length; wide blocks use multi-word masks).
     original_bits:
         Length of the test-set string *before* X-padding — the
         "test set size" column of the paper's tables (``T·n``).
     counts:
         Multiplicity of each distinct block (``int64``).
     ones, zeros:
-        ``uint64`` masks of each distinct block.
+        ``uint64`` masks of each distinct block: flat ``(D,)`` arrays
+        for ``K <= 64``, little-endian ``(D, W)`` word arrays for
+        wider blocks.  :attr:`ones_words`/:attr:`zeros_words` expose
+        the uniform two-dimensional view.
     sequence:
         For each block position in the test set, the index of its
         distinct block (``int32``); preserves order for the actual
@@ -103,10 +214,9 @@ class BlockSet:
     sequence: np.ndarray = field(repr=False)
 
     def __post_init__(self) -> None:
-        if not 1 <= self.block_length <= MAX_BLOCK_LENGTH:
+        if self.block_length < 1:
             raise ValueError(
-                f"block length must be in [1, {MAX_BLOCK_LENGTH}], "
-                f"got {self.block_length}"
+                f"block length must be >= 1, got {self.block_length}"
             )
         if self.original_bits < 0:
             raise ValueError("original_bits must be non-negative")
@@ -120,11 +230,7 @@ class BlockSet:
         The tail is padded with don't-cares, exactly as the paper pads
         the test-set string with ``X`` values.
         """
-        if not 1 <= block_length <= MAX_BLOCK_LENGTH:
-            raise ValueError(
-                f"block length must be in [1, {MAX_BLOCK_LENGTH}], "
-                f"got {block_length}"
-            )
+        n_words = mask_word_count(block_length)  # validates block_length
         array = np.asarray(trits, dtype=np.int8)
         if array.ndim != 1:
             raise ValueError("trit array must be one-dimensional")
@@ -134,7 +240,8 @@ class BlockSet:
             padding = np.full(block_length - remainder, DC, dtype=np.int8)
             array = np.concatenate([array, padding])
         if array.size == 0:
-            empty_u64 = np.empty(0, dtype=np.uint64)
+            empty_shape = 0 if n_words == 1 else (0, n_words)
+            empty_u64 = np.empty(empty_shape, dtype=np.uint64)
             return cls(
                 block_length=block_length,
                 original_bits=0,
@@ -144,17 +251,21 @@ class BlockSet:
                 sequence=np.empty(0, dtype=np.int32),
             )
         grid = array.reshape(-1, block_length)
-        weights = _bit_weights(block_length)
-        ones_per_block = ((grid == ONE) * weights).sum(axis=1, dtype=np.uint64)
-        zeros_per_block = ((grid == ZERO) * weights).sum(axis=1, dtype=np.uint64)
-        pairs = np.stack([ones_per_block, zeros_per_block], axis=1)
+        ones_words = pack_bits_to_words(grid == ONE)
+        zeros_words = pack_bits_to_words(grid == ZERO)
+        pairs = np.concatenate([ones_words, zeros_words], axis=1)
         distinct, inverse = np.unique(pairs, axis=0, return_inverse=True)
         counts = np.bincount(inverse, minlength=len(distinct)).astype(np.int64)
+        distinct_ones = np.ascontiguousarray(distinct[:, :n_words])
+        distinct_zeros = np.ascontiguousarray(distinct[:, n_words:])
+        if n_words == 1:
+            distinct_ones = distinct_ones[:, 0]
+            distinct_zeros = distinct_zeros[:, 0]
         return cls(
             block_length=block_length,
             original_bits=original_bits,
-            ones=np.ascontiguousarray(distinct[:, 0]),
-            zeros=np.ascontiguousarray(distinct[:, 1]),
+            ones=distinct_ones,
+            zeros=distinct_zeros,
             counts=counts,
             sequence=inverse.astype(np.int32),
         )
@@ -182,6 +293,21 @@ class BlockSet:
         return int(self.counts.size)
 
     @property
+    def word_count(self) -> int:
+        """``W`` — uint64 words per mask (1 for ``K <= 64``)."""
+        return mask_word_count(self.block_length)
+
+    @property
+    def ones_words(self) -> np.ndarray:
+        """Ones masks in uniform ``(D, W)`` word form."""
+        return masks_as_words(self.ones)
+
+    @property
+    def zeros_words(self) -> np.ndarray:
+        """Zeros masks in uniform ``(D, W)`` word form."""
+        return masks_as_words(self.zeros)
+
+    @property
     def padded_bits(self) -> int:
         """Length of the padded test-set string."""
         return self.n_blocks * self.block_length
@@ -189,8 +315,8 @@ class BlockSet:
     def block_trits(self, distinct_index: int) -> tuple[int, ...]:
         """Trit tuple of the distinct block with the given index."""
         return unpack_masks(
-            int(self.ones[distinct_index]),
-            int(self.zeros[distinct_index]),
+            words_to_int(self.ones_words[distinct_index]),
+            words_to_int(self.zeros_words[distinct_index]),
             self.block_length,
         )
 
@@ -200,10 +326,12 @@ class BlockSet:
 
     def specified_bit_count(self) -> int:
         """Number of specified (non-X) bits across the whole test set."""
-        popcount = np.vectorize(lambda mask: bin(int(mask)).count("1"))
         if self.n_distinct == 0:
             return 0
-        per_block = popcount(self.ones) + popcount(self.zeros)
+        popcount = np.vectorize(lambda mask: bin(int(mask)).count("1"))
+        per_block = (popcount(self.ones_words) + popcount(self.zeros_words)).sum(
+            axis=1
+        )
         return int((per_block * self.counts).sum())
 
     def care_density(self) -> float:

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 from ..coding.bitstream import BitWriter
 from .blocks import BlockSet
-from .covering import CoveringResult, UncoverableError, cover
+from .covering import CoveringResult, cover
 from .encoding import EncodingStrategy, EncodingTable, build_encoding_table
 from .matching import MVSet
 

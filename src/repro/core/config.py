@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from .blocks import MAX_BLOCK_LENGTH
 from .encoding import EncodingStrategy
+from .kernels import AUTO_KERNEL, CoveringKernel, available_kernels
 
 __all__ = ["EAParameters", "CompressionConfig"]
 
@@ -109,7 +109,13 @@ class CompressionConfig:
 
     ``block_length`` is ``K``; ``n_vectors`` is ``L``.  The paper's
     default configuration (Table 1 'EA' column) is K=12, L=64; its
-    Table 2 'EA1' column is K=8, L=9.
+    Table 2 'EA1' column is K=8, L=9.  Any positive ``block_length``
+    works — wide blocks (K > 64) pack into multi-word masks.
+
+    ``kernel`` names the covering kernel pricing the EA's fitness
+    (``auto``, ``gemm``, ``bitpack``, ``scalar`` — see
+    :mod:`repro.core.kernels`); every kernel produces bit-identical
+    results, so this knob only moves the wall clock.
     """
 
     block_length: int = 12
@@ -117,14 +123,21 @@ class CompressionConfig:
     strategy: EncodingStrategy = EncodingStrategy.HUFFMAN
     fill_default: int = 0
     runs: int = 5
+    kernel: str | CoveringKernel = "auto"
     ea: EAParameters = field(default_factory=EAParameters)
 
     def __post_init__(self) -> None:
-        if not 1 <= self.block_length <= MAX_BLOCK_LENGTH:
+        if self.block_length < 1:
             raise ValueError(
-                f"block_length must be in [1, {MAX_BLOCK_LENGTH}] "
-                f"(blocks are packed into uint64 masks), got {self.block_length}"
+                f"block_length must be >= 1, got {self.block_length}"
             )
+        if not isinstance(self.kernel, CoveringKernel):
+            valid = (AUTO_KERNEL, *available_kernels())
+            if self.kernel not in valid:
+                raise ValueError(
+                    f"unknown covering kernel {self.kernel!r}; "
+                    f"choose one of: {', '.join(valid)}"
+                )
         if self.n_vectors < 1:
             raise ValueError("n_vectors must be >= 1")
         if self.fill_default not in (0, 1):

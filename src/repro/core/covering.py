@@ -8,26 +8,21 @@ which drives the Huffman codeword assignment.
 
 Covering runs on the distinct-block table of a :class:`BlockSet`, so
 its cost is O(L × distinct blocks) vectorized numpy work — this is the
-inner loop of the EA fitness evaluation.
+inner loop of the EA fitness evaluation.  The heavy lifting lives in
+the pluggable kernel subsystem (:mod:`repro.core.kernels`): a float32
+GEMM kernel, a bit-packed uint64 word-lane kernel with block-table
+sharding, and the scalar reference loop, all returning bit-identical
+results.  This module is the thin dispatcher over that registry:
 
-Two kernels serve that loop.  :func:`cover_masks` covers one MV set
-(one genome) with a Python loop over MVs in priority order.
-:func:`cover_masks_batch` covers a whole *generation* at once.  A
-naive batched matcher broadcasts uint64 masks into ``(C, L, D)``
-tensors and is memory-bandwidth bound on the 8-byte temporaries;
-instead, the batch kernel unpacks masks into 0/1 *bit matrices* and
-computes per-(block, MV) conflict counts with one float32 matrix
-product — ``conflicts = [b₁|b₀] · [mvᴢ|mv₁]ᵀ`` is zero exactly when
-the MV matches the block — so the heavy lifting runs inside BLAS.
-The MV axis is pre-permuted into covering order, which turns
-first-match-in-priority-order into a plain ``argmax`` over the
-conflict-free booleans, and the block multiplicities are scatter-added
-into a ``(C, L)`` frequency matrix.  Work is chunked over genomes to
-bound the conflict matrix, and genomes that fail to cover every block
-take an early exit: their ``uncovered`` count is exact but the
-assignment/frequency work is skipped — their rows come back with
-``assignment = -1`` and zero frequencies, which the batched fitness
-prices as ``INVALID_FITNESS``.
+* :func:`cover` covers one :class:`MVSet` (the compressor path) with
+  the scalar reference kernel;
+* :func:`cover_masks` is the single-genome mask-level primitive
+  (re-exported from :mod:`repro.core.kernels.scalar`);
+* :func:`cover_masks_batch` covers a whole *generation* at once,
+  resolving ``kernel`` (``"auto"`` by default) through the registry;
+* :func:`cover_bits_batch`/:func:`unpack_mask_bits` remain the GEMM
+  kernel's bit-matrix core, re-exported for callers that manage their
+  own unpacked representation.
 """
 
 from __future__ import annotations
@@ -36,7 +31,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .blocks import BlockSet
+from .blocks import WORD_BITS, BlockSet
+from .kernels import (
+    cover_bits_batch,
+    cover_masks,
+    resolve_kernel,
+    unpack_mask_bits,
+)
 from .matching import MVSet
 
 __all__ = [
@@ -48,22 +49,6 @@ __all__ = [
     "cover_masks_batch",
     "unpack_mask_bits",
 ]
-
-# Genome-chunk sizing for the batched kernel: keep each (D, chunk·L)
-# float32 conflict matrix at or below this many elements (~4 MiB), so
-# a chunk's conflict/match tensors stay cache-resident end to end.
-_BATCH_TENSOR_ELEMENTS = 1 << 20
-
-
-def unpack_mask_bits(masks: np.ndarray, block_length: int) -> np.ndarray:
-    """Unpack uint64 masks into a float32 0/1 bit matrix.
-
-    Output shape is ``masks.shape + (block_length,)`` with position 0
-    (the MSB of the mask) first — the layout the GEMM covering kernel
-    multiplies against.
-    """
-    shifts = np.arange(block_length - 1, -1, -1, dtype=np.uint64)
-    return ((masks[..., None] >> shifts) & np.uint64(1)).astype(np.float32)
 
 
 class UncoverableError(ValueError):
@@ -109,41 +94,6 @@ class CoveringResult:
         }
 
 
-def cover_masks(
-    block_ones: np.ndarray,
-    block_zeros: np.ndarray,
-    block_counts: np.ndarray,
-    mv_ones: np.ndarray,
-    mv_zeros: np.ndarray,
-    covering_order: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray, int]:
-    """Mask-level covering kernel shared by :func:`cover` and the EA fitness.
-
-    Parameters are plain arrays so the EA can call this without building
-    :class:`MVSet` objects.  Returns ``(assignment, frequencies,
-    uncovered)`` with the same meaning as :class:`CoveringResult`.
-    """
-    n_distinct = block_ones.size
-    n_vectors = mv_ones.size
-    assignment = np.full(n_distinct, -1, dtype=np.int64)
-    unassigned = np.ones(n_distinct, dtype=bool)
-    for mv_index in covering_order:
-        if not unassigned.any():
-            break
-        hits = (
-            unassigned
-            & ((block_ones & mv_zeros[mv_index]) == 0)
-            & ((block_zeros & mv_ones[mv_index]) == 0)
-        )
-        assignment[hits] = mv_index
-        unassigned &= ~hits
-    frequencies = np.zeros(n_vectors, dtype=np.int64)
-    covered = assignment >= 0
-    np.add.at(frequencies, assignment[covered], block_counts[covered])
-    uncovered = int(block_counts[~covered].sum())
-    return assignment, frequencies, uncovered
-
-
 def cover_masks_batch(
     block_ones: np.ndarray,
     block_zeros: np.ndarray,
@@ -152,21 +102,20 @@ def cover_masks_batch(
     mv_zeros: np.ndarray,
     covering_order: np.ndarray,
     block_length: int | None = None,
-    block_bits: np.ndarray | None = None,
+    kernel: str = "auto",
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Cover the block set with ``C`` MV sets (genomes) in one pass.
 
     Batched counterpart of :func:`cover_masks`: ``mv_ones``,
     ``mv_zeros`` and ``covering_order`` are ``(C, L)`` arrays — one row
-    per genome — and the return is ``(assignment, frequencies,
-    uncovered)`` with shapes ``(C, D)``, ``(C, L)`` and ``(C,)``.
+    per genome (``(C, L, W)`` word arrays for ``K > 64``) — and the
+    return is ``(assignment, frequencies, uncovered)`` with shapes
+    ``(C, D)``, ``(C, L)`` and ``(C,)``.
 
     ``block_length`` bounds the mask width (defaults to the widest bit
-    used); repeat callers can pass ``block_bits`` — the cached result
-    of ``unpack_mask_bits(block_ones, K)`` and
-    ``unpack_mask_bits(block_zeros, K)`` stacked along the last axis
-    into ``(D, 2K)`` — to skip re-unpacking the (fixed) block table on
-    every generation, which is what the batched fitness does.
+    used); ``kernel`` names a registered covering kernel or ``"auto"``
+    to pick one from the workload shape.  Every kernel returns
+    bit-identical results, so the choice only moves the wall clock.
 
     For every genome whose MVs cover all blocks, row ``c`` agrees
     element-for-element with ``cover_masks(..., mv_ones[c],
@@ -176,118 +125,46 @@ def cover_masks_batch(
     zero (the batched fitness prices such genomes as invalid without
     needing either).
     """
-    mv_ones = np.atleast_2d(mv_ones)
-    mv_zeros = np.atleast_2d(mv_zeros)
-    order = np.atleast_2d(covering_order)
-    n_genomes, n_vectors = mv_ones.shape
-    n_distinct = block_ones.size
-    assignment = np.full((n_genomes, n_distinct), -1, dtype=np.int64)
-    frequencies = np.zeros((n_genomes, n_vectors), dtype=np.int64)
-    uncovered = np.zeros(n_genomes, dtype=np.int64)
-    if n_distinct == 0 or n_genomes == 0:
-        return assignment, frequencies, uncovered
+    mv_ones = np.asarray(mv_ones, dtype=np.uint64)
+    mv_zeros = np.asarray(mv_zeros, dtype=np.uint64)
+    order_input = np.asarray(covering_order, dtype=np.int64)
+    # Promote single-genome inputs to a batch of one: flat masks are
+    # 1-D, multi-word masks are (L, W) — the 1-D covering order is
+    # what disambiguates the latter from a (C, L) flat batch.
+    if mv_ones.ndim == 1 or (mv_ones.ndim == 2 and order_input.ndim == 1):
+        mv_ones = mv_ones[None]
+        mv_zeros = mv_zeros[None]
+    orders = np.atleast_2d(order_input)
+    n_genomes, n_vectors = mv_ones.shape[:2]
 
     if block_length is None:
-        widest = max(
-            int(block_ones.max() | block_zeros.max()),
-            int(mv_ones.max() | mv_zeros.max()),
-        )
-        block_length = max(1, widest.bit_length())
-    if block_bits is None:
-        block_bits = np.concatenate(
-            [
-                unpack_mask_bits(block_ones, block_length),
-                unpack_mask_bits(block_zeros, block_length),
-            ],
-            axis=1,
-        )
+        block_ones = np.asarray(block_ones, dtype=np.uint64)
+        block_zeros = np.asarray(block_zeros, dtype=np.uint64)
+        if mv_ones.ndim == 3 or block_ones.ndim == 2:
+            # Word arrays: the mask width is the word count.
+            words = max(
+                block_ones.shape[-1] if block_ones.ndim == 2 else 1,
+                mv_ones.shape[-1] if mv_ones.ndim == 3 else 1,
+            )
+            block_length = words * WORD_BITS
+        else:
+            widest = max(
+                int(block_ones.max() | block_zeros.max()) if block_ones.size else 0,
+                int(mv_ones.max() | mv_zeros.max()) if mv_ones.size else 0,
+            )
+            block_length = max(1, widest.bit_length())
 
-    # MV bit matrix with the L axis pre-permuted into covering order,
-    # pairing [b₁|b₀] against [mvᴢ|mv₁]: the float32 product counts the
-    # 1-vs-0 conflicts, and a zero count means "MV matches block".
-    genome_rows = np.arange(n_genomes)[:, None]
-    mv_bits = np.concatenate(
-        [
-            unpack_mask_bits(mv_zeros[genome_rows, order], block_length),
-            unpack_mask_bits(mv_ones[genome_rows, order], block_length),
-        ],
-        axis=2,
-    )  # (C, L, 2K)
-    return cover_bits_batch(
-        block_bits, block_counts, mv_bits, order, want_assignment=True
+    chosen = resolve_kernel(
+        kernel,
+        n_genomes=n_genomes,
+        n_distinct=len(block_ones),
+        n_vectors=n_vectors,
+        block_length=block_length,
     )
-
-
-def cover_bits_batch(
-    block_bits: np.ndarray,
-    block_counts: np.ndarray,
-    mv_bits: np.ndarray,
-    covering_order: np.ndarray,
-    want_assignment: bool = True,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """GEMM covering core over pre-unpacked bit matrices.
-
-    ``block_bits`` is the fixed ``(D, 2K)`` ``[b₁|b₀]`` table;
-    ``mv_bits`` is ``(C, L, 2K)`` ``[mvᴢ|mv₁]`` rows *already permuted
-    into covering order* (row ``j`` of genome ``c`` is the MV tried
-    ``j``-th); ``covering_order`` maps that rank back to MV indices.
-    Returns ``(assignment, frequencies, uncovered)`` exactly like
-    :func:`cover_masks_batch`; with ``want_assignment=False`` the
-    ``(C, D)`` assignment matrix is skipped (all ``-1``) — the batched
-    fitness only needs frequencies, which stay in MV index space.
-    """
-    n_genomes, n_vectors = mv_bits.shape[:2]
-    n_distinct = block_bits.shape[0]
-    order = np.atleast_2d(covering_order)
-    assignment = np.full((n_genomes, n_distinct), -1, dtype=np.int64)
-    frequencies = np.zeros((n_genomes, n_vectors), dtype=np.int64)
-    uncovered = np.zeros(n_genomes, dtype=np.int64)
-    if n_distinct == 0 or n_genomes == 0:
-        return assignment, frequencies, uncovered
-
-    counts_f = block_counts.astype(np.float64)  # exact to 2**53 in the dot
-    total_count = int(block_counts.sum())
-    chunk = max(1, _BATCH_TENSOR_ELEMENTS // max(1, n_vectors * n_distinct))
-    for start in range(0, n_genomes, chunk):
-        stop = min(start + chunk, n_genomes)
-        span = stop - start
-        conflicts = block_bits @ mv_bits[start:stop].reshape(
-            span * n_vectors, -1
-        ).T  # (D, span·L) GEMM — the kernel's hot loop lives in BLAS
-        matches = (conflicts == 0).reshape(n_distinct, span, n_vectors)
-        # argmax finds the first priority-ordered match; on an all-False
-        # row it points at 0, so gathering the hit tells coverage too.
-        first_rank = matches.argmax(axis=2)  # (D, span)
-        covered = np.take_along_axis(matches, first_rank[:, :, None], axis=2)[
-            :, :, 0
-        ]
-        uncovered[start:stop] = total_count - (counts_f @ covered).astype(
-            np.int64
-        )
-        complete = uncovered[start:stop] == 0  # (span,)
-        if not complete.any():
-            continue
-        # Early exit: frequency/assignment work only for complete genomes.
-        sub = np.flatnonzero(complete)
-        sub_rank = first_rank[:, sub].T  # (complete, D)
-        # Scatter-add multiplicities per covering rank, then map ranks
-        # back to MV indices through the order rows.
-        flat = np.arange(sub.size)[:, None] * n_vectors + sub_rank
-        counts_tiled = np.broadcast_to(block_counts, sub_rank.shape)
-        rank_frequencies = np.bincount(
-            flat.ravel(),
-            weights=counts_tiled.ravel(),
-            minlength=sub.size * n_vectors,
-        ).reshape(sub.size, n_vectors)
-        sub_order = order[start + sub]
-        frequencies[start + sub[:, None], sub_order] = rank_frequencies.astype(
-            np.int64
-        )
-        if want_assignment:
-            assignment[start + sub] = sub_order[
-                np.arange(sub.size)[:, None], sub_rank
-            ]
-    return assignment, frequencies, uncovered
+    prepared = chosen.prepare_masks(
+        block_ones, block_zeros, block_counts, block_length
+    )
+    return chosen.cover_masks(prepared, mv_ones, mv_zeros, orders)
 
 
 def cover(blocks: BlockSet, mv_set: MVSet, require_complete: bool = False) -> CoveringResult:
@@ -302,8 +179,7 @@ def cover(blocks: BlockSet, mv_set: MVSet, require_complete: bool = False) -> Co
         raise ValueError(
             f"block length {blocks.block_length} != MV length {mv_set.block_length}"
         )
-    mv_ones = np.asarray([mv.ones_mask for mv in mv_set], dtype=np.uint64)
-    mv_zeros = np.asarray([mv.zeros_mask for mv in mv_set], dtype=np.uint64)
+    mv_ones, mv_zeros = mv_set.mask_arrays()
     order = np.asarray(mv_set.covering_order(), dtype=np.int64)
     assignment, frequencies, uncovered = cover_masks(
         blocks.ones, blocks.zeros, blocks.counts, mv_ones, mv_zeros, order

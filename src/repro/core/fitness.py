@@ -6,10 +6,12 @@ generation of ``C`` genomes in a handful of numpy kernel calls:
 
 1. the ``(C, L·K)`` genome matrix is packed into ``(C, L)`` mask and
    fill-count arrays in one vectorized pass (no ``MVSet`` objects);
-2. :func:`repro.core.covering.cover_masks_batch` broadcasts the block
-   masks against every genome's MVs at once and returns per-genome MV
-   frequencies, early-exiting genomes whose MVs cannot cover every
-   block;
+2. a pluggable covering kernel (:mod:`repro.core.kernels` — float32
+   GEMM, bit-packed uint64 lanes with block-table sharding, or the
+   scalar reference; ``"auto"`` picks per workload shape) matches the
+   block table against every genome's MVs at once and returns
+   per-genome MV frequencies, early-exiting genomes whose MVs cannot
+   cover every block;
 3. :func:`repro.coding.huffman.huffman_total_bits_batch` prices all
    frequency rows with a lockstep two-queue merge (no per-genome dict
    or heap), and the fill bits are one matrix dot away.
@@ -26,9 +28,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..coding.huffman import huffman_total_bits_batch
-from .blocks import BlockSet
-from .covering import cover_bits_batch, unpack_mask_bits
+from .blocks import BlockSet, mask_word_count, pack_bits_to_words
 from .encoding import EncodingStrategy, build_encoding_table
+from .kernels import AUTO_KERNEL, CoveringKernel, resolve_kernel
 from .matching import MVSet
 from .trits import DC, ONE, ZERO
 
@@ -44,6 +46,13 @@ INVALID_FITNESS = -1.0e6  # far below 100·(orig−comp)/orig for any valid enco
 class BatchCompressionRateFitness:
     """Price a whole generation of genomes against a fixed block set.
 
+    ``kernel`` selects the covering kernel by registry name
+    (``"auto"``, ``"gemm"``, ``"bitpack"``, ``"scalar"``) or passes a
+    :class:`~repro.core.kernels.CoveringKernel` instance directly;
+    ``"auto"`` resolves from the workload shape (C, D, L, K) when the
+    first batch arrives.  Every kernel prices bit-identically, so the
+    choice only moves the wall clock.
+
     >>> blocks = BlockSet.from_string("111 000 111 111", 3)
     >>> fit = BatchCompressionRateFitness(blocks, n_vectors=2, block_length=3)
     >>> genomes = MVSet.from_strings(["111", "UUU"]).to_genome()[None, :]
@@ -58,6 +67,7 @@ class BatchCompressionRateFitness:
         block_length: int,
         strategy: EncodingStrategy = EncodingStrategy.HUFFMAN,
         invalid_fitness: float = INVALID_FITNESS,
+        kernel: str | CoveringKernel = AUTO_KERNEL,
     ) -> None:
         if blocks.block_length != block_length:
             raise ValueError(
@@ -74,23 +84,37 @@ class BatchCompressionRateFitness:
         self._block_length = block_length
         self._strategy = strategy
         self._invalid_fitness = invalid_fitness
-        shifts = np.arange(block_length - 1, -1, -1, dtype=np.uint64)
-        self._weights = np.left_shift(np.uint64(1), shifts)
-        # Block bit matrix for the GEMM covering kernel — the block
-        # table is fixed, so unpack it once for every future batch.
-        self._block_bits = np.concatenate(
-            [
-                unpack_mask_bits(blocks.ones, block_length),
-                unpack_mask_bits(blocks.zeros, block_length),
-            ],
-            axis=1,
-        )
+        # The kernel choice; "auto" resolves lazily on the first batch
+        # (the heuristic wants the generation size C), concrete names
+        # resolve and prepare the block table right away.
+        self._kernel_choice = kernel
+        self._kernel: CoveringKernel | None = None
+        self._prepared = None
+        if kernel != AUTO_KERNEL:
+            self._resolve_kernel(n_genomes=1)
         self.evaluations = 0
+
+    def _resolve_kernel(self, n_genomes: int) -> CoveringKernel:
+        if self._kernel is None:
+            self._kernel = resolve_kernel(
+                self._kernel_choice,
+                n_genomes=n_genomes,
+                n_distinct=self._blocks.n_distinct,
+                n_vectors=self._n_vectors,
+                block_length=self._block_length,
+            )
+            self._prepared = self._kernel.prepare(self._blocks)
+        return self._kernel
 
     @property
     def blocks(self) -> BlockSet:
         """The block set this fitness prices against."""
         return self._blocks
+
+    @property
+    def kernel_name(self) -> str:
+        """The resolved covering kernel's name (``auto`` if unresolved)."""
+        return self._kernel.name if self._kernel is not None else AUTO_KERNEL
 
     @property
     def genome_length(self) -> int:
@@ -102,9 +126,21 @@ class BatchCompressionRateFitness:
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Pack a ``(C, L·K)`` genome matrix into per-MV mask arrays.
 
-        Returns ``(ones, zeros, n_unspecified)``, each of shape
-        ``(C, L)``; one vectorized pass over the whole batch.
+        Returns ``(ones, zeros, n_unspecified)``; the masks are
+        ``(C, L)`` for ``K <= 64`` and ``(C, L, W)`` word arrays for
+        wider blocks, one vectorized pass over the whole batch.
         """
+        matrix = self._genome_matrix(genomes)
+        grid = matrix.reshape(-1, self._n_vectors, self._block_length)
+        ones = pack_bits_to_words(grid == ONE)
+        zeros = pack_bits_to_words(grid == ZERO)
+        if mask_word_count(self._block_length) == 1:
+            ones = ones[..., 0]
+            zeros = zeros[..., 0]
+        n_unspecified = (grid == DC).sum(axis=2).astype(np.int64)
+        return ones, zeros, n_unspecified
+
+    def _genome_matrix(self, genomes: np.ndarray) -> np.ndarray:
         matrix = np.asarray(genomes, dtype=np.int8)
         if matrix.ndim == 1:
             matrix = matrix[None, :]
@@ -113,11 +149,7 @@ class BatchCompressionRateFitness:
                 f"genome batch must be (C, {self.genome_length}), "
                 f"got shape {matrix.shape}"
             )
-        grid = matrix.reshape(-1, self._n_vectors, self._block_length)
-        ones = ((grid == ONE) * self._weights).sum(axis=2, dtype=np.uint64)
-        zeros = ((grid == ZERO) * self._weights).sum(axis=2, dtype=np.uint64)
-        n_unspecified = (grid == DC).sum(axis=2).astype(np.int64)
-        return ones, zeros, n_unspecified
+        return matrix
 
     def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
         """Compression rate (%) for every genome row; one kernel pass.
@@ -126,14 +158,7 @@ class BatchCompressionRateFitness:
         ``invalid_fitness``.  Identical, element for element, to
         calling the single-genome path on each row.
         """
-        matrix = np.asarray(genomes, dtype=np.int8)
-        if matrix.ndim == 1:
-            matrix = matrix[None, :]
-        if matrix.ndim != 2 or matrix.shape[1] != self.genome_length:
-            raise ValueError(
-                f"genome batch must be (C, {self.genome_length}), "
-                f"got shape {matrix.shape}"
-            )
+        matrix = self._genome_matrix(genomes)
         n_genomes = matrix.shape[0]
         self.evaluations += n_genomes
         if n_genomes == 0:
@@ -146,17 +171,14 @@ class BatchCompressionRateFitness:
         grid = matrix.reshape(n_genomes, self._n_vectors, self._block_length)
         n_unspecified = (grid == DC).sum(axis=2).astype(np.int64)
         orders = np.argsort(n_unspecified, axis=1, kind="stable")
-        # MV bit rows for the GEMM covering kernel, straight from the
-        # trit grid (no uint64 mask packing on the hot path), with the
-        # L axis pre-permuted into covering order.
+        # The covering kernel consumes the trit grid with the L axis
+        # pre-permuted into covering order; each kernel converts to its
+        # native representation (float bit rows, uint64 word lanes).
         ordered_grid = grid[np.arange(n_genomes)[:, None], orders]
-        mv_bits = np.concatenate(
-            [ordered_grid == ZERO, ordered_grid == ONE], axis=2
-        ).astype(np.float32)
-        _, frequencies, uncovered = cover_bits_batch(
-            self._block_bits,
-            self._blocks.counts,
-            mv_bits,
+        kernel = self._resolve_kernel(n_genomes)
+        _, frequencies, uncovered = kernel.cover_grid(
+            self._prepared,
+            ordered_grid,
             orders,
             want_assignment=False,
         )
@@ -206,9 +228,10 @@ class CompressionRateFitness:
         block_length: int,
         strategy: EncodingStrategy = EncodingStrategy.HUFFMAN,
         invalid_fitness: float = INVALID_FITNESS,
+        kernel: str | CoveringKernel = AUTO_KERNEL,
     ) -> None:
         self._batch = BatchCompressionRateFitness(
-            blocks, n_vectors, block_length, strategy, invalid_fitness
+            blocks, n_vectors, block_length, strategy, invalid_fitness, kernel
         )
         self._n_vectors = n_vectors
         self._block_length = block_length
@@ -223,6 +246,11 @@ class CompressionRateFitness:
     def batch(self) -> BatchCompressionRateFitness:
         """The underlying batch engine (shared with ``evaluate_batch``)."""
         return self._batch
+
+    @property
+    def kernel_name(self) -> str:
+        """The resolved covering kernel's name (``auto`` if unresolved)."""
+        return self._batch.kernel_name
 
     def genome_masks(
         self, genome: np.ndarray

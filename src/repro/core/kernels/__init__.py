@@ -1,0 +1,159 @@
+"""Pluggable covering kernels and their selection registry.
+
+Three interchangeable backends price the covering inner loop (see
+:mod:`repro.core.kernels.base` for the shared contract):
+
+* ``gemm``    — float32 bit matrices, one BLAS matrix product per
+  genome chunk; strongest where BLAS compute density pays — wide
+  blocks (multi-word lanes) over modest distinct-block tables;
+* ``bitpack`` — fused integer conflict lanes with D-axis sharding;
+  measured fastest whenever the 2K-bit lane fits two uint64 words,
+  and the kernel of choice once the block table is large enough to
+  make the GEMM operands memory-bandwidth bound;
+* ``scalar``  — the original per-genome Python loop; the semantic
+  reference and the cheapest option for tiny one-off coverings.
+
+``auto`` picks per workload shape via :func:`select_kernel_name`,
+keyed on ``(C, D, L, K)``.  All kernels return bit-identical results,
+so the choice only ever moves the wall clock.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .base import CoveringKernel, PreparedBlocks, accumulate_complete_rows
+from .bitpack import BitpackKernel
+from .gemm import GemmKernel, cover_bits_batch, unpack_mask_bits
+from .scalar import ScalarKernel, cover_masks
+
+__all__ = [
+    "AUTO_KERNEL",
+    "KERNEL_CHOICES",
+    "BitpackKernel",
+    "CoveringKernel",
+    "GemmKernel",
+    "PreparedBlocks",
+    "ScalarKernel",
+    "accumulate_complete_rows",
+    "available_kernels",
+    "cover_bits_batch",
+    "cover_masks",
+    "get_kernel",
+    "register_kernel",
+    "resolve_kernel",
+    "select_kernel_name",
+    "unpack_mask_bits",
+]
+
+AUTO_KERNEL = "auto"
+
+_REGISTRY: dict[str, Callable[[], CoveringKernel]] = {
+    GemmKernel.name: GemmKernel,
+    BitpackKernel.name: BitpackKernel,
+    ScalarKernel.name: ScalarKernel,
+}
+
+# The names the CLI/config layer accepts, `auto` first.
+KERNEL_CHOICES = (AUTO_KERNEL, *sorted(_REGISTRY))
+
+# Auto-selection thresholds, calibrated on the workloads of
+# ``benchmarks/bench_batch.py`` (single-core container; see ROADMAP
+# "Performance architecture").  Bitpack's fused conflict lane holds 2K
+# bits; while it fits in at most two uint64 words (K <= 64) the
+# integer kernel measured 1.3–1.4× faster once the distinct table
+# outgrows BLAS's cache-resident sweet spot (medium D≈860, large
+# D≈3330), while tiny tables (small D≈150) stay GEMM territory.  Past
+# two lane words the per-element AND loop grows with K while BLAS
+# keeps its compute density — gemm wins there until the table is
+# large enough that its 4-bytes-per-bit operands go bandwidth-bound.
+BITPACK_MAX_LANE_WORDS = 2
+BITPACK_MIN_DISTINCT = 256
+BITPACK_WIDE_MIN_DISTINCT = 2048
+# Below this many match tests (distinct blocks × MVs) a single
+# uncached covering is cheaper as the plain Python loop than as
+# batched tensor setup.
+SCALAR_MAX_WORK = 512
+
+
+def register_kernel(name: str, factory: Callable[[], CoveringKernel]) -> None:
+    """Register a covering-kernel factory under ``name``.
+
+    Extension hook for out-of-tree kernels; ``auto`` never selects a
+    registered-late kernel, but explicit configuration can.
+    """
+    if not name or name == AUTO_KERNEL:
+        raise ValueError(f"invalid kernel name {name!r}")
+    _REGISTRY[name] = factory
+
+
+def available_kernels() -> tuple[str, ...]:
+    """Names of every registered kernel (without ``auto``)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_kernel(name: str, **options) -> CoveringKernel:
+    """Instantiate the kernel registered under ``name``.
+
+    >>> get_kernel("bitpack").name
+    'bitpack'
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join((AUTO_KERNEL, *available_kernels()))
+        raise ValueError(
+            f"unknown covering kernel {name!r}; choose one of: {known}"
+        ) from None
+    return factory(**options)
+
+
+def select_kernel_name(
+    n_genomes: int,
+    n_distinct: int,
+    n_vectors: int,
+    block_length: int,
+) -> str:
+    """The ``auto`` heuristic, keyed on the workload shape (C, D, L, K).
+
+    * The single-genome, tiny-covering corner (``D·L`` match tests
+      under ``SCALAR_MAX_WORK``; interactive ``cover`` calls) goes to
+      ``scalar``: batched tensor setup costs more than the loop.
+    * Narrow fused lanes (2K bits in at most two uint64 words) over a
+      distinct table past ``BITPACK_MIN_DISTINCT`` go to ``bitpack``
+      — measured 1.3–1.4× over GEMM there, growing with the table as
+      GEMM goes memory-bandwidth bound.
+    * Wider lanes (K > 64) go to ``gemm`` while the table is modest —
+      BLAS keeps its compute density where the word loop cannot — and
+      back to ``bitpack`` once the table is large enough that GEMM's
+      4-bytes-per-bit operands dominate.
+    * Everything else (tiny tables) stays with ``gemm``.
+    """
+    if n_genomes <= 1 and n_distinct * n_vectors <= SCALAR_MAX_WORK:
+        return ScalarKernel.name
+    lane_words = -(-2 * block_length // 64)
+    if (
+        lane_words <= BITPACK_MAX_LANE_WORDS
+        and n_distinct >= BITPACK_MIN_DISTINCT
+    ):
+        return BitpackKernel.name
+    if n_distinct >= BITPACK_WIDE_MIN_DISTINCT:
+        return BitpackKernel.name
+    return GemmKernel.name
+
+
+def resolve_kernel(
+    choice: str | CoveringKernel,
+    n_genomes: int,
+    n_distinct: int,
+    n_vectors: int,
+    block_length: int,
+) -> CoveringKernel:
+    """Turn a kernel choice (name, ``auto`` or instance) into a kernel."""
+    if isinstance(choice, CoveringKernel):
+        return choice
+    if choice == AUTO_KERNEL:
+        choice = select_kernel_name(
+            n_genomes, n_distinct, n_vectors, block_length
+        )
+    return get_kernel(choice)

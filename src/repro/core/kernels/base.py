@@ -1,0 +1,238 @@
+"""The covering-kernel contract shared by every backend.
+
+A *covering kernel* answers one batched question: given the fixed
+distinct-block table of a :class:`~repro.core.blocks.BlockSet` and a
+generation of ``C`` genomes — each an ordered list of ``L`` matching
+vectors — which MV covers each block first, how often is each MV used,
+and how many blocks stay uncovered?  Everything above this layer
+(fitness pricing, the EA engine, the experiment protocol) is kernel
+agnostic; everything below it (float32 GEMM, bit-packed integer lanes,
+the scalar reference loop) is swappable per workload shape.
+
+All kernels share one contract, pinned by the cross-kernel parity
+suite: for identical inputs they return **bit-identical**
+``(assignment, frequencies, uncovered)`` triples, including the
+early-exit convention — a genome whose MVs cannot cover every block
+reports an exact ``uncovered`` count but an all ``-1`` assignment row
+and an all-zero frequency row.  Seeded experiments are therefore
+byte-identical no matter which kernel priced them.
+
+Kernels are stateless objects configured at construction; per-block-set
+state lives in the *prepared* value returned by :meth:`prepare` (each
+kernel chooses its own representation: float bit matrices for GEMM,
+uint64 word lanes for bitpack).  The three entry points differ only in
+input encoding:
+
+* :meth:`cover_ordered_words` — MV masks as ``(C, L, W)`` uint64 word
+  lanes *already permuted* into covering order (the abstract core);
+* :meth:`cover_masks` — declaration-order masks, flat ``(C, L)`` or
+  ``(C, L, W)``; permuted here and delegated;
+* :meth:`cover_grid` — the ordered ``(C, L, K)`` trit grid straight
+  from the EA genome matrix (the fitness hot path; kernels may
+  override to skip the intermediate word packing).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..blocks import (
+    BlockSet,
+    mask_word_count,
+    masks_as_words,
+    pack_bits_to_words,
+)
+from ..trits import ONE, ZERO
+
+__all__ = ["CoveringKernel", "PreparedBlocks", "accumulate_complete_rows"]
+
+
+@dataclass(frozen=True)
+class PreparedBlocks:
+    """Kernel-ready view of one distinct-block table.
+
+    ``counts_f`` is the float64 copy used in weighted dot products
+    (exact up to 2**53, far beyond any test set); subclasses add the
+    kernel's private representation of the block masks.
+    """
+
+    block_length: int
+    word_count: int
+    n_distinct: int
+    counts: np.ndarray
+    counts_f: np.ndarray
+    total_count: int
+    ones_words: np.ndarray
+    zeros_words: np.ndarray
+
+
+def accumulate_complete_rows(
+    assignment: np.ndarray,
+    frequencies: np.ndarray,
+    start: int,
+    sub: np.ndarray,
+    sub_rank: np.ndarray,
+    order: np.ndarray,
+    counts: np.ndarray,
+    want_assignment: bool,
+) -> None:
+    """Scatter one chunk's complete genomes into the result arrays.
+
+    ``sub`` indexes the complete genomes within the chunk starting at
+    global row ``start``; ``sub_rank`` is their ``(len(sub), D)``
+    first-match covering ranks.  Block multiplicities are scatter-added
+    per rank, then mapped from rank space back to MV index space
+    through the genomes' ``order`` rows — shared verbatim by the GEMM
+    and bitpack kernels so their results cannot drift apart.
+    """
+    n_vectors = frequencies.shape[1]
+    flat = np.arange(sub.size)[:, None] * n_vectors + sub_rank
+    counts_tiled = np.broadcast_to(counts, sub_rank.shape)
+    rank_frequencies = np.bincount(
+        flat.ravel(),
+        weights=counts_tiled.ravel(),
+        minlength=sub.size * n_vectors,
+    ).reshape(sub.size, n_vectors)
+    sub_order = order[start + sub]
+    frequencies[start + sub[:, None], sub_order] = rank_frequencies.astype(
+        np.int64
+    )
+    if want_assignment:
+        assignment[start + sub] = sub_order[
+            np.arange(sub.size)[:, None], sub_rank
+        ]
+
+
+class CoveringKernel(abc.ABC):
+    """Abstract covering kernel; see the module docstring for the contract."""
+
+    name: str = "abstract"
+
+    # -- preparation --------------------------------------------------
+
+    @abc.abstractmethod
+    def prepare_masks(
+        self,
+        block_ones: np.ndarray,
+        block_zeros: np.ndarray,
+        block_counts: np.ndarray,
+        block_length: int,
+    ) -> PreparedBlocks:
+        """Build the kernel's per-block-set state from raw mask arrays."""
+
+    def prepare(self, blocks: BlockSet) -> PreparedBlocks:
+        """Build the kernel's per-block-set state from a :class:`BlockSet`."""
+        return self.prepare_masks(
+            blocks.ones, blocks.zeros, blocks.counts, blocks.block_length
+        )
+
+    def _base_prepared(
+        self,
+        block_ones: np.ndarray,
+        block_zeros: np.ndarray,
+        block_counts: np.ndarray,
+        block_length: int,
+    ) -> PreparedBlocks:
+        ones_words = masks_as_words(block_ones)
+        zeros_words = masks_as_words(block_zeros)
+        counts = np.asarray(block_counts, dtype=np.int64)
+        return PreparedBlocks(
+            block_length=block_length,
+            word_count=mask_word_count(block_length),
+            n_distinct=ones_words.shape[0],
+            counts=counts,
+            counts_f=counts.astype(np.float64),
+            total_count=int(counts.sum()),
+            ones_words=ones_words,
+            zeros_words=zeros_words,
+        )
+
+    # -- covering entry points ----------------------------------------
+
+    @abc.abstractmethod
+    def cover_ordered_words(
+        self,
+        prepared: PreparedBlocks,
+        ordered_ones: np.ndarray,
+        ordered_zeros: np.ndarray,
+        orders: np.ndarray,
+        want_assignment: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cover with ``(C, L, W)`` MV word lanes in covering order.
+
+        Row ``j`` of genome ``c`` is the MV tried ``j``-th; ``orders``
+        maps that rank back to declaration-order MV indices.  Returns
+        ``(assignment, frequencies, uncovered)`` of shapes ``(C, D)``,
+        ``(C, L)`` and ``(C,)``.
+        """
+
+    def cover_masks(
+        self,
+        prepared: PreparedBlocks,
+        mv_ones: np.ndarray,
+        mv_zeros: np.ndarray,
+        covering_order: np.ndarray,
+        want_assignment: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cover with declaration-order ``(C, L[, W])`` mask arrays.
+
+        Single-genome callers may pass flat ``(L,)`` masks or
+        ``(L, W)`` word arrays with a 1-D ``covering_order`` — the
+        order's dimensionality disambiguates ``(L, W)`` words from a
+        ``(C, L)`` flat batch.
+        """
+        mv_ones = np.asarray(mv_ones, dtype=np.uint64)
+        mv_zeros = np.asarray(mv_zeros, dtype=np.uint64)
+        order_input = np.asarray(covering_order, dtype=np.int64)
+        if mv_ones.ndim == 1 or (
+            mv_ones.ndim == 2 and order_input.ndim == 1
+        ):
+            mv_ones = mv_ones[None]
+            mv_zeros = mv_zeros[None]
+        orders = np.atleast_2d(order_input)
+        if mv_ones.ndim == 2:
+            mv_ones = mv_ones[..., None]
+            mv_zeros = mv_zeros[..., None]
+        genome_rows = np.arange(mv_ones.shape[0])[:, None]
+        return self.cover_ordered_words(
+            prepared,
+            mv_ones[genome_rows, orders],
+            mv_zeros[genome_rows, orders],
+            orders,
+            want_assignment=want_assignment,
+        )
+
+    def cover_grid(
+        self,
+        prepared: PreparedBlocks,
+        ordered_grid: np.ndarray,
+        orders: np.ndarray,
+        want_assignment: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cover with the ordered ``(C, L, K)`` trit grid (fitness path)."""
+        return self.cover_ordered_words(
+            prepared,
+            pack_bits_to_words(ordered_grid == ONE),
+            pack_bits_to_words(ordered_grid == ZERO),
+            np.atleast_2d(np.asarray(orders, dtype=np.int64)),
+            want_assignment=want_assignment,
+        )
+
+    # -- shared helpers -----------------------------------------------
+
+    @staticmethod
+    def _empty_results(
+        n_genomes: int, n_vectors: int, n_distinct: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The all-uncovered result skeleton every kernel starts from."""
+        return (
+            np.full((n_genomes, n_distinct), -1, dtype=np.int64),
+            np.zeros((n_genomes, n_vectors), dtype=np.int64),
+            np.zeros(n_genomes, dtype=np.int64),
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -16,7 +16,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .blocks import MAX_BLOCK_LENGTH, pack_trits, unpack_masks
+from .blocks import (
+    int_to_words,
+    mask_word_count,
+    masks_as_words,
+    pack_trits,
+)
 from .trits import DC, format_trits, parse_trits, trits_to_array
 
 __all__ = ["MatchingVector", "MVSet"]
@@ -38,10 +43,8 @@ class MatchingVector:
     trits: tuple[int, ...]
 
     def __post_init__(self) -> None:
-        if not 1 <= len(self.trits) <= MAX_BLOCK_LENGTH:
-            raise ValueError(
-                f"matching vector length must be in [1, {MAX_BLOCK_LENGTH}]"
-            )
+        if len(self.trits) < 1:
+            raise ValueError("matching vector needs at least one position")
         if any(trit not in (0, 1, 2) for trit in self.trits):
             raise ValueError(f"invalid trit values in {self.trits!r}")
 
@@ -69,6 +72,21 @@ class MatchingVector:
     def zeros_mask(self) -> int:
         """Bitmask of positions specified 0."""
         return pack_trits(self.trits)[1]
+
+    @property
+    def word_count(self) -> int:
+        """``W`` — uint64 words per mask (1 for ``K <= 64``)."""
+        return mask_word_count(self.length)
+
+    @property
+    def ones_words(self) -> tuple[int, ...]:
+        """Ones mask as little-endian uint64 words."""
+        return int_to_words(self.ones_mask, self.word_count)
+
+    @property
+    def zeros_words(self) -> tuple[int, ...]:
+        """Zeros mask as little-endian uint64 words."""
+        return int_to_words(self.zeros_mask, self.word_count)
 
     @property
     def n_unspecified(self) -> int:
@@ -103,10 +121,17 @@ class MatchingVector:
     def matches_array(
         self, block_ones: np.ndarray, block_zeros: np.ndarray
     ) -> np.ndarray:
-        """Vectorized match test over arrays of block masks."""
-        mv_ones = np.uint64(self.ones_mask)
-        mv_zeros = np.uint64(self.zeros_mask)
-        return ((block_ones & mv_zeros) == 0) & ((block_zeros & mv_ones) == 0)
+        """Vectorized match test over arrays of block masks.
+
+        Accepts flat ``(D,)`` single-word masks or ``(D, W)`` word
+        arrays; either way the result is one boolean per block.
+        """
+        mv_ones = np.asarray(self.ones_words, dtype=np.uint64)
+        mv_zeros = np.asarray(self.zeros_words, dtype=np.uint64)
+        conflicts = (masks_as_words(block_ones) & mv_zeros) | (
+            masks_as_words(block_zeros) & mv_ones
+        )
+        return (conflicts == 0).all(axis=-1)
 
     def subsumes(self, other: "MatchingVector") -> bool:
         """True iff every block matched by ``other`` is matched by ``self``.
@@ -198,6 +223,23 @@ class MVSet:
     def has_all_unspecified(self) -> bool:
         """True iff some MV is all-U (covering can never fail)."""
         return any(mv.is_all_unspecified for mv in self._vectors)
+
+    def mask_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-MV ``(ones, zeros)`` masks in canonical storage form.
+
+        Flat ``(L,)`` uint64 arrays for ``K <= 64``, little-endian
+        ``(L, W)`` word arrays for wider vectors — the same convention
+        as :class:`repro.core.blocks.BlockSet`.
+        """
+        ones = np.asarray(
+            [mv.ones_words for mv in self._vectors], dtype=np.uint64
+        )
+        zeros = np.asarray(
+            [mv.zeros_words for mv in self._vectors], dtype=np.uint64
+        )
+        if mask_word_count(self.block_length) == 1:
+            return ones[:, 0], zeros[:, 0]
+        return ones, zeros
 
     def covering_order(self) -> list[int]:
         """MV indices sorted by increasing NU (stable; paper Section 3.2)."""

@@ -149,6 +149,7 @@ def execute_run_task(task: RunTask) -> RunOutcome:
         n_vectors=config.n_vectors,
         block_length=config.block_length,
         strategy=config.strategy,
+        kernel=config.kernel,
     )
     engine = EvolutionaryEngine(
         fitness=fitness,

@@ -21,9 +21,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..coding.huffman import huffman_code
-from .blocks import BlockSet
+from .blocks import WORD_BITS, BlockSet, words_to_int
 from .compressor import compression_rate
-from .trits import DC
 
 __all__ = ["SelectiveHuffmanResult", "compress_selective_huffman"]
 
@@ -50,16 +49,25 @@ class SelectiveHuffmanResult:
 
 
 def _filled_block_values(blocks: BlockSet, fill_default: int) -> np.ndarray:
-    """Distinct-block bit patterns with X positions filled."""
+    """Distinct-block bit patterns with X positions filled.
+
+    Returns ``(D, W)`` uint64 word arrays (one word per row for
+    ``K <= 64``) so arbitrary block lengths work.
+    """
     if fill_default not in (0, 1):
         raise ValueError("fill_default must be 0 or 1")
-    ones = blocks.ones.astype(np.uint64)
-    zeros = blocks.zeros.astype(np.uint64)
-    full_mask = np.uint64((1 << blocks.block_length) - 1)
-    unspecified = full_mask & ~(ones | zeros)
+    ones = blocks.ones_words
+    zeros = blocks.zeros_words
+    # Per-word full masks: all words saturated except the top word,
+    # which only carries K mod 64 bits (when K is not a multiple).
+    full = np.full(blocks.word_count, ~np.uint64(0), dtype=np.uint64)
+    top_bits = blocks.block_length - (blocks.word_count - 1) * WORD_BITS
+    if top_bits < WORD_BITS:
+        full[-1] = np.uint64((1 << top_bits) - 1)
+    unspecified = full & ~(ones | zeros)
     if fill_default:
         return ones | unspecified
-    return ones
+    return ones.copy()
 
 
 def compress_selective_huffman(
@@ -83,9 +91,11 @@ def compress_selective_huffman(
         raise ValueError("cannot compress an empty block set")
 
     values = _filled_block_values(blocks, fill_default)
-    # Aggregate counts by *filled* pattern (distinct cubes may collapse).
+    # Aggregate counts by *filled* pattern (distinct cubes may collapse);
+    # word rows rebuild into arbitrary-precision pattern ints.
     totals: dict[int, int] = {}
-    for value, count in zip(values.tolist(), blocks.counts.tolist()):
+    for row, count in zip(values.tolist(), blocks.counts.tolist()):
+        value = words_to_int(row)
         totals[value] = totals.get(value, 0) + count
     ranked = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
     selected = dict(ranked[:n_coded])

@@ -25,9 +25,12 @@ produce all child genomes first (consuming the RNG in exactly the
 order the historical per-child loop did, so seeded runs are bit-for-bit
 reproducible), and the whole batch is then priced in one call.  When
 the fitness object exposes ``evaluate_batch`` (e.g.
-:class:`repro.core.fitness.BatchCompressionRateFitness`), that call is
-a handful of numpy kernels over the entire generation; plain callables
-are looped transparently.  A genome-hash LRU cache short-circuits
+:class:`repro.core.fitness.BatchCompressionRateFitness`, whose
+covering runs on a pluggable kernel from
+:mod:`repro.core.kernels` — the engine itself is kernel-agnostic and
+inherits whatever kernel the fitness was configured with), that call
+is a handful of numpy kernels over the entire generation; plain
+callables are looped transparently.  A genome-hash LRU cache short-circuits
 re-pricing of duplicate offspring (common under copy/reproduce and
 late-run convergence); hits still count toward ``evaluations`` — the
 paper's "generated legal solutions" budget — so cached and uncached

@@ -114,6 +114,7 @@ def kl_sweep(
     seed: int = 7,
     backend: ExecutionBackend | None = None,
     progress: Callable[[str], None] | None = None,
+    kernel: str = "auto",
 ) -> list[AblationPoint]:
     """Compression rate across (K, L) — the source of 'EA-Best'."""
     ea = ea or EAParameters(stagnation_limit=30, max_evaluations=1200)
@@ -124,6 +125,7 @@ def kl_sweep(
                 block_length=block_length,
                 n_vectors=n_vectors,
                 runs=runs,
+                kernel=kernel,
                 ea=ea,
             ),
         )
@@ -140,6 +142,7 @@ def operator_sweep(
     seed: int = 7,
     backend: ExecutionBackend | None = None,
     progress: Callable[[str], None] | None = None,
+    kernel: str = "auto",
 ) -> list[AblationPoint]:
     """Vary the operator-probability mix around the paper's setting."""
     base = dict(stagnation_limit=30, max_evaluations=1200)
@@ -168,7 +171,8 @@ def operator_sweep(
         (
             label,
             CompressionConfig(
-                block_length=block_length, n_vectors=n_vectors, runs=runs, ea=ea
+                block_length=block_length, n_vectors=n_vectors, runs=runs,
+                kernel=kernel, ea=ea,
             ),
         )
         for label, ea in variants.items()
@@ -184,6 +188,7 @@ def seeding_ablation(
     seed: int = 7,
     backend: ExecutionBackend | None = None,
     progress: Callable[[str], None] | None = None,
+    kernel: str = "auto",
 ) -> list[AblationPoint]:
     """Random initial population vs one individual seeded with 9C MVs."""
     base = dict(stagnation_limit=30, max_evaluations=1200)
@@ -191,7 +196,8 @@ def seeding_ablation(
         (
             label,
             CompressionConfig(
-                block_length=block_length, n_vectors=n_vectors, runs=runs, ea=ea
+                block_length=block_length, n_vectors=n_vectors, runs=runs,
+                kernel=kernel, ea=ea,
             ),
         )
         for label, ea in (
@@ -210,6 +216,7 @@ def subsumption_ablation(
     seed: int = 7,
     backend: ExecutionBackend | None = None,
     progress: Callable[[str], None] | None = None,
+    kernel: str = "auto",
 ) -> list[AblationPoint]:
     """Plain Huffman vs subsumption-refined encoding of the same MVs.
 
@@ -218,7 +225,8 @@ def subsumption_ablation(
     """
     ea = EAParameters(stagnation_limit=30, max_evaluations=1200)
     config = CompressionConfig(
-        block_length=block_length, n_vectors=n_vectors, runs=runs, ea=ea
+        block_length=block_length, n_vectors=n_vectors, runs=runs,
+        kernel=kernel, ea=ea,
     )
     blocks = test_set.blocks(block_length)
     result = EAMVOptimizer(config, seed=seed, backend=backend).optimize(blocks)
@@ -254,6 +262,7 @@ def decoder_cost_study(
     n_vectors: int = 64,
     seed: int = 7,
     backend: ExecutionBackend | None = None,
+    kernel: str = "auto",
 ) -> dict[str, dict[str, float]]:
     """Payload vs code-table cost for 9C and the EA decoder.
 
@@ -267,6 +276,7 @@ def decoder_cost_study(
         block_length=block_length,
         n_vectors=n_vectors,
         runs=1,
+        kernel=kernel,
         ea=EAParameters(stagnation_limit=30, max_evaluations=1200),
     )
     blocks = test_set.blocks(block_length)

@@ -164,6 +164,7 @@ def _config_jobs(
     configurations: list[tuple[str, int, int]],
     budget: ExperimentBudget,
     seed: int,
+    kernel: str = "auto",
 ) -> list[_EAConfigJob]:
     """Build self-seeded run tasks for every (label, K, L) of a row.
 
@@ -183,6 +184,7 @@ def _config_jobs(
             block_length=block_length,
             n_vectors=n_vectors,
             runs=budget.runs,
+            kernel=kernel,
             ea=budget.ea_parameters(),
         )
         optimizer = EAMVOptimizer(config, seed=child)
@@ -256,6 +258,7 @@ def run_row(
     spec_overrides: dict | None = None,
     backend: ExecutionBackend | None = None,
     progress: Callable[[str], None] | None = None,
+    kernel: str = "auto",
 ) -> RowResult:
     """Reproduce one table row: calibrate, then run all methods.
 
@@ -263,7 +266,9 @@ def run_row(
     EA-Best) or ``"path-delay"`` (Table 2 columns: 9C, 9C+HC, EA1,
     EA2).  All EA runs of the row (including the EA-Best grid) fan out
     through ``backend``; results are independent of the backend and
-    job count.
+    job count.  ``kernel`` names the covering kernel pricing every EA
+    fitness call (all kernels price bit-identically, so the table is
+    byte-identical under any choice).
     """
     if kind not in ("stuck-at", "path-delay"):
         raise ValueError(f"unknown experiment kind {kind!r}")
@@ -295,7 +300,7 @@ def run_row(
         configurations = [("EA1 K=8,L=9", 8, 9), ("EA2 K=12,L=64", 12, 64)]
 
     search_set = _subsample(test_set, budget.search_bit_cap, seed)
-    jobs = _config_jobs(search_set, configurations, budget, seed)
+    jobs = _config_jobs(search_set, configurations, budget, seed, kernel)
     rates = _execute_config_jobs(
         jobs, test_set, search_set is test_set, backend, progress
     )

@@ -105,6 +105,7 @@ def _build(
     seed: int,
     progress: Callable[[str], None] | None,
     backend: ExecutionBackend | None,
+    kernel: str,
 ) -> TableResult:
     selected = [
         row for row in table if circuits is None or row.circuit in set(circuits)
@@ -123,7 +124,9 @@ def _build(
     if backend.jobs > 1 and len(selected) >= backend.jobs:
         fan_in = OrderedProgress(progress)
         results = backend.map(
-            functools.partial(run_row, kind=kind, budget=budget, seed=seed),
+            functools.partial(
+                run_row, kind=kind, budget=budget, seed=seed, kernel=kernel
+            ),
             selected,
             on_result=lambda index, result: fan_in.publish(
                 index, _format_row_progress(result, columns)
@@ -132,7 +135,10 @@ def _build(
     else:
         results = []
         for row in selected:
-            result = run_row(row, kind, budget=budget, seed=seed, backend=backend)
+            result = run_row(
+                row, kind, budget=budget, seed=seed, backend=backend,
+                kernel=kernel,
+            )
             results.append(result)
             if progress is not None:
                 progress(_format_row_progress(result, columns))
@@ -150,8 +156,14 @@ def build_table1(
     seed: int = 2005,
     progress: Callable[[str], None] | None = None,
     backend: ExecutionBackend | None = None,
+    kernel: str = "auto",
 ) -> TableResult:
-    """Reproduce Table 1 (stuck-at).  ``circuits=None`` runs all 39."""
+    """Reproduce Table 1 (stuck-at).  ``circuits=None`` runs all 39.
+
+    ``kernel`` selects the covering kernel for every EA fitness call;
+    all kernels price bit-identically, so a seeded table is
+    byte-identical under any choice.
+    """
     return _build(
         TABLE1_STUCK_AT,
         "stuck-at",
@@ -162,6 +174,7 @@ def build_table1(
         seed,
         progress,
         backend,
+        kernel,
     )
 
 
@@ -171,6 +184,7 @@ def build_table2(
     seed: int = 2005,
     progress: Callable[[str], None] | None = None,
     backend: ExecutionBackend | None = None,
+    kernel: str = "auto",
 ) -> TableResult:
     """Reproduce Table 2 (path delay).  ``circuits=None`` runs all 29."""
     return _build(
@@ -183,6 +197,7 @@ def build_table2(
         seed,
         progress,
         backend,
+        kernel,
     )
 
 

@@ -27,7 +27,13 @@ import numpy as np
 from ..core.trits import DC
 from .test_set import TestSet
 
-__all__ = ["SyntheticSpec", "synthetic_test_set"]
+__all__ = [
+    "WIDE_BLOCK_LENGTH",
+    "WIDE_BLOCK_SPEC",
+    "SyntheticSpec",
+    "synthetic_test_set",
+    "wide_block_test_set",
+]
 
 
 @dataclass(frozen=True)
@@ -69,6 +75,27 @@ class SyntheticSpec:
     def total_bits(self) -> int:
         """T·n — matches the paper's test-set-size column."""
         return self.n_patterns * self.pattern_bits
+
+
+# A wide-block workload: K = 96 blocks need two uint64 mask words, so
+# compressing this set end to end exercises the multi-word packing and
+# every covering kernel's multi-word lanes (the paper never ran
+# K > 16; the K <= 64 single-word cap is a lifted implementation
+# limit, not a paper constraint).  Scenario: a wide scan frontend
+# where one block spans a whole 192-bit scan slice.
+WIDE_BLOCK_LENGTH = 96
+WIDE_BLOCK_SPEC = SyntheticSpec(
+    name="wide-k96",
+    n_patterns=120,
+    pattern_bits=192,
+    care_density=0.35,
+    seed=17,
+)
+
+
+def wide_block_test_set() -> "TestSet":
+    """The K = 96 workload's test set (two blocks per pattern)."""
+    return synthetic_test_set(WIDE_BLOCK_SPEC)
 
 
 def _care_weights(spec: SyntheticSpec, rng: np.random.Generator) -> np.ndarray:

@@ -1,6 +1,5 @@
 """Unit and integration tests for robust path-delay test generation."""
 
-import pytest
 
 from repro.atpg.path_delay import (
     Transition,

@@ -9,7 +9,6 @@ from repro.circuits.bench_parser import parse_bench
 from repro.circuits.generator import random_netlist
 from repro.circuits.library import load_circuit
 from repro.circuits.simulator import simulate3
-from repro.core.trits import DC
 
 
 class TestPodemBasics:

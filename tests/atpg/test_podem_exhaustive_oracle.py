@@ -12,7 +12,7 @@ import itertools
 import pytest
 
 from repro.atpg.fault_sim import detects
-from repro.atpg.faults import StuckAtFault, full_fault_list
+from repro.atpg.faults import full_fault_list
 from repro.atpg.podem import podem
 from repro.circuits.bench_parser import parse_bench
 from repro.circuits.generator import random_netlist

@@ -1,6 +1,5 @@
 """Integration tests for the uncompacted stuck-at test-set flow."""
 
-import pytest
 
 from repro.atpg.fault_sim import fault_coverage
 from repro.atpg.faults import collapse_faults

@@ -17,7 +17,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.blocks import MAX_BLOCK_LENGTH, BlockSet
+from repro.core.blocks import BlockSet
 from repro.core.config import CompressionConfig, EAParameters
 from repro.core.covering import cover, cover_masks, cover_masks_batch
 from repro.core.compressor import compress_blocks
@@ -258,21 +258,22 @@ class TestEngineParity:
 
 
 class TestMaskWidthValidation:
-    """uint64 masks cap K at 64; constructors must say so up front."""
+    """The K <= 64 cap is gone: wide blocks pack into multi-word masks."""
 
-    def test_config_rejects_oversized_block_length(self):
-        with pytest.raises(ValueError, match="uint64"):
-            CompressionConfig(block_length=MAX_BLOCK_LENGTH + 1)
+    def test_config_accepts_wide_block_length(self):
+        assert CompressionConfig(block_length=96).block_length == 96
 
-    def test_config_accepts_boundary(self):
-        assert (
-            CompressionConfig(block_length=MAX_BLOCK_LENGTH).block_length
-            == MAX_BLOCK_LENGTH
-        )
+    def test_config_rejects_nonpositive_block_length(self):
+        with pytest.raises(ValueError):
+            CompressionConfig(block_length=0)
 
-    def test_blockset_rejects_oversized_block_length(self):
-        with pytest.raises(ValueError, match=str(MAX_BLOCK_LENGTH)):
-            BlockSet.from_string("01", MAX_BLOCK_LENGTH + 1)
+    def test_config_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError, match="unknown covering kernel"):
+            CompressionConfig(kernel="nonsense")
+
+    def test_blockset_accepts_wide_block_length(self):
+        blocks = BlockSet.from_string("01", 65)
+        assert blocks.word_count == 2
 
     def test_batch_fitness_rejects_nonpositive_n_vectors(self):
         blocks = BlockSet.from_string("111", 3)

@@ -5,7 +5,16 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.blocks import MAX_BLOCK_LENGTH, BlockSet, pack_trits, unpack_masks
+from repro.core.blocks import (
+    BlockSet,
+    int_to_words,
+    mask_word_count,
+    pack_bits_to_words,
+    pack_trits,
+    unpack_masks,
+    unpack_words_to_bits,
+    words_to_int,
+)
 from repro.core.trits import parse_trits
 
 from ..conftest import trit_strings
@@ -19,19 +28,58 @@ class TestPackUnpack:
     def test_pack_all_dc(self):
         assert pack_trits(parse_trits("XXX")) == (0, 0)
 
-    def test_pack_too_long(self):
-        with pytest.raises(ValueError):
-            pack_trits((0,) * (MAX_BLOCK_LENGTH + 1))
+    def test_pack_wide_block(self):
+        # 96 trits: the cap is gone, masks are arbitrary-precision ints.
+        trits = (1,) * 96
+        ones, zeros = pack_trits(trits)
+        assert ones == (1 << 96) - 1
+        assert zeros == 0
 
     def test_unpack_rejects_overlap(self):
         with pytest.raises(ValueError):
             unpack_masks(0b1, 0b1, 1)
 
-    @given(trit_strings(min_size=1, max_size=MAX_BLOCK_LENGTH))
+    @given(trit_strings(min_size=1, max_size=200))
     def test_roundtrip(self, text):
         trits = parse_trits(text)
         ones, zeros = pack_trits(trits)
         assert unpack_masks(ones, zeros, len(trits)) == trits
+
+
+class TestWordHelpers:
+    def test_word_counts(self):
+        assert mask_word_count(1) == 1
+        assert mask_word_count(64) == 1
+        assert mask_word_count(65) == 2
+        assert mask_word_count(96) == 2
+        assert mask_word_count(129) == 3
+
+    def test_word_count_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            mask_word_count(0)
+
+    def test_int_word_roundtrip(self):
+        value = (0xDEADBEEF << 80) | 0x12345
+        words = int_to_words(value, 3)
+        assert words_to_int(words) == value
+
+    @given(st.integers(1, 200), st.integers(0, 2**32))
+    def test_pack_unpack_words_roundtrip(self, block_length, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(5, block_length))
+        words = pack_bits_to_words(bits)
+        assert words.shape == (5, mask_word_count(block_length))
+        recovered = unpack_words_to_bits(words, block_length)
+        assert (recovered == bits).all()
+
+    def test_single_word_matches_flat_mask(self):
+        # For K <= 64 word 0 must equal the historical flat packing.
+        ones, _ = pack_trits(parse_trits("10X1"))
+        words = pack_bits_to_words(
+            np.asarray([[1, 0, 0, 1]], dtype=np.int8)
+        )
+        assert words.shape == (1, 1)
+        assert int(words[0, 0]) == ones == 0b1001
 
 
 class TestBlockSetConstruction:
@@ -72,8 +120,15 @@ class TestBlockSetConstruction:
     def test_invalid_block_length(self):
         with pytest.raises(ValueError):
             BlockSet.from_string("01", 0)
-        with pytest.raises(ValueError):
-            BlockSet.from_string("01", MAX_BLOCK_LENGTH + 1)
+
+    def test_wide_blocks_use_word_arrays(self):
+        blocks = BlockSet.from_string("10X" * 33, 66)  # 99 trits, K=66
+        assert blocks.word_count == 2
+        assert blocks.ones.shape == (blocks.n_distinct, 2)
+        assert blocks.ones_words.shape == blocks.zeros_words.shape
+        # Round-trip through the trit view stays lossless.
+        rendered = "".join(blocks.iter_block_strings())
+        assert rendered.startswith("10X" * 22)
 
     def test_2d_input_rejected(self):
         with pytest.raises(ValueError):

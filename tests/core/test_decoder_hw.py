@@ -1,6 +1,5 @@
 """Tests for the decoder hardware model."""
 
-import pytest
 
 from repro.core.blocks import BlockSet
 from repro.core.compressor import compress_blocks

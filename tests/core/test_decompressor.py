@@ -1,6 +1,5 @@
 """Unit and property tests for the decoder model and losslessness."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,6 @@ emit garbage test vectors; these tests pin that behaviour across the
 stack.
 """
 
-import numpy as np
 import pytest
 
 from repro.coding.bitstream import BitReader, BitWriter
@@ -64,8 +63,6 @@ class TestCorruptedStreams:
         valid vectors — then the roundtrip oracle must catch it; with
         an incomplete tree the walk may dead-end — then decoding
         raises.)"""
-        from repro.core.decompressor import verify_roundtrip
-
         good = compressed_fixture()
         original = decompress(good).bits
         detected = 0

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core.blocks import pack_trits
 from repro.core.matching import MatchingVector, MVSet
-from repro.core.trits import DC, parse_trits
+from repro.core.trits import parse_trits
 
 from ..conftest import mv_strings, trit_strings
 

@@ -1,6 +1,5 @@
 """Integration tests for the EA-driven MV optimizer."""
 
-import numpy as np
 import pytest
 
 from repro.core.blocks import BlockSet
@@ -9,7 +8,6 @@ from repro.core.config import CompressionConfig, EAParameters
 from repro.core.decompressor import verify_roundtrip
 from repro.core.nine_c import compress_nine_c
 from repro.core.optimizer import EAMVOptimizer, optimize_mv_set
-from repro.core.trits import DC
 
 
 def small_config(**ea_overrides) -> CompressionConfig:

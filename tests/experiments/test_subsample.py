@@ -1,6 +1,5 @@
 """Tests for the search-subsampling helper used on huge table rows."""
 
-import numpy as np
 
 from repro.experiments.runner import _subsample
 from repro.testdata.synthetic import SyntheticSpec, synthetic_test_set

@@ -60,6 +60,55 @@ class TestParser:
             build_parser().parse_args(["table1", "--jobs", "2", "--backend", "x"])
 
 
+class TestKernelFlag:
+    """Every command exposes --kernel {auto,bitpack,gemm,scalar}."""
+
+    def test_kernel_defaults_to_auto(self):
+        for argv in (
+            ["table1"],
+            ["table2"],
+            ["compress", "file.txt"],
+            ["atpg", "c17"],
+            ["ablate", "kl"],
+            ["report"],
+        ):
+            assert build_parser().parse_args(argv).kernel == "auto"
+
+    def test_kernel_choices_parsed(self):
+        for kernel in ("auto", "gemm", "bitpack", "scalar"):
+            arguments = build_parser().parse_args(
+                ["compress", "file.txt", "--kernel", kernel]
+            )
+            assert arguments.kernel == kernel
+
+    def test_invalid_kernel_name_rejected_with_clear_error(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--kernel", "nonsense"])
+        stderr = capsys.readouterr().err
+        assert "invalid choice: 'nonsense'" in stderr
+        assert "bitpack" in stderr  # the error names the valid kernels
+
+    def test_kernel_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--kernel" in help_text
+        assert "covering kernel" in help_text
+
+    def test_compress_kernel_output_matches_auto(self, tmp_path, capsys):
+        path = tmp_path / "patterns.txt"
+        path.write_text(
+            "\n".join(["11001100XXXX", "110011001111", "XXXX11001100"] * 6)
+        )
+        args = ["compress", str(path), "--k", "4", "--l", "6", "--runs", "1",
+                "--stagnation", "5", "--max-evaluations", "120", "--seed", "3"]
+        outputs = {}
+        for kernel in ("auto", "gemm", "bitpack", "scalar"):
+            assert main([*args, "--kernel", kernel]) == 0
+            outputs[kernel] = capsys.readouterr().out
+        assert len(set(outputs.values())) == 1  # byte-identical output
+
+
 class TestResolvedBackends:
     def test_jobs_one_resolves_serial(self):
         from repro.cli import _resolve_backend
