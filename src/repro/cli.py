@@ -32,6 +32,7 @@ from pathlib import Path
 
 from .core.compressor import compress_blocks
 from .core.config import CompressionConfig, EAParameters
+from .core.fitness import DEFAULT_MV_CACHE_SIZE
 from .core.kernels import KERNEL_CHOICES
 from .core.nine_c import compress_nine_c
 from .core.optimizer import EAMVOptimizer
@@ -65,6 +66,19 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         help=(
             "covering kernel pricing the EA fitness (auto picks per "
             "workload shape; all kernels give bit-identical results)"
+        ),
+    )
+    parser.add_argument(
+        "--mv-cache-size",
+        type=int,
+        default=DEFAULT_MV_CACHE_SIZE,
+        metavar="N",
+        help=(
+            "per-run MV match-column cache capacity behind the "
+            "unique-MV dedup path of the batched fitness; 0 disables "
+            "the cache and prices through the fused per-generation "
+            "kernels (results are byte-identical either way, only "
+            f"the wall clock moves; default {DEFAULT_MV_CACHE_SIZE})"
         ),
     )
 
@@ -117,6 +131,7 @@ def _table_command(arguments: argparse.Namespace, which: int) -> int:
         progress=print,
         backend=_resolve_backend(arguments),
         kernel=arguments.kernel,
+        mv_cache_size=arguments.mv_cache_size,
     )
     print()
     print(format_table(result))
@@ -143,6 +158,7 @@ def _compress_command(arguments: argparse.Namespace) -> int:
         n_vectors=arguments.l,
         runs=arguments.runs,
         kernel=arguments.kernel,
+        mv_cache_size=arguments.mv_cache_size,
         ea=EAParameters(
             stagnation_limit=arguments.stagnation,
             max_evaluations=arguments.max_evaluations,
@@ -186,6 +202,7 @@ def _atpg_command(arguments: argparse.Namespace) -> int:
         n_vectors=arguments.l,
         runs=3,
         kernel=arguments.kernel,
+        mv_cache_size=arguments.mv_cache_size,
         ea=EAParameters(stagnation_limit=30, max_evaluations=1200),
     )
     result = EAMVOptimizer(
@@ -226,12 +243,14 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
         points = kl_sweep(
             test_set, seed=arguments.seed, backend=backend,
             kernel=arguments.kernel,
+            mv_cache_size=arguments.mv_cache_size,
         )
         print(ablation_markdown(points, f"K/L sweep on {arguments.circuit}"))
     elif arguments.study == "operators":
         points = operator_sweep(
             test_set, seed=arguments.seed, backend=backend,
             kernel=arguments.kernel,
+            mv_cache_size=arguments.mv_cache_size,
         )
         print(
             ablation_markdown(
@@ -242,12 +261,14 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
         points = seeding_ablation(
             test_set, seed=arguments.seed, backend=backend,
             kernel=arguments.kernel,
+            mv_cache_size=arguments.mv_cache_size,
         )
         print(ablation_markdown(points, f"9C seeding on {arguments.circuit}"))
     elif arguments.study == "subsumption":
         points = subsumption_ablation(
             test_set, seed=arguments.seed, backend=backend,
             kernel=arguments.kernel,
+            mv_cache_size=arguments.mv_cache_size,
         )
         print(
             ablation_markdown(
@@ -258,6 +279,7 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
         costs = decoder_cost_study(
             test_set, seed=arguments.seed, backend=backend,
             kernel=arguments.kernel,
+            mv_cache_size=arguments.mv_cache_size,
         )
         for method, values in costs.items():
             print(
@@ -295,6 +317,7 @@ def _report_command(arguments: argparse.Namespace) -> int:
         progress=print,
         backend=backend,
         kernel=arguments.kernel,
+        mv_cache_size=arguments.mv_cache_size,
     )
     print("building Table 2 ...")
     table2 = build_table2(
@@ -304,6 +327,7 @@ def _report_command(arguments: argparse.Namespace) -> int:
         progress=print,
         backend=backend,
         kernel=arguments.kernel,
+        mv_cache_size=arguments.mv_cache_size,
     )
     print("running ablations on s349 ...")
     test_set = _calibrated_test_set("s349", arguments.seed)
@@ -311,18 +335,22 @@ def _report_command(arguments: argparse.Namespace) -> int:
         "K/L sweep (s349, source of EA-Best)": kl_sweep(
             test_set, seed=arguments.seed, backend=backend,
             kernel=arguments.kernel,
+            mv_cache_size=arguments.mv_cache_size,
         ),
         "Operator probabilities (s349)": operator_sweep(
             test_set, seed=arguments.seed, backend=backend,
             kernel=arguments.kernel,
+            mv_cache_size=arguments.mv_cache_size,
         ),
         "9C seeding of the initial population (s349)": seeding_ablation(
             test_set, seed=arguments.seed, backend=backend,
             kernel=arguments.kernel,
+            mv_cache_size=arguments.mv_cache_size,
         ),
         "Subsumption-aware encoding (s349, Section 3.3)": subsumption_ablation(
             test_set, seed=arguments.seed, backend=backend,
             kernel=arguments.kernel,
+            mv_cache_size=arguments.mv_cache_size,
         ),
     }
     document = experiments_markdown(

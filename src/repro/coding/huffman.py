@@ -117,7 +117,7 @@ def _merge_total(leaves: list[int]) -> int:
     total = 0
     for _ in range(n_active - 1):
         pair = 0
-        for _ in range(2):
+        for _half in range(2):
             if merge_head >= len(merged) or (
                 leaf_head < n_active and leaves[leaf_head] <= merged[merge_head]
             ):

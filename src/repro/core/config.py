@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from .encoding import EncodingStrategy
+from .fitness import DEFAULT_MV_CACHE_SIZE
 from .kernels import AUTO_KERNEL, CoveringKernel, available_kernels
 
 __all__ = ["EAParameters", "CompressionConfig"]
@@ -116,6 +117,12 @@ class CompressionConfig:
     (``auto``, ``gemm``, ``bitpack``, ``scalar`` — see
     :mod:`repro.core.kernels`); every kernel produces bit-identical
     results, so this knob only moves the wall clock.
+
+    ``mv_cache_size`` bounds the per-run MV match-column cache behind
+    the unique-MV dedup path of the batched fitness
+    (:class:`repro.core.fitness.MVMatchCache`); ``0`` disables the
+    factored path and prices through the fused per-generation kernels.
+    Like ``kernel``, it never changes results — only the wall clock.
     """
 
     block_length: int = 12
@@ -124,6 +131,7 @@ class CompressionConfig:
     fill_default: int = 0
     runs: int = 5
     kernel: str | CoveringKernel = "auto"
+    mv_cache_size: int = DEFAULT_MV_CACHE_SIZE
     ea: EAParameters = field(default_factory=EAParameters)
 
     def __post_init__(self) -> None:
@@ -140,6 +148,8 @@ class CompressionConfig:
                 )
         if self.n_vectors < 1:
             raise ValueError("n_vectors must be >= 1")
+        if self.mv_cache_size < 0:
+            raise ValueError("mv_cache_size must be >= 0")
         if self.fill_default not in (0, 1):
             raise ValueError("fill_default must be 0 or 1")
         if self.runs < 1:

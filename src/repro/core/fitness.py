@@ -6,15 +6,31 @@ generation of ``C`` genomes in a handful of numpy kernel calls:
 
 1. the ``(C, L·K)`` genome matrix is packed into ``(C, L)`` mask and
    fill-count arrays in one vectorized pass (no ``MVSet`` objects);
-2. a pluggable covering kernel (:mod:`repro.core.kernels` — float32
-   GEMM, bit-packed uint64 lanes with block-table sharding, or the
-   scalar reference; ``"auto"`` picks per workload shape) matches the
-   block table against every genome's MVs at once and returns
-   per-genome MV frequencies, early-exiting genomes whose MVs cannot
-   cover every block;
+2. the ``C·L`` MV rows are deduplicated (``np.unique`` over their
+   packed uint64 word representation) and a pluggable covering kernel
+   (:mod:`repro.core.kernels` — float32 GEMM, bit-packed uint64 lanes
+   with block-table sharding, or the scalar reference; ``"auto"``
+   picks per workload shape) computes *match columns* only for the
+   unique MVs that miss the persistent :class:`MVMatchCache`; the
+   per-genome coverings are then reassembled by gather + first-match
+   (:func:`repro.core.kernels.cover_from_match_columns`), early-exiting
+   genomes whose MVs cannot cover every block;
 3. :func:`repro.coding.huffman.huffman_total_bits_batch` prices all
    frequency rows with a lockstep two-queue merge (no per-genome dict
    or heap), and the fill bits are one matrix dot away.
+
+The decomposition in step 2 is sound because the match column of an MV
+depends only on (MV, block table) — never on its neighbors or its
+priority position — so deduplication and caching can never change a
+result, only skip recomputing it.  Copy, crossover and late-run
+convergence all preserve most of a parent's ``L`` matching vectors, so
+on convergent workloads the kernel pass shrinks toward the handful of
+genuinely new rows.  The factored path engages per batch shape
+(generation-scale batches, or any batch against a very large distinct
+table); tiny batches on small tables keep the fused per-generation
+kernels, whose single pass undercuts the dedup bookkeeping there, and
+``mv_cache_size=0`` forces the fused path everywhere — all of which is
+bit-identical, pinned by the parity suite.
 
 :class:`CompressionRateFitness` keeps the historical single-genome
 callable API as a thin batch-of-one wrapper, so existing callers keep
@@ -25,22 +41,241 @@ negative constant, far below any reachable rate.
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..coding.huffman import huffman_total_bits_batch
 from .blocks import BlockSet, mask_word_count, pack_bits_to_words
 from .encoding import EncodingStrategy, build_encoding_table
-from .kernels import AUTO_KERNEL, CoveringKernel, resolve_kernel
+from .kernels import (
+    AUTO_KERNEL,
+    CoveringKernel,
+    build_count_lut,
+    cover_packed_columns,
+    pack_match_columns,
+    resolve_kernel,
+)
 from .matching import MVSet
 from .trits import DC, ONE, ZERO
 
 __all__ = [
+    "DEFAULT_MV_CACHE_SIZE",
     "INVALID_FITNESS",
     "BatchCompressionRateFitness",
     "CompressionRateFitness",
+    "MVCacheStats",
+    "MVMatchCache",
 ]
 
 INVALID_FITNESS = -1.0e6  # far below 100·(orig−comp)/orig for any valid encoding
+
+# Unique MVs memoized per fitness.  An entry is the MV's packed key
+# (2W uint64 words) plus its bit-packed match column (⌈D/8⌉ bytes) —
+# ~0.5 KiB at the acceptance workloads' D≈3.3k — so the default is a
+# few MiB while comfortably outliving a converged population (S·L is
+# 640 MVs at the paper's settings).
+DEFAULT_MV_CACHE_SIZE = 16384
+
+# When the dedup path engages (all measured on the bench workloads;
+# results are bit-identical either way, so these only move the wall
+# clock, exactly like kernel auto-selection):
+# * generation-scale batches over a non-tiny table — the per-batch
+#   dedup/lookup bookkeeping amortizes and the saved kernel work
+#   dominates (×1.4–1.9 on the convergent bench batches at D≈0.9k–3.3k;
+#   at D≈150 the kernel pass is too cheap to beat the bookkeeping even
+#   with C=64, hence the table floor);
+# * large distinct tables — kernel work per MV row is so heavy that
+#   even the engine's 1–2 genome post-memo batches break even (parity
+#   at D≈3.3k, ×0.94 wall clock by D≈8k on seeded EA runs).
+# Below the thresholds (the paper's C=5 EA on a small circuit) the
+# fused kernel pass is cheaper than the bookkeeping, so the factored
+# path steps aside.
+_MV_DEDUP_MIN_GENOMES = 16
+_MV_DEDUP_MIN_TABLE = 512
+_MV_DEDUP_MIN_DISTINCT = 2048
+
+
+@dataclass(frozen=True)
+class MVCacheStats:
+    """Effectiveness counters of the MV-level match-column path.
+
+    ``rows_total``/``rows_unique`` count MV rows before and after the
+    per-batch dedup; ``hits``/``misses`` count unique rows served from
+    (vs priced into) the persistent cache.  Only kernel work for
+    misses is ever recomputed, so the saved fraction of match work is
+    ``1 − misses/rows_total``.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+    rows_total: int = 0
+    rows_unique: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over unique-row lookups (0.0 when nothing was looked up)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    @property
+    def rows_saved_rate(self) -> float:
+        """Fraction of MV rows that needed no kernel work at all."""
+        if not self.rows_total:
+            return 0.0
+        return 1.0 - self.misses / self.rows_total
+
+
+class MVMatchCache:
+    """LRU cache: packed MV key → bit-packed match column.
+
+    Keys identify an MV's ``[ones|zeros]`` word representation — a
+    plain ``int`` when the fused row fits one uint64 (``2K ≤ 64``),
+    the row's ``tobytes()`` otherwise.  Values are the MV's match
+    column over the distinct-block table, bit-packed along D
+    (``np.packbits`` little-endian, ⌈D/8⌉ uint8) and stored as rows of
+    one preallocated slot array, so whole-generation lookups resolve
+    into a single vectorized gather (:meth:`columns_at`) instead of
+    per-row array copies.  Capacity-bounded exactly like the engine's
+    genome memo cache, and just as semantically inert: an eviction can
+    only cost a recomputation, never change a result.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._slots: OrderedDict[int | bytes, int] = OrderedDict()
+        self._store: np.ndarray | None = None  # (capacity, ⌈D/8⌉) uint8
+        self._free: list[int] = []
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of match columns retained."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def _ensure_store(self, column_width: int) -> None:
+        if self._store is None:
+            self._store = np.empty((self._capacity, column_width), np.uint8)
+            self._free = list(range(self._capacity - 1, -1, -1))
+        elif self._store.shape[1] != column_width:
+            raise ValueError(
+                f"cache holds {self._store.shape[1]}-byte columns, "
+                f"got {column_width} (one block table per cache)"
+            )
+
+    def _claim_slot(self, key: int | bytes) -> int:
+        """The store row for a new ``key``, evicting the LRU if full."""
+        if self._free:
+            slot = self._free.pop()
+        else:
+            _, slot = self._slots.popitem(last=False)
+            self.evictions += 1
+        self._slots[key] = slot
+        return slot
+
+    def get(self, key: int | bytes) -> np.ndarray | None:
+        """The cached packed column for ``key``, refreshing its LRU slot.
+
+        Returns a copy: a view into the slot store would be silently
+        overwritten when a later insert recycles the slot (the batch
+        path uses :meth:`lookup`/:meth:`columns_at`, whose
+        read-before-insert contract makes views safe there).
+        """
+        slot = self._slots.get(key)
+        if slot is None:
+            self.misses += 1
+            return None
+        self._slots.move_to_end(key)
+        self.hits += 1
+        return self._store[slot].copy()
+
+    def put(self, key: int | bytes, column: np.ndarray) -> None:
+        """Insert ``key``'s packed column, evicting the LRU overflow."""
+        column = np.asarray(column, dtype=np.uint8)
+        self._ensure_store(column.shape[-1])
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = self._claim_slot(key)
+        else:
+            self._slots.move_to_end(key)
+        self._store[slot] = column
+
+    def lookup(self, keys: list) -> np.ndarray:
+        """Store slot per key (``-1`` for misses), counting and
+        LRU-refreshing hits — the batch counterpart of :meth:`get`."""
+        slots_map = self._slots
+        slots = np.empty(len(keys), dtype=np.int64)
+        hits = 0
+        for index, key in enumerate(keys):
+            slot = slots_map.get(key)
+            if slot is None:
+                slots[index] = -1
+            else:
+                slots_map.move_to_end(key)
+                slots[index] = slot
+                hits += 1
+        self.hits += hits
+        self.misses += len(keys) - hits
+        return slots
+
+    def columns_at(self, slots: np.ndarray) -> np.ndarray:
+        """Gather the packed columns at ``slots`` in one vectorized read.
+
+        Only valid for slots just returned by :meth:`lookup` and read
+        *before* the next :meth:`insert` (an insert may recycle an
+        evicted slot).
+        """
+        return self._store[slots]
+
+    def insert(self, keys: list, columns: np.ndarray) -> None:
+        """Bulk :meth:`put` of freshly priced columns (one per key).
+
+        Under eviction pressure inside one bulk insert, recycled slots
+        may be claimed several times; only the *newest* claim still
+        owns its slot, so duplicates are resolved to the last
+        occurrence before the vectorized store write (numpy leaves
+        repeated-index assignment order unspecified).
+        """
+        columns = np.asarray(columns, dtype=np.uint8)
+        self._ensure_store(columns.shape[-1])
+        slots = np.empty(len(keys), dtype=np.int64)
+        for index, key in enumerate(keys):
+            slot = self._slots.get(key)
+            if slot is None:
+                slot = self._claim_slot(key)
+            else:
+                self._slots.move_to_end(key)
+            slots[index] = slot
+        unique_slots, reversed_first = np.unique(
+            slots[::-1], return_index=True
+        )
+        last_rows = len(keys) - 1 - reversed_first
+        self._store[unique_slots] = columns[last_rows]
+
+
+class _StageClock:
+    """Accumulates per-stage wall time into a caller-owned dict."""
+
+    def __init__(self, timings: dict) -> None:
+        self._timings = timings
+        self._last = time.perf_counter()
+
+    def mark(self, stage: str) -> None:
+        now = time.perf_counter()
+        self._timings[stage] = self._timings.get(stage, 0.0) + now - self._last
+        self._last = now
 
 
 class BatchCompressionRateFitness:
@@ -50,8 +285,14 @@ class BatchCompressionRateFitness:
     (``"auto"``, ``"gemm"``, ``"bitpack"``, ``"scalar"``) or passes a
     :class:`~repro.core.kernels.CoveringKernel` instance directly;
     ``"auto"`` resolves from the workload shape (C, D, L, K) when the
-    first batch arrives.  Every kernel prices bit-identically, so the
-    choice only moves the wall clock.
+    first batch arrives.  ``mv_cache_size`` bounds the persistent
+    :class:`MVMatchCache` behind the unique-MV dedup path; ``0`` (or
+    ``None``) prices through the fused per-generation kernels instead.
+    With the cache enabled, the dedup path engages per batch shape —
+    generation-scale batches or very large distinct tables — and tiny
+    batches on small tables keep the fused kernels, whose single pass
+    is cheaper than the dedup bookkeeping there.  Every configuration
+    prices bit-identically, so both knobs only move the wall clock.
 
     >>> blocks = BlockSet.from_string("111 000 111 111", 3)
     >>> fit = BatchCompressionRateFitness(blocks, n_vectors=2, block_length=3)
@@ -68,6 +309,7 @@ class BatchCompressionRateFitness:
         strategy: EncodingStrategy = EncodingStrategy.HUFFMAN,
         invalid_fitness: float = INVALID_FITNESS,
         kernel: str | CoveringKernel = AUTO_KERNEL,
+        mv_cache_size: int | None = DEFAULT_MV_CACHE_SIZE,
     ) -> None:
         if blocks.block_length != block_length:
             raise ValueError(
@@ -79,11 +321,18 @@ class BatchCompressionRateFitness:
             raise ValueError("cannot evaluate fitness on an empty test set")
         if strategy is EncodingStrategy.FIXED:
             raise ValueError("fitness evaluation requires a frequency-based strategy")
+        mv_cache_size = int(mv_cache_size or 0)
+        if mv_cache_size < 0:
+            raise ValueError("mv_cache_size must be >= 0")
         self._blocks = blocks
         self._n_vectors = n_vectors
         self._block_length = block_length
         self._strategy = strategy
         self._invalid_fitness = invalid_fitness
+        self._mv_cache = MVMatchCache(mv_cache_size) if mv_cache_size else None
+        self._mv_rows_total = 0
+        self._mv_rows_unique = 0
+        self._count_lut: np.ndarray | None = None  # built on first dedup pass
         # The kernel choice; "auto" resolves lazily on the first batch
         # (the heuristic wants the generation size C), concrete names
         # resolve and prepare the block table right away.
@@ -121,6 +370,25 @@ class BatchCompressionRateFitness:
         """L·K — expected gene count per genome."""
         return self._n_vectors * self._block_length
 
+    @property
+    def mv_cache(self) -> MVMatchCache | None:
+        """The persistent match-column cache (``None`` when disabled)."""
+        return self._mv_cache
+
+    @property
+    def mv_cache_stats(self) -> MVCacheStats:
+        """Dedup and cache effectiveness counters (all zero if disabled)."""
+        cache = self._mv_cache
+        return MVCacheStats(
+            hits=cache.hits if cache else 0,
+            misses=cache.misses if cache else 0,
+            evictions=cache.evictions if cache else 0,
+            size=len(cache) if cache else 0,
+            capacity=cache.capacity if cache else 0,
+            rows_total=self._mv_rows_total,
+            rows_unique=self._mv_rows_unique,
+        )
+
     def genome_masks_batch(
         self, genomes: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -151,12 +419,131 @@ class BatchCompressionRateFitness:
             )
         return matrix
 
-    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+    def _dedup_rows(
+        self, grid: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Unique MV word rows of a generation, plus the row → unique map.
+
+        Returns ``(unique_ones, unique_zeros, keys, inverse)``:
+        ``(U, W)`` word masks of the unique rows, the ``(U, …)`` key
+        array whose per-row ``tobytes()`` addresses the match cache,
+        and the ``(C, L)`` index of each MV row into the unique set.
+        When the fused ``[ones|zeros]`` representation fits one uint64
+        (``2K ≤ 64`` — includes the paper's K = 12) the dedup is a
+        numeric ``np.unique`` over scalar keys, ~30× faster at
+        generation sizes than the void-dtype row sort a multi-word
+        ``np.unique(axis=0)`` would run; wider rows fall back to a
+        lexsort-based row dedup.
+        """
+        n_genomes, n_vectors = grid.shape[:2]
+        n_rows = n_genomes * n_vectors
+        if 2 * self._block_length <= 64:
+            # One packing pass builds the fused [ones|zeros] key
+            # directly; the word masks are recovered for the (few)
+            # cache misses by shift/mask.
+            fused_bits = np.concatenate([grid == ONE, grid == ZERO], axis=2)
+            fused = pack_bits_to_words(fused_bits)[..., 0].reshape(n_rows)
+            unique_fused, inverse = np.unique(fused, return_inverse=True)
+            shift = np.uint64(self._block_length)
+            mask = np.uint64((1 << self._block_length) - 1)
+            unique_ones = (unique_fused >> shift)[:, None]
+            unique_zeros = (unique_fused & mask)[:, None]
+            keys = unique_fused.tolist()  # plain ints: cheap dict keys
+        else:
+            ones_words = pack_bits_to_words(grid == ONE)  # (C, L, W)
+            zeros_words = pack_bits_to_words(grid == ZERO)
+            word_count = ones_words.shape[-1]
+            flat_ones = ones_words.reshape(n_rows, word_count)
+            flat_zeros = zeros_words.reshape(n_rows, word_count)
+            rows = np.concatenate([flat_ones, flat_zeros], axis=1)
+            order = np.lexsort(rows.T[::-1])
+            sorted_rows = rows[order]
+            new_group = np.empty(n_rows, dtype=bool)
+            new_group[0] = True
+            np.any(
+                sorted_rows[1:] != sorted_rows[:-1], axis=1, out=new_group[1:]
+            )
+            inverse = np.empty(n_rows, dtype=np.int64)
+            inverse[order] = np.cumsum(new_group) - 1
+            unique_rows = sorted_rows[new_group]  # (U, 2W)
+            unique_ones = unique_rows[:, :word_count]
+            unique_zeros = unique_rows[:, word_count:]
+            keys = [row.tobytes() for row in unique_rows]
+        return (
+            unique_ones,
+            unique_zeros,
+            keys,
+            inverse.reshape(n_genomes, n_vectors),
+        )
+
+    def _cover_deduped(
+        self,
+        grid: np.ndarray,
+        orders: np.ndarray,
+        kernel: CoveringKernel,
+        clock: _StageClock | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Frequencies and uncovered counts via the unique-MV path.
+
+        Reshapes the generation into ``C·L`` packed MV word rows,
+        dedups them, asks the kernel for match columns only on the
+        cache-miss set, and reassembles per-genome coverings from the
+        bit-packed columns (:func:`~repro.core.kernels.cover_packed_columns`).
+        Bit-identical to the fused ``cover_grid`` path because a match
+        column depends only on (MV, block table).
+        """
+        unique_ones, unique_zeros, keys, inverse = self._dedup_rows(grid)
+        n_unique = len(keys)
+        self._mv_rows_total += inverse.size
+        self._mv_rows_unique += n_unique
+        if clock:
+            clock.mark("pack")
+
+        cache = self._mv_cache
+        packed_width = -(-self._blocks.n_distinct // 8)
+        packed_columns = np.empty((n_unique, packed_width), dtype=np.uint8)
+        slots = cache.lookup(keys)
+        hit = slots >= 0
+        if hit.any():
+            # Gather before insert: an insert may recycle these slots.
+            packed_columns[hit] = cache.columns_at(slots[hit])
+        if not hit.all():
+            miss = np.flatnonzero(~hit)
+            columns = kernel.match_columns(
+                self._prepared, unique_ones[miss], unique_zeros[miss]
+            )
+            fresh = pack_match_columns(columns)
+            packed_columns[miss] = fresh
+            cache.insert([keys[index] for index in miss], fresh)
+        if clock:
+            clock.mark("match")
+
+        if self._count_lut is None:
+            self._count_lut = build_count_lut(self._blocks.counts)
+        ordered_mv_index = np.take_along_axis(inverse, orders, axis=1)
+        _, frequencies, uncovered = cover_packed_columns(
+            self._prepared,
+            packed_columns,
+            ordered_mv_index,
+            orders,
+            want_assignment=False,
+            count_lut=self._count_lut,
+        )
+        if clock:
+            clock.mark("cover")
+        return frequencies, uncovered
+
+    def evaluate_batch(
+        self, genomes: np.ndarray, timings: dict | None = None
+    ) -> np.ndarray:
         """Compression rate (%) for every genome row; one kernel pass.
 
         Rows whose MVs cannot cover every input block come back as
         ``invalid_fitness``.  Identical, element for element, to
-        calling the single-genome path on each row.
+        calling the single-genome path on each row.  ``timings``, if a
+        dict, accumulates per-stage wall seconds (``pack`` / ``match``
+        / ``cover`` / ``huffman``; the fused ``mv_cache_size=0`` path
+        reports its combined kernel pass under ``cover``).
         """
         matrix = self._genome_matrix(genomes)
         n_genomes = matrix.shape[0]
@@ -168,20 +555,38 @@ class BatchCompressionRateFitness:
                 [self._evaluate_with_subsumption(row) for row in matrix],
                 dtype=np.float64,
             )
+        clock = _StageClock(timings) if timings is not None else None
         grid = matrix.reshape(n_genomes, self._n_vectors, self._block_length)
         n_unspecified = (grid == DC).sum(axis=2).astype(np.int64)
         orders = np.argsort(n_unspecified, axis=1, kind="stable")
-        # The covering kernel consumes the trit grid with the L axis
-        # pre-permuted into covering order; each kernel converts to its
-        # native representation (float bit rows, uint64 word lanes).
-        ordered_grid = grid[np.arange(n_genomes)[:, None], orders]
         kernel = self._resolve_kernel(n_genomes)
-        _, frequencies, uncovered = kernel.cover_grid(
-            self._prepared,
-            ordered_grid,
-            orders,
-            want_assignment=False,
-        )
+        n_distinct = self._blocks.n_distinct
+        if self._mv_cache is not None and (
+            (
+                n_genomes >= _MV_DEDUP_MIN_GENOMES
+                and n_distinct >= _MV_DEDUP_MIN_TABLE
+            )
+            or n_distinct >= _MV_DEDUP_MIN_DISTINCT
+        ):
+            frequencies, uncovered = self._cover_deduped(
+                grid, orders, kernel, clock
+            )
+        else:
+            # The covering kernel consumes the trit grid with the L
+            # axis pre-permuted into covering order; each kernel
+            # converts to its native representation (float bit rows,
+            # uint64 word lanes).
+            ordered_grid = grid[np.arange(n_genomes)[:, None], orders]
+            if clock:
+                clock.mark("pack")
+            _, frequencies, uncovered = kernel.cover_grid(
+                self._prepared,
+                ordered_grid,
+                orders,
+                want_assignment=False,
+            )
+            if clock:
+                clock.mark("cover")
         rates = np.full(n_genomes, self._invalid_fitness, dtype=np.float64)
         valid = uncovered == 0
         if valid.any():
@@ -190,6 +595,8 @@ class BatchCompressionRateFitness:
             compressed = codeword_bits + fill_bits
             original = self._blocks.original_bits
             rates[valid] = 100.0 * (original - compressed) / original
+        if clock:
+            clock.mark("huffman")
         return rates
 
     def _evaluate_with_subsumption(self, genome: np.ndarray) -> float:
@@ -229,9 +636,16 @@ class CompressionRateFitness:
         strategy: EncodingStrategy = EncodingStrategy.HUFFMAN,
         invalid_fitness: float = INVALID_FITNESS,
         kernel: str | CoveringKernel = AUTO_KERNEL,
+        mv_cache_size: int | None = DEFAULT_MV_CACHE_SIZE,
     ) -> None:
         self._batch = BatchCompressionRateFitness(
-            blocks, n_vectors, block_length, strategy, invalid_fitness, kernel
+            blocks,
+            n_vectors,
+            block_length,
+            strategy,
+            invalid_fitness,
+            kernel,
+            mv_cache_size,
         )
         self._n_vectors = n_vectors
         self._block_length = block_length
@@ -251,6 +665,11 @@ class CompressionRateFitness:
     def kernel_name(self) -> str:
         """The resolved covering kernel's name (``auto`` if unresolved)."""
         return self._batch.kernel_name
+
+    @property
+    def mv_cache_stats(self) -> MVCacheStats:
+        """The underlying batch engine's MV-cache counters."""
+        return self._batch.mv_cache_stats
 
     def genome_masks(
         self, genome: np.ndarray

@@ -22,7 +22,17 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
-from .base import CoveringKernel, PreparedBlocks, accumulate_complete_rows
+from .base import (
+    CoveringKernel,
+    PreparedBlocks,
+    accumulate_complete_rows,
+    build_count_lut,
+    cover_from_match_columns,
+    cover_packed_columns,
+    first_match_rank,
+    pack_match_columns,
+    rank_word_bits,
+)
 from .bitpack import BitpackKernel
 from .gemm import GemmKernel, cover_bits_batch, unpack_mask_bits
 from .scalar import ScalarKernel, cover_masks
@@ -37,9 +47,15 @@ __all__ = [
     "ScalarKernel",
     "accumulate_complete_rows",
     "available_kernels",
+    "build_count_lut",
     "cover_bits_batch",
+    "cover_from_match_columns",
     "cover_masks",
+    "cover_packed_columns",
+    "first_match_rank",
     "get_kernel",
+    "pack_match_columns",
+    "rank_word_bits",
     "register_kernel",
     "resolve_kernel",
     "select_kernel_name",

@@ -35,7 +35,13 @@ import numpy as np
 
 from ..blocks import masks_as_words, pack_bits_to_words, unpack_words_to_bits
 from ..trits import ONE, ZERO
-from .base import CoveringKernel, PreparedBlocks, accumulate_complete_rows
+from .base import (
+    CoveringKernel,
+    PreparedBlocks,
+    accumulate_complete_rows,
+    first_match_rank,
+    rank_word_bits,
+)
 
 __all__ = ["BitpackKernel"]
 
@@ -46,51 +52,6 @@ _SHARD_TENSOR_BYTES = 1 << 21
 # Genome chunks bound the (chunk, D) rank matrix and amortize the
 # Python-level shard loop.
 _CHUNK_TENSOR_ELEMENTS = 1 << 20
-
-
-def _rank_word_bits(n_vectors: int) -> int:
-    """Padded match-word width for ``n_vectors`` MVs (8/16/32/64·k)."""
-    for width in (8, 16, 32, 64):
-        if n_vectors <= width:
-            return width
-    return -(-n_vectors // 64) * 64
-
-
-def _first_match_rank(matches: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """First-true index along the padded last axis, via packed bits.
-
-    ``matches`` is ``(..., Lp)`` bool with ``Lp`` a multiple of 8 from
-    :func:`_rank_word_bits` (padding columns all False).  Packing the
-    axis into little-endian words turns "first match in covering
-    order" into "lowest set bit": isolate it with ``w & -w`` and read
-    its position from the float64 exponent — no index reduction over
-    L.  Returns ``(rank, hit)``: ``rank`` is the first-true index
-    (unspecified where ``hit`` is False), ``hit`` says whether any
-    match exists.
-    """
-    packed = np.packbits(matches, axis=-1, bitorder="little")
-    lane_bytes = packed.shape[-1]
-    word_dtype = f"<u{min(lane_bytes, 8)}"
-    words = packed.view(word_dtype)
-    first_word = words[..., 0]
-    hit = first_word != 0
-    lowest = first_word & np.negative(first_word)
-    rank = np.frexp(lowest.astype(np.float64))[1].astype(np.int64) - 1
-    for index in range(1, words.shape[-1]):  # only for L > 64
-        word = words[..., index]
-        fresh = ~hit & (word != 0)
-        if not fresh.any():
-            hit |= word != 0
-            continue
-        lowest = word & np.negative(word)
-        word_rank = (
-            np.frexp(lowest.astype(np.float64))[1].astype(np.int64)
-            - 1
-            + 64 * index
-        )
-        rank = np.where(fresh, word_rank, rank)
-        hit |= fresh
-    return rank, hit
 
 
 def _lane_dtype(lane_bits: int) -> np.dtype:
@@ -181,6 +142,30 @@ class BitpackKernel(CoveringKernel):
         )
         return _pack_lanes(bits)
 
+    # -- factored entry point -----------------------------------------
+
+    def _match_columns_chunk(
+        self,
+        prepared: PreparedBlocks,
+        mv_ones: np.ndarray,
+        mv_zeros: np.ndarray,
+    ) -> np.ndarray:
+        """Fused-lane match test for standalone MVs: one AND per pair."""
+        block_length = prepared.block_length
+        bits = np.concatenate(
+            [
+                unpack_words_to_bits(mv_zeros, block_length),
+                unpack_words_to_bits(mv_ones, block_length),
+            ],
+            axis=1,
+        )
+        mv_lanes = _pack_lanes(bits)  # (M, LW)
+        block_lanes = prepared.block_lanes
+        conflict = mv_lanes[:, None, 0] & block_lanes[None, :, 0]
+        for word in range(1, block_lanes.shape[-1]):
+            conflict |= mv_lanes[:, None, word] & block_lanes[None, :, word]
+        return conflict == 0
+
     # -- covering core ------------------------------------------------
 
     def _shard_slices(self, n_distinct, span, n_vectors, itemsize):
@@ -218,8 +203,8 @@ class BitpackKernel(CoveringKernel):
         # Match bits pack along the MV axis (padded to a power-of-two
         # word width), so first-match extraction is integer bit math on
         # one word per (genome, block) instead of an index reduction
-        # over L — see _first_match_rank.
-        padded_vectors = _rank_word_bits(n_vectors)
+        # over L — see base.first_match_rank.
+        padded_vectors = rank_word_bits(n_vectors)
 
         chunk = max(
             1, _CHUNK_TENSOR_ELEMENTS // max(1, n_vectors * n_distinct)
@@ -265,7 +250,7 @@ class BitpackKernel(CoveringKernel):
                         & block_lanes[shard, word][None, :, None]
                     )
                 np.equal(conflict, 0, out=matches[:, :, :n_vectors])
-                rank, hit = _first_match_rank(matches)
+                rank, hit = first_match_rank(matches)
                 first_rank[:, shard] = rank  # disjoint slice per shard
                 # Covered weight (exact: integer-valued float64 sums).
                 return hit @ prepared.counts_f[shard]

@@ -150,6 +150,7 @@ def execute_run_task(task: RunTask) -> RunOutcome:
         block_length=config.block_length,
         strategy=config.strategy,
         kernel=config.kernel,
+        mv_cache_size=config.mv_cache_size,
     )
     engine = EvolutionaryEngine(
         fitness=fitness,

@@ -30,6 +30,7 @@ from ..core.blocks import BlockSet
 from ..core.compressor import compress_blocks
 from ..core.config import CompressionConfig, EAParameters
 from ..core.encoding import EncodingStrategy
+from ..core.fitness import DEFAULT_MV_CACHE_SIZE
 from ..core.nine_c import DEFAULT_NINE_C_BLOCK_LENGTH, compress_nine_c
 from ..core.optimizer import EAMVOptimizer, OptimizationResult, execute_run_task
 from ..parallel import ExecutionBackend, SerialBackend, grouped_map
@@ -115,6 +116,7 @@ def kl_sweep(
     backend: ExecutionBackend | None = None,
     progress: Callable[[str], None] | None = None,
     kernel: str = "auto",
+    mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
 ) -> list[AblationPoint]:
     """Compression rate across (K, L) — the source of 'EA-Best'."""
     ea = ea or EAParameters(stagnation_limit=30, max_evaluations=1200)
@@ -126,6 +128,7 @@ def kl_sweep(
                 n_vectors=n_vectors,
                 runs=runs,
                 kernel=kernel,
+                mv_cache_size=mv_cache_size,
                 ea=ea,
             ),
         )
@@ -143,6 +146,7 @@ def operator_sweep(
     backend: ExecutionBackend | None = None,
     progress: Callable[[str], None] | None = None,
     kernel: str = "auto",
+    mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
 ) -> list[AblationPoint]:
     """Vary the operator-probability mix around the paper's setting."""
     base = dict(stagnation_limit=30, max_evaluations=1200)
@@ -172,7 +176,7 @@ def operator_sweep(
             label,
             CompressionConfig(
                 block_length=block_length, n_vectors=n_vectors, runs=runs,
-                kernel=kernel, ea=ea,
+                kernel=kernel, mv_cache_size=mv_cache_size, ea=ea,
             ),
         )
         for label, ea in variants.items()
@@ -189,6 +193,7 @@ def seeding_ablation(
     backend: ExecutionBackend | None = None,
     progress: Callable[[str], None] | None = None,
     kernel: str = "auto",
+    mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
 ) -> list[AblationPoint]:
     """Random initial population vs one individual seeded with 9C MVs."""
     base = dict(stagnation_limit=30, max_evaluations=1200)
@@ -197,7 +202,7 @@ def seeding_ablation(
             label,
             CompressionConfig(
                 block_length=block_length, n_vectors=n_vectors, runs=runs,
-                kernel=kernel, ea=ea,
+                kernel=kernel, mv_cache_size=mv_cache_size, ea=ea,
             ),
         )
         for label, ea in (
@@ -217,6 +222,7 @@ def subsumption_ablation(
     backend: ExecutionBackend | None = None,
     progress: Callable[[str], None] | None = None,
     kernel: str = "auto",
+    mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
 ) -> list[AblationPoint]:
     """Plain Huffman vs subsumption-refined encoding of the same MVs.
 
@@ -226,7 +232,7 @@ def subsumption_ablation(
     ea = EAParameters(stagnation_limit=30, max_evaluations=1200)
     config = CompressionConfig(
         block_length=block_length, n_vectors=n_vectors, runs=runs,
-        kernel=kernel, ea=ea,
+        kernel=kernel, mv_cache_size=mv_cache_size, ea=ea,
     )
     blocks = test_set.blocks(block_length)
     result = EAMVOptimizer(config, seed=seed, backend=backend).optimize(blocks)
@@ -263,6 +269,7 @@ def decoder_cost_study(
     seed: int = 7,
     backend: ExecutionBackend | None = None,
     kernel: str = "auto",
+    mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
 ) -> dict[str, dict[str, float]]:
     """Payload vs code-table cost for 9C and the EA decoder.
 
@@ -277,6 +284,7 @@ def decoder_cost_study(
         n_vectors=n_vectors,
         runs=1,
         kernel=kernel,
+        mv_cache_size=mv_cache_size,
         ea=EAParameters(stagnation_limit=30, max_evaluations=1200),
     )
     blocks = test_set.blocks(block_length)

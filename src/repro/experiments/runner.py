@@ -43,6 +43,7 @@ from ..core.blocks import BlockSet
 from ..core.compressor import compress_blocks
 from ..core.config import CompressionConfig, EAParameters
 from ..core.encoding import EncodingStrategy
+from ..core.fitness import DEFAULT_MV_CACHE_SIZE
 from ..core.nine_c import DEFAULT_NINE_C_BLOCK_LENGTH, compress_nine_c
 from ..core.optimizer import (
     EAMVOptimizer,
@@ -165,6 +166,7 @@ def _config_jobs(
     budget: ExperimentBudget,
     seed: int,
     kernel: str = "auto",
+    mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
 ) -> list[_EAConfigJob]:
     """Build self-seeded run tasks for every (label, K, L) of a row.
 
@@ -185,6 +187,7 @@ def _config_jobs(
             n_vectors=n_vectors,
             runs=budget.runs,
             kernel=kernel,
+            mv_cache_size=mv_cache_size,
             ea=budget.ea_parameters(),
         )
         optimizer = EAMVOptimizer(config, seed=child)
@@ -259,6 +262,7 @@ def run_row(
     backend: ExecutionBackend | None = None,
     progress: Callable[[str], None] | None = None,
     kernel: str = "auto",
+    mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
 ) -> RowResult:
     """Reproduce one table row: calibrate, then run all methods.
 
@@ -267,8 +271,9 @@ def run_row(
     EA2).  All EA runs of the row (including the EA-Best grid) fan out
     through ``backend``; results are independent of the backend and
     job count.  ``kernel`` names the covering kernel pricing every EA
-    fitness call (all kernels price bit-identically, so the table is
-    byte-identical under any choice).
+    fitness call and ``mv_cache_size`` bounds the per-run MV
+    match-column cache (0 disables it); both price bit-identically, so
+    the table is byte-identical under any choice.
     """
     if kind not in ("stuck-at", "path-delay"):
         raise ValueError(f"unknown experiment kind {kind!r}")
@@ -300,7 +305,9 @@ def run_row(
         configurations = [("EA1 K=8,L=9", 8, 9), ("EA2 K=12,L=64", 12, 64)]
 
     search_set = _subsample(test_set, budget.search_bit_cap, seed)
-    jobs = _config_jobs(search_set, configurations, budget, seed, kernel)
+    jobs = _config_jobs(
+        search_set, configurations, budget, seed, kernel, mv_cache_size
+    )
     rates = _execute_config_jobs(
         jobs, test_set, search_set is test_set, backend, progress
     )

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.fitness import DEFAULT_MV_CACHE_SIZE
 from ..parallel import ExecutionBackend, OrderedProgress, SerialBackend
 from ..testdata.registry import (
     TABLE1_AVERAGES,
@@ -106,6 +107,7 @@ def _build(
     progress: Callable[[str], None] | None,
     backend: ExecutionBackend | None,
     kernel: str,
+    mv_cache_size: int,
 ) -> TableResult:
     selected = [
         row for row in table if circuits is None or row.circuit in set(circuits)
@@ -125,7 +127,12 @@ def _build(
         fan_in = OrderedProgress(progress)
         results = backend.map(
             functools.partial(
-                run_row, kind=kind, budget=budget, seed=seed, kernel=kernel
+                run_row,
+                kind=kind,
+                budget=budget,
+                seed=seed,
+                kernel=kernel,
+                mv_cache_size=mv_cache_size,
             ),
             selected,
             on_result=lambda index, result: fan_in.publish(
@@ -137,7 +144,7 @@ def _build(
         for row in selected:
             result = run_row(
                 row, kind, budget=budget, seed=seed, backend=backend,
-                kernel=kernel,
+                kernel=kernel, mv_cache_size=mv_cache_size,
             )
             results.append(result)
             if progress is not None:
@@ -157,11 +164,13 @@ def build_table1(
     progress: Callable[[str], None] | None = None,
     backend: ExecutionBackend | None = None,
     kernel: str = "auto",
+    mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
 ) -> TableResult:
     """Reproduce Table 1 (stuck-at).  ``circuits=None`` runs all 39.
 
-    ``kernel`` selects the covering kernel for every EA fitness call;
-    all kernels price bit-identically, so a seeded table is
+    ``kernel`` selects the covering kernel for every EA fitness call
+    and ``mv_cache_size`` bounds the per-run MV match-column cache
+    (0 disables it); both price bit-identically, so a seeded table is
     byte-identical under any choice.
     """
     return _build(
@@ -175,6 +184,7 @@ def build_table1(
         progress,
         backend,
         kernel,
+        mv_cache_size,
     )
 
 
@@ -185,6 +195,7 @@ def build_table2(
     progress: Callable[[str], None] | None = None,
     backend: ExecutionBackend | None = None,
     kernel: str = "auto",
+    mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
 ) -> TableResult:
     """Reproduce Table 2 (path delay).  ``circuits=None`` runs all 29."""
     return _build(
@@ -198,6 +209,7 @@ def build_table2(
         progress,
         backend,
         kernel,
+        mv_cache_size,
     )
 
 

@@ -109,6 +109,50 @@ class TestKernelFlag:
         assert len(set(outputs.values())) == 1  # byte-identical output
 
 
+class TestMVCacheSizeFlag:
+    """Every command exposes --mv-cache-size (0 disables the cache)."""
+
+    def test_defaults_to_package_default(self):
+        from repro.core.fitness import DEFAULT_MV_CACHE_SIZE
+
+        for argv in (
+            ["table1"],
+            ["table2"],
+            ["compress", "file.txt"],
+            ["atpg", "c17"],
+            ["ablate", "kl"],
+            ["report"],
+        ):
+            arguments = build_parser().parse_args(argv)
+            assert arguments.mv_cache_size == DEFAULT_MV_CACHE_SIZE
+
+    def test_value_parsed(self):
+        arguments = build_parser().parse_args(
+            ["table1", "--mv-cache-size", "0"]
+        )
+        assert arguments.mv_cache_size == 0
+
+    def test_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--mv-cache-size" in help_text
+        assert "match-column cache" in help_text
+
+    def test_compress_output_cache_invariant(self, tmp_path, capsys):
+        path = tmp_path / "patterns.txt"
+        path.write_text(
+            "\n".join(["11001100XXXX", "110011001111", "XXXX11001100"] * 6)
+        )
+        args = ["compress", str(path), "--k", "4", "--l", "6", "--runs", "1",
+                "--stagnation", "5", "--max-evaluations", "120", "--seed", "3"]
+        outputs = {}
+        for size in ("0", "4", "16384"):
+            assert main([*args, "--mv-cache-size", size]) == 0
+            outputs[size] = capsys.readouterr().out
+        assert len(set(outputs.values())) == 1  # byte-identical output
+
+
 class TestResolvedBackends:
     def test_jobs_one_resolves_serial(self):
         from repro.cli import _resolve_backend
