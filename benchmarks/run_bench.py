@@ -39,8 +39,12 @@ and compares the *hardware-normalized* batched-vs-reference speedup
 against the committed ``BENCH_fitness.json``, exiting nonzero if any
 workload's speedup fell by more than ``--check-tolerance`` (default
 30%).  Both paths run in the same process, so the gate is meaningful
-on any machine — including CI's bench-sanity lane, which runs it on
-every push; raw genomes/second are printed for context only.
+on any machine — including CI's bench lane, which runs it on every
+push; raw genomes/second are printed for context only.  ``--profile
+PATH`` applies a ``repro tune`` profile to every in-process fitness
+(CI tunes first, then gates against the tuned profile, so the gate
+and the tuner agree on kernel and cache-engagement decisions); the
+artifacts record which profile governed the run.
 
 The artifacts intentionally avoid pytest-benchmark's statistics; use
 ``pytest benchmarks/bench_batch.py --benchmark-only`` (or
@@ -78,6 +82,11 @@ from repro.core.fitness import (  # noqa: E402
 from repro.core.kernels import select_kernel_name  # noqa: E402
 from repro.ea.genome import random_genome  # noqa: E402
 from repro.testdata.synthetic import synthetic_test_set  # noqa: E402
+from repro.tuning.profile import (  # noqa: E402
+    get_active_profile,
+    load_profile_or_none,
+    set_active_profile,
+)
 
 # Workloads priced by the mv_cache section; small's table sits below
 # the dedup engagement floor, so it has nothing to measure.
@@ -315,11 +324,20 @@ def bench_mv_cache(name: str, repeats: int) -> dict:
     }
 
 
+def _profile_note() -> dict | None:
+    """What tuning profile governed this run (None = shipped defaults)."""
+    profile = get_active_profile()
+    if profile is None:
+        return None
+    return {"source": profile.source, "created": profile.created}
+
+
 def emit_fitness_artifact(output: Path, repeats: int) -> None:
     document = {
         "benchmark": "batched fitness engine (cover + Huffman + price)",
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "tuning_profile": _profile_note(),
         "workloads": [
             bench_workload(name, repeats) for name in sorted(WORKLOADS)
         ],
@@ -386,9 +404,11 @@ def check_against_committed(
     """
     committed = json.loads(committed_path.read_text())
     failures = []
+    profile = _profile_note()
     print(
         f"checking against {committed_path} (tolerance {tolerance:.0%}, "
-        "metric: batched-vs-reference speedup)"
+        "metric: batched-vs-reference speedup, tuning: "
+        f"{profile['source'] if profile else 'shipped defaults'})"
     )
     for row in committed["workloads"]:
         name = row["workload"]
@@ -417,6 +437,7 @@ def emit_parallel_artifact(output: Path, repeats: int) -> None:
     document = {
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "tuning_profile": _profile_note(),
         **scaling_report(repeats=repeats),
         "bitpack_shard_scaling": bitpack_shard_report(repeats=repeats),
     }
@@ -478,7 +499,29 @@ def main() -> None:
         default=0.30,
         help="allowed fractional slowdown before --check fails (default 0.30)",
     )
+    parser.add_argument(
+        "--profile",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "tuning profile written by `repro tune`; applied to every "
+            "in-process fitness so the regression gate and the tuner "
+            "agree on kernel and cache-engagement decisions (the gated "
+            "metric stays hardware-normalized; a mismatched profile is "
+            "ignored with a warning)"
+        ),
+    )
     args = parser.parse_args()
+
+    if args.profile is not None:
+        profile = load_profile_or_none(
+            args.profile,
+            warn=lambda reason: print(
+                f"warning: ignoring tuning profile: {reason}", file=sys.stderr
+            ),
+        )
+        set_active_profile(profile)
 
     if args.check:
         raise SystemExit(

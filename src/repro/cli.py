@@ -8,6 +8,8 @@ Commands
 ``atpg``        Generate a stuck-at test set for a library circuit and
                 compress it with all methods.
 ``ablate``      Run one of the ablation studies on a calibrated test set.
+``tune``        Probe this machine's kernel/cache crossovers and write
+                a tuning profile for the other commands' ``--profile``.
 
 Examples
 --------
@@ -18,10 +20,16 @@ Examples
     python -m repro compress my_tests.txt --k 12 --l 64
     python -m repro atpg c17
     python -m repro ablate kl --circuit s349 --jobs 4
+    python -m repro tune --quick           # then:
+    python -m repro table1 --seed 1 --profile ~/.cache/repro/tuning_profile.json
 
 Every command takes ``--jobs N`` (1 = serial, 0 = all CPU cores) and
 ``--backend {process,thread}``; results are independent of both — the
-same seed gives the same table at any job count.
+same seed gives the same table at any job count.  ``--profile PATH``
+applies a machine-measured tuning profile (written by ``repro tune``)
+to every hot-path threshold; like ``--kernel`` and
+``--mv-cache-size``, it only moves the wall clock — seeded output is
+byte-identical with or without it.
 """
 
 from __future__ import annotations
@@ -41,6 +49,12 @@ from .testdata.calibration import calibrate_spec
 from .testdata.registry import TABLE1_STUCK_AT, row_by_name
 from .testdata.synthetic import SyntheticSpec
 from .testdata.test_set import TestSet
+from .tuning.profile import (
+    TuningProfile,
+    default_profile_path,
+    load_profile_or_none,
+    set_active_profile,
+)
 
 __all__ = ["main"]
 
@@ -81,10 +95,65 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
             f"the wall clock moves; default {DEFAULT_MV_CACHE_SIZE})"
         ),
     )
+    parser.add_argument(
+        "--mv-feedback",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help=(
+            "runtime MV-cache engagement monitor: auto/on attach a "
+            "hit-rate monitor that can disengage the dedup path "
+            "mid-run and re-probe it later, off keeps the static "
+            "shape decision only (results are byte-identical either "
+            "way; default auto)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "tuning profile written by `repro tune`; its "
+            "machine-measured thresholds replace the shipped defaults "
+            "for kernel auto-selection, MV-cache engagement, bitpack "
+            "shard sizing and Huffman batching (ignored with a "
+            "warning on version/fingerprint mismatch; results are "
+            "byte-identical with or without it)"
+        ),
+    )
 
 
 def _resolve_backend(arguments: argparse.Namespace) -> ExecutionBackend:
     return resolve_backend(arguments.jobs, arguments.backend)
+
+
+def _resolve_tuning(arguments: argparse.Namespace) -> TuningProfile | None:
+    """Load ``--profile`` (if any) and install it process-wide.
+
+    A missing, malformed, version-mismatched or wrong-machine profile
+    falls back to the shipped defaults with a warning on stderr — a
+    stale profile must never break a run.  The returned profile is
+    also threaded into every ``CompressionConfig`` so process-pool
+    workers (which don't inherit this process's active profile) tune
+    identically.
+    """
+    if arguments.profile is None:
+        # Clear any profile a previous main() call installed in this
+        # process — a profile-less invocation means shipped defaults.
+        set_active_profile(None)
+        return None
+    profile = load_profile_or_none(
+        arguments.profile,
+        warn=lambda reason: print(
+            f"warning: ignoring tuning profile: {reason}", file=sys.stderr
+        ),
+    )
+    set_active_profile(profile)
+    return profile
+
+
+def _resolve_mv_feedback(arguments: argparse.Namespace) -> bool | None:
+    return {"auto": None, "on": True, "off": False}[arguments.mv_feedback]
 
 
 def _add_table_arguments(parser: argparse.ArgumentParser) -> None:
@@ -105,6 +174,8 @@ def _add_table_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _table_command(arguments: argparse.Namespace, which: int) -> int:
+    tuning = _resolve_tuning(arguments)
+    mv_feedback = _resolve_mv_feedback(arguments)
     from .experiments import (
         PAPER,
         QUICK,
@@ -132,6 +203,8 @@ def _table_command(arguments: argparse.Namespace, which: int) -> int:
         backend=_resolve_backend(arguments),
         kernel=arguments.kernel,
         mv_cache_size=arguments.mv_cache_size,
+        tuning=tuning,
+        mv_feedback=mv_feedback,
     )
     print()
     print(format_table(result))
@@ -141,6 +214,8 @@ def _table_command(arguments: argparse.Namespace, which: int) -> int:
 
 
 def _compress_command(arguments: argparse.Namespace) -> int:
+    tuning = _resolve_tuning(arguments)
+    mv_feedback = _resolve_mv_feedback(arguments)
     lines = [
         line.strip()
         for line in Path(arguments.file).read_text().splitlines()
@@ -159,6 +234,8 @@ def _compress_command(arguments: argparse.Namespace) -> int:
         runs=arguments.runs,
         kernel=arguments.kernel,
         mv_cache_size=arguments.mv_cache_size,
+        tuning=tuning,
+        mv_feedback=mv_feedback,
         ea=EAParameters(
             stagnation_limit=arguments.stagnation,
             max_evaluations=arguments.max_evaluations,
@@ -180,6 +257,8 @@ def _compress_command(arguments: argparse.Namespace) -> int:
 
 
 def _atpg_command(arguments: argparse.Namespace) -> int:
+    tuning = _resolve_tuning(arguments)
+    mv_feedback = _resolve_mv_feedback(arguments)
     from .atpg.stuck_at import generate_stuck_at_tests
     from .circuits.library import load_circuit
 
@@ -203,6 +282,8 @@ def _atpg_command(arguments: argparse.Namespace) -> int:
         runs=3,
         kernel=arguments.kernel,
         mv_cache_size=arguments.mv_cache_size,
+        tuning=tuning,
+        mv_feedback=mv_feedback,
         ea=EAParameters(stagnation_limit=30, max_evaluations=1200),
     )
     result = EAMVOptimizer(
@@ -228,6 +309,8 @@ def _calibrated_test_set(circuit: str, seed: int) -> TestSet:
 
 
 def _ablate_command(arguments: argparse.Namespace) -> int:
+    tuning = _resolve_tuning(arguments)
+    mv_feedback = _resolve_mv_feedback(arguments)
     from .experiments import (
         ablation_markdown,
         decoder_cost_study,
@@ -244,6 +327,8 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
             test_set, seed=arguments.seed, backend=backend,
             kernel=arguments.kernel,
             mv_cache_size=arguments.mv_cache_size,
+            tuning=tuning,
+            mv_feedback=mv_feedback,
         )
         print(ablation_markdown(points, f"K/L sweep on {arguments.circuit}"))
     elif arguments.study == "operators":
@@ -251,6 +336,8 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
             test_set, seed=arguments.seed, backend=backend,
             kernel=arguments.kernel,
             mv_cache_size=arguments.mv_cache_size,
+            tuning=tuning,
+            mv_feedback=mv_feedback,
         )
         print(
             ablation_markdown(
@@ -262,6 +349,8 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
             test_set, seed=arguments.seed, backend=backend,
             kernel=arguments.kernel,
             mv_cache_size=arguments.mv_cache_size,
+            tuning=tuning,
+            mv_feedback=mv_feedback,
         )
         print(ablation_markdown(points, f"9C seeding on {arguments.circuit}"))
     elif arguments.study == "subsumption":
@@ -269,6 +358,8 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
             test_set, seed=arguments.seed, backend=backend,
             kernel=arguments.kernel,
             mv_cache_size=arguments.mv_cache_size,
+            tuning=tuning,
+            mv_feedback=mv_feedback,
         )
         print(
             ablation_markdown(
@@ -280,6 +371,8 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
             test_set, seed=arguments.seed, backend=backend,
             kernel=arguments.kernel,
             mv_cache_size=arguments.mv_cache_size,
+            tuning=tuning,
+            mv_feedback=mv_feedback,
         )
         for method, values in costs.items():
             print(
@@ -291,6 +384,8 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
 
 
 def _report_command(arguments: argparse.Namespace) -> int:
+    tuning = _resolve_tuning(arguments)
+    mv_feedback = _resolve_mv_feedback(arguments)
     from .experiments import (
         PAPER,
         QUICK,
@@ -318,6 +413,8 @@ def _report_command(arguments: argparse.Namespace) -> int:
         backend=backend,
         kernel=arguments.kernel,
         mv_cache_size=arguments.mv_cache_size,
+        tuning=tuning,
+        mv_feedback=mv_feedback,
     )
     print("building Table 2 ...")
     table2 = build_table2(
@@ -328,6 +425,8 @@ def _report_command(arguments: argparse.Namespace) -> int:
         backend=backend,
         kernel=arguments.kernel,
         mv_cache_size=arguments.mv_cache_size,
+        tuning=tuning,
+        mv_feedback=mv_feedback,
     )
     print("running ablations on s349 ...")
     test_set = _calibrated_test_set("s349", arguments.seed)
@@ -336,21 +435,29 @@ def _report_command(arguments: argparse.Namespace) -> int:
             test_set, seed=arguments.seed, backend=backend,
             kernel=arguments.kernel,
             mv_cache_size=arguments.mv_cache_size,
+            tuning=tuning,
+            mv_feedback=mv_feedback,
         ),
         "Operator probabilities (s349)": operator_sweep(
             test_set, seed=arguments.seed, backend=backend,
             kernel=arguments.kernel,
             mv_cache_size=arguments.mv_cache_size,
+            tuning=tuning,
+            mv_feedback=mv_feedback,
         ),
         "9C seeding of the initial population (s349)": seeding_ablation(
             test_set, seed=arguments.seed, backend=backend,
             kernel=arguments.kernel,
             mv_cache_size=arguments.mv_cache_size,
+            tuning=tuning,
+            mv_feedback=mv_feedback,
         ),
         "Subsumption-aware encoding (s349, Section 3.3)": subsumption_ablation(
             test_set, seed=arguments.seed, backend=backend,
             kernel=arguments.kernel,
             mv_cache_size=arguments.mv_cache_size,
+            tuning=tuning,
+            mv_feedback=mv_feedback,
         ),
     }
     document = experiments_markdown(
@@ -358,6 +465,46 @@ def _report_command(arguments: argparse.Namespace) -> int:
     )
     Path(arguments.output).write_text(document)
     print(f"wrote {arguments.output}")
+    return 0
+
+
+def _tune_command(arguments: argparse.Namespace) -> int:
+    from .tuning.probes import run_probes, tuning_summary
+    from .tuning.profile import save_profile
+
+    print(
+        "probing kernel crossovers, MV-dedup break-even, shard size "
+        f"and Huffman cutover ({'quick' if arguments.quick else 'full'} "
+        f"mode, best of {arguments.repeats}) ..."
+    )
+    profile = run_probes(
+        quick=arguments.quick, repeats=arguments.repeats, progress=print
+    )
+    path = save_profile(profile, arguments.profile)
+    print(f"wrote {path}")
+    print(
+        "thresholds: "
+        f"bitpack_min_distinct={profile.bitpack_min_distinct}  "
+        f"bitpack_wide_min_distinct={profile.bitpack_wide_min_distinct}  "
+        f"mv_dedup_min_genomes={profile.mv_dedup_min_genomes}  "
+        f"mv_dedup_min_table={profile.mv_dedup_min_table}  "
+        f"mv_dedup_min_distinct={profile.mv_dedup_min_distinct}  "
+        f"bitpack_shard_size={profile.bitpack_shard_size}  "
+        f"huffman_lockstep_min_rows={profile.huffman_lockstep_min_rows}  "
+        f"mv_feedback_min_hit_rate={profile.mv_feedback_min_hit_rate:.2f}"
+    )
+    if not arguments.no_summary:
+        summary = tuning_summary(profile, quick=arguments.quick)
+        for row in summary:
+            print(
+                f"{row['workload']:>7}: default {row['default_genomes_per_second']:>9.1f}"
+                f" genomes/s  tuned {row['tuned_genomes_per_second']:>9.1f}"
+                f" genomes/s  (×{row['speedup_tuned_vs_default']:.2f})"
+            )
+        print(
+            "(seeded results are byte-identical with or without the "
+            "profile — only the wall clock moves)"
+        )
     return 0
 
 
@@ -409,6 +556,40 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--full", action="store_true")
     report.add_argument("--seed", type=int, default=2005)
     _add_execution_arguments(report)
+
+    tune = commands.add_parser(
+        "tune",
+        help=(
+            "probe this machine's kernel/cache crossovers and write a "
+            "tuning profile for --profile"
+        ),
+    )
+    tune.add_argument(
+        "--profile",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "where to write the profile "
+            f"(default {default_profile_path()})"
+        ),
+    )
+    tune.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller probe shapes and fewer points (seconds, not minutes)",
+    )
+    tune.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="best-of-N timing repeats per probe point (default 3)",
+    )
+    tune.add_argument(
+        "--no-summary",
+        action="store_true",
+        help="skip the before/after genomes/s summary after writing",
+    )
     return parser
 
 
@@ -427,6 +608,8 @@ def main(argv: list[str] | None = None) -> int:
         return _ablate_command(arguments)
     if arguments.command == "report":
         return _report_command(arguments)
+    if arguments.command == "tune":
+        return _tune_command(arguments)
     raise AssertionError(f"unhandled command {arguments.command!r}")
 
 

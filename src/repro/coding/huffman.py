@@ -45,6 +45,9 @@ __all__ = [
 
 # Below this many rows the per-row scalar merge beats the lockstep
 # batch machinery (whose step count scales with L, not the row count).
+# The no-profile default; ``repro tune`` measures the crossover per
+# machine and callers on the hot path pass it via ``lockstep_min_rows``
+# (see ``repro.tuning``).
 _LOCKSTEP_MIN_ROWS = 96
 
 
@@ -131,7 +134,9 @@ def _merge_total(leaves: list[int]) -> int:
     return int(total)
 
 
-def huffman_total_bits_batch(frequency_matrix: np.ndarray) -> np.ndarray:
+def huffman_total_bits_batch(
+    frequency_matrix: np.ndarray, lockstep_min_rows: int | None = None
+) -> np.ndarray:
     """Row-wise :func:`huffman_total_bits` over a ``(C, L)`` matrix.
 
     This is the batched fitness engine's pricing kernel: one call prices
@@ -148,9 +153,10 @@ def huffman_total_bits_batch(frequency_matrix: np.ndarray) -> np.ndarray:
     2**53 (float64 accumulation of integer weights).
 
     The lockstep machinery costs ~``L`` vectorized steps regardless of
-    ``C``, so small batches (below ``_LOCKSTEP_MIN_ROWS`` rows) are
-    routed through the per-row scalar merge instead — same results,
-    no fixed overhead.
+    ``C``, so small batches (below ``lockstep_min_rows``, default the
+    measured ``_LOCKSTEP_MIN_ROWS``; tuned per machine by ``repro
+    tune``) are routed through the per-row scalar merge instead —
+    same results, no fixed overhead.
 
     >>> huffman_total_bits_batch(np.asarray([[5, 3, 2], [0, 7, 0]])).tolist()
     [15, 7]
@@ -163,7 +169,9 @@ def huffman_total_bits_batch(frequency_matrix: np.ndarray) -> np.ndarray:
         return np.zeros(n_rows, dtype=np.int64)
     if freqs.size and int(freqs.min()) < 0:
         raise ValueError("frequencies must be non-negative")
-    if n_rows < _LOCKSTEP_MIN_ROWS:
+    if lockstep_min_rows is None:
+        lockstep_min_rows = _LOCKSTEP_MIN_ROWS
+    if n_rows < lockstep_min_rows:
         # One batched sort, then pure-Python merges on plain lists —
         # no per-row numpy call overhead.
         presorted = np.sort(freqs, axis=1).tolist()

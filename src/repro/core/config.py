@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..tuning.profile import TuningProfile
 from .encoding import EncodingStrategy
 from .fitness import DEFAULT_MV_CACHE_SIZE
 from .kernels import AUTO_KERNEL, CoveringKernel, available_kernels
@@ -123,6 +124,17 @@ class CompressionConfig:
     (:class:`repro.core.fitness.MVMatchCache`); ``0`` disables the
     factored path and prices through the fused per-generation kernels.
     Like ``kernel``, it never changes results — only the wall clock.
+
+    ``tuning`` pins a machine-measured
+    :class:`repro.tuning.TuningProfile` for every run of this
+    configuration (kernel auto cutovers, dedup engagement shapes,
+    bitpack shard size, Huffman lockstep cutover).  The profile
+    travels *inside* the config, so process-pool workers — which never
+    see the CLI's process-wide active profile — tune identically to
+    the serial path.  ``mv_feedback`` controls the runtime MV-cache
+    engagement monitor: ``None`` leaves it on whenever the cache is
+    on, ``False`` forces the static shape decision only.  Both are
+    semantically inert — wall clock only, results byte-identical.
     """
 
     block_length: int = 12
@@ -132,6 +144,8 @@ class CompressionConfig:
     runs: int = 5
     kernel: str | CoveringKernel = "auto"
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE
+    tuning: TuningProfile | None = None
+    mv_feedback: bool | None = None
     ea: EAParameters = field(default_factory=EAParameters)
 
     def __post_init__(self) -> None:
@@ -150,6 +164,10 @@ class CompressionConfig:
             raise ValueError("n_vectors must be >= 1")
         if self.mv_cache_size < 0:
             raise ValueError("mv_cache_size must be >= 0")
+        if self.tuning is not None and not isinstance(self.tuning, TuningProfile):
+            raise ValueError(
+                f"tuning must be a TuningProfile or None, got {self.tuning!r}"
+            )
         if self.fill_default not in (0, 1):
             raise ValueError("fill_default must be 0 or 1")
         if self.runs < 1:

@@ -48,6 +48,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..coding.huffman import huffman_total_bits_batch
+from ..tuning.feedback import MVCacheFeedback, MVFeedbackStats
+from ..tuning.profile import TuningProfile, get_active_profile
 from .blocks import BlockSet, mask_word_count, pack_bits_to_words
 from .encoding import EncodingStrategy, build_encoding_table
 from .kernels import (
@@ -79,9 +81,11 @@ INVALID_FITNESS = -1.0e6  # far below 100·(orig−comp)/orig for any valid enco
 # 640 MVs at the paper's settings).
 DEFAULT_MV_CACHE_SIZE = 16384
 
-# When the dedup path engages (all measured on the bench workloads;
-# results are bit-identical either way, so these only move the wall
-# clock, exactly like kernel auto-selection):
+# When the dedup path engages — the no-profile defaults, measured on
+# the bench workloads and re-confirmed by the ``repro tune`` prober on
+# the single-core CI-class container (results are bit-identical either
+# way, so these only move the wall clock, exactly like kernel
+# auto-selection):
 # * generation-scale batches over a non-tiny table — the per-batch
 #   dedup/lookup bookkeeping amortizes and the saved kernel work
 #   dominates (×1.4–1.9 on the convergent bench batches at D≈0.9k–3.3k;
@@ -92,7 +96,18 @@ DEFAULT_MV_CACHE_SIZE = 16384
 #   at D≈3.3k, ×0.94 wall clock by D≈8k on seeded EA runs).
 # Below the thresholds (the paper's C=5 EA on a small circuit) the
 # fused kernel pass is cheaper than the bookkeeping, so the factored
-# path steps aside.
+# path steps aside.  A :class:`repro.tuning.TuningProfile` (explicit
+# ``tuning`` argument, or the process-wide active profile set by
+# ``--profile``) overrides all three per machine; on top of the static
+# decision, an :class:`repro.tuning.MVCacheFeedback` monitor can
+# disengage the path mid-run when observed hit rates stay below
+# break-even (see ``mv_feedback``).
+# Recalibration (PR 5, `repro tune` full mode on the single-core
+# CI-class container): the table floor (512) and the any-batch floor
+# (2048) re-measured exactly; the genome floor measured C>=2 on the
+# prober's fully-warmed convergent batches vs the 16 shipped from
+# EA-realistic (partly cold) batches — the warm-case gap is now the
+# feedback monitor's job, so the conservative static floor stands.
 _MV_DEDUP_MIN_GENOMES = 16
 _MV_DEDUP_MIN_TABLE = 512
 _MV_DEDUP_MIN_DISTINCT = 2048
@@ -106,7 +121,9 @@ class MVCacheStats:
     per-batch dedup; ``hits``/``misses`` count unique rows served from
     (vs priced into) the persistent cache.  Only kernel work for
     misses is ever recomputed, so the saved fraction of match work is
-    ``1 − misses/rows_total``.
+    ``1 − misses/rows_total``.  ``feedback`` carries the runtime
+    engagement monitor's decision counters (``None`` when no monitor
+    is attached).
     """
 
     hits: int = 0
@@ -116,6 +133,7 @@ class MVCacheStats:
     capacity: int = 0
     rows_total: int = 0
     rows_unique: int = 0
+    feedback: MVFeedbackStats | None = None
 
     @property
     def hit_rate(self) -> float:
@@ -291,8 +309,19 @@ class BatchCompressionRateFitness:
     With the cache enabled, the dedup path engages per batch shape —
     generation-scale batches or very large distinct tables — and tiny
     batches on small tables keep the fused kernels, whose single pass
-    is cheaper than the dedup bookkeeping there.  Every configuration
-    prices bit-identically, so both knobs only move the wall clock.
+    is cheaper than the dedup bookkeeping there.
+
+    ``tuning`` pins a :class:`repro.tuning.TuningProfile` whose
+    machine-measured thresholds replace the shipped defaults for
+    kernel auto-selection, dedup engagement, bitpack shard sizing and
+    the Huffman lockstep cutover; when ``None``, the process-wide
+    active profile applies, and without one the module constants do.
+    ``mv_feedback`` controls the runtime engagement monitor
+    (:class:`repro.tuning.MVCacheFeedback`): ``None``/``True`` attach
+    one (default on whenever the cache is on), ``False`` forces the
+    static shape decision only, and an explicit monitor instance is
+    used as-is.  Every configuration prices bit-identically, so all
+    of these knobs only move the wall clock.
 
     >>> blocks = BlockSet.from_string("111 000 111 111", 3)
     >>> fit = BatchCompressionRateFitness(blocks, n_vectors=2, block_length=3)
@@ -310,6 +339,8 @@ class BatchCompressionRateFitness:
         invalid_fitness: float = INVALID_FITNESS,
         kernel: str | CoveringKernel = AUTO_KERNEL,
         mv_cache_size: int | None = DEFAULT_MV_CACHE_SIZE,
+        tuning: TuningProfile | None = None,
+        mv_feedback: bool | MVCacheFeedback | None = None,
     ) -> None:
         if blocks.block_length != block_length:
             raise ValueError(
@@ -329,7 +360,11 @@ class BatchCompressionRateFitness:
         self._block_length = block_length
         self._strategy = strategy
         self._invalid_fitness = invalid_fitness
+        # Threshold resolution order: explicit profile > process-wide
+        # active profile > shipped module defaults (profile absent).
+        self._tuning = tuning if tuning is not None else get_active_profile()
         self._mv_cache = MVMatchCache(mv_cache_size) if mv_cache_size else None
+        self._mv_feedback = self._build_feedback(mv_feedback)
         self._mv_rows_total = 0
         self._mv_rows_unique = 0
         self._count_lut: np.ndarray | None = None  # built on first dedup pass
@@ -343,6 +378,29 @@ class BatchCompressionRateFitness:
             self._resolve_kernel(n_genomes=1)
         self.evaluations = 0
 
+    def _build_feedback(
+        self, mv_feedback: bool | MVCacheFeedback | None
+    ) -> MVCacheFeedback | None:
+        """The runtime engagement monitor (``None`` when switched off).
+
+        Without a cache there is nothing to monitor; with one, the
+        default (``None``/``True``) attaches a monitor parameterized
+        by the tuning profile's ``mv_feedback_*`` fields (or the
+        monitor's own defaults when no profile is active).
+        """
+        if self._mv_cache is None or mv_feedback is False:
+            return None
+        if isinstance(mv_feedback, MVCacheFeedback):
+            return mv_feedback
+        profile = self._tuning
+        if profile is None:
+            return MVCacheFeedback()
+        return MVCacheFeedback(
+            min_hit_rate=profile.mv_feedback_min_hit_rate,
+            patience=profile.mv_feedback_patience,
+            reprobe_period=profile.mv_feedback_reprobe_period,
+        )
+
     def _resolve_kernel(self, n_genomes: int) -> CoveringKernel:
         if self._kernel is None:
             self._kernel = resolve_kernel(
@@ -351,6 +409,7 @@ class BatchCompressionRateFitness:
                 n_distinct=self._blocks.n_distinct,
                 n_vectors=self._n_vectors,
                 block_length=self._block_length,
+                profile=self._tuning,
             )
             self._prepared = self._kernel.prepare(self._blocks)
         return self._kernel
@@ -376,9 +435,20 @@ class BatchCompressionRateFitness:
         return self._mv_cache
 
     @property
+    def mv_feedback(self) -> MVCacheFeedback | None:
+        """The runtime engagement monitor (``None`` when switched off)."""
+        return self._mv_feedback
+
+    @property
+    def tuning(self) -> TuningProfile | None:
+        """The tuning profile resolved at construction (``None`` = defaults)."""
+        return self._tuning
+
+    @property
     def mv_cache_stats(self) -> MVCacheStats:
         """Dedup and cache effectiveness counters (all zero if disabled)."""
         cache = self._mv_cache
+        feedback = self._mv_feedback
         return MVCacheStats(
             hits=cache.hits if cache else 0,
             misses=cache.misses if cache else 0,
@@ -387,6 +457,7 @@ class BatchCompressionRateFitness:
             capacity=cache.capacity if cache else 0,
             rows_total=self._mv_rows_total,
             rows_unique=self._mv_rows_unique,
+            feedback=feedback.stats if feedback else None,
         )
 
     def genome_masks_batch(
@@ -500,6 +571,7 @@ class BatchCompressionRateFitness:
             clock.mark("pack")
 
         cache = self._mv_cache
+        hits_before, misses_before = cache.hits, cache.misses
         packed_width = -(-self._blocks.n_distinct // 8)
         packed_columns = np.empty((n_unique, packed_width), dtype=np.uint8)
         slots = cache.lookup(keys)
@@ -515,6 +587,11 @@ class BatchCompressionRateFitness:
             fresh = pack_match_columns(columns)
             packed_columns[miss] = fresh
             cache.insert([keys[index] for index in miss], fresh)
+        if self._mv_feedback is not None:
+            # This batch's own hit/miss delta is the monitor's signal.
+            self._mv_feedback.observe(
+                cache.hits - hits_before, cache.misses - misses_before
+            )
         if clock:
             clock.mark("match")
 
@@ -532,6 +609,40 @@ class BatchCompressionRateFitness:
         if clock:
             clock.mark("cover")
         return frequencies, uncovered
+
+    def _dedup_engages(self, n_genomes: int) -> bool:
+        """Whether this batch takes the unique-MV dedup path.
+
+        Two gates compose (both semantically inert — either path is
+        bit-identical): the *static* shape decision — the tuning
+        profile's ``mv_dedup_min_*`` thresholds, or the module-default
+        constants when no profile is active — and the *runtime*
+        feedback monitor, which can veto a shape-engaged batch after
+        observing sustained below-break-even hit rates and counts the
+        vetoed batch toward its next re-probe.
+        """
+        if self._mv_cache is None:
+            return False
+        profile = self._tuning
+        if profile is None:
+            min_genomes = _MV_DEDUP_MIN_GENOMES
+            min_table = _MV_DEDUP_MIN_TABLE
+            min_distinct = _MV_DEDUP_MIN_DISTINCT
+        else:
+            min_genomes = profile.mv_dedup_min_genomes
+            min_table = profile.mv_dedup_min_table
+            min_distinct = profile.mv_dedup_min_distinct
+        n_distinct = self._blocks.n_distinct
+        if not (
+            (n_genomes >= min_genomes and n_distinct >= min_table)
+            or n_distinct >= min_distinct
+        ):
+            return False
+        feedback = self._mv_feedback
+        if feedback is not None and not feedback.engaged:
+            feedback.tick_fused()
+            return False
+        return True
 
     def evaluate_batch(
         self, genomes: np.ndarray, timings: dict | None = None
@@ -560,14 +671,7 @@ class BatchCompressionRateFitness:
         n_unspecified = (grid == DC).sum(axis=2).astype(np.int64)
         orders = np.argsort(n_unspecified, axis=1, kind="stable")
         kernel = self._resolve_kernel(n_genomes)
-        n_distinct = self._blocks.n_distinct
-        if self._mv_cache is not None and (
-            (
-                n_genomes >= _MV_DEDUP_MIN_GENOMES
-                and n_distinct >= _MV_DEDUP_MIN_TABLE
-            )
-            or n_distinct >= _MV_DEDUP_MIN_DISTINCT
-        ):
+        if self._dedup_engages(n_genomes):
             frequencies, uncovered = self._cover_deduped(
                 grid, orders, kernel, clock
             )
@@ -590,7 +694,14 @@ class BatchCompressionRateFitness:
         rates = np.full(n_genomes, self._invalid_fitness, dtype=np.float64)
         valid = uncovered == 0
         if valid.any():
-            codeword_bits = huffman_total_bits_batch(frequencies[valid])
+            codeword_bits = huffman_total_bits_batch(
+                frequencies[valid],
+                lockstep_min_rows=(
+                    None
+                    if self._tuning is None
+                    else self._tuning.huffman_lockstep_min_rows
+                ),
+            )
             fill_bits = (frequencies[valid] * n_unspecified[valid]).sum(axis=1)
             compressed = codeword_bits + fill_bits
             original = self._blocks.original_bits
@@ -637,6 +748,8 @@ class CompressionRateFitness:
         invalid_fitness: float = INVALID_FITNESS,
         kernel: str | CoveringKernel = AUTO_KERNEL,
         mv_cache_size: int | None = DEFAULT_MV_CACHE_SIZE,
+        tuning: TuningProfile | None = None,
+        mv_feedback: bool | MVCacheFeedback | None = None,
     ) -> None:
         self._batch = BatchCompressionRateFitness(
             blocks,
@@ -646,6 +759,8 @@ class CompressionRateFitness:
             invalid_fitness,
             kernel,
             mv_cache_size,
+            tuning,
+            mv_feedback,
         )
         self._n_vectors = n_vectors
         self._block_length = block_length

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+from ...tuning.profile import TuningProfile, get_active_profile
 from .base import (
     CoveringKernel,
     PreparedBlocks,
@@ -73,22 +74,38 @@ _REGISTRY: dict[str, Callable[[], CoveringKernel]] = {
 # The names the CLI/config layer accepts, `auto` first.
 KERNEL_CHOICES = (AUTO_KERNEL, *sorted(_REGISTRY))
 
-# Auto-selection thresholds, calibrated on the workloads of
-# ``benchmarks/bench_batch.py`` (single-core container; see ROADMAP
-# "Performance architecture").  Bitpack's fused conflict lane holds 2K
-# bits; while it fits in at most two uint64 words (K <= 64) the
+# Auto-selection thresholds: the no-profile defaults, calibrated on
+# the workloads of ``benchmarks/bench_batch.py`` and re-confirmed by
+# the ``repro tune`` prober (single-core CI-class container; see
+# ROADMAP "Tuning architecture").  Bitpack's fused conflict lane holds
+# 2K bits; while it fits in at most two uint64 words (K <= 64) the
 # integer kernel measured 1.3–1.4× faster once the distinct table
 # outgrows BLAS's cache-resident sweet spot (medium D≈860, large
 # D≈3330), while tiny tables (small D≈150) stay GEMM territory.  Past
 # two lane words the per-element AND loop grows with K while BLAS
 # keeps its compute density — gemm wins there until the table is
 # large enough that its 4-bytes-per-bit operands go bandwidth-bound.
+# A :class:`repro.tuning.TuningProfile` (explicit argument, or the
+# process-wide active profile set by ``--profile``) overrides the
+# distinct-table cutovers per machine; these module constants remain
+# the fallback so behavior without a profile is unchanged.
+# Recalibration (PR 5, `repro tune` full mode on the single-core
+# CI-class container): the narrow crossover measured D>=512 at the
+# probe shape (C=32, L=32) vs the 256 shipped from the L=64 bench
+# workloads — the crossover moves with L because GEMM amortizes its
+# operand streaming over more MV rows.  The shipped default keeps the
+# bench-shape value (the EA's real shape); shape sensitivity is what
+# `--profile` is for.  The wide crossover never arrived within the
+# probed range (D<=4096) on this container — BLAS keeps multi-word
+# lanes ahead longer than the PR-3 estimate — so 2048 stands as a
+# conservative bench-derived default there too.
 BITPACK_MAX_LANE_WORDS = 2
 BITPACK_MIN_DISTINCT = 256
 BITPACK_WIDE_MIN_DISTINCT = 2048
 # Below this many match tests (distinct blocks × MVs) a single
 # uncached covering is cheaper as the plain Python loop than as
-# batched tensor setup.
+# batched tensor setup.  (Not probed by ``repro tune``: the scalar
+# corner is interactive-only and off the EA hot path.)
 SCALAR_MAX_WORK = 512
 
 
@@ -129,6 +146,7 @@ def select_kernel_name(
     n_distinct: int,
     n_vectors: int,
     block_length: int,
+    profile: TuningProfile | None = None,
 ) -> str:
     """The ``auto`` heuristic, keyed on the workload shape (C, D, L, K).
 
@@ -144,16 +162,27 @@ def select_kernel_name(
       back to ``bitpack`` once the table is large enough that GEMM's
       4-bytes-per-bit operands dominate.
     * Everything else (tiny tables) stays with ``gemm``.
+
+    ``profile`` (or, when omitted, the process-wide active profile)
+    replaces the distinct-table cutovers with machine-measured ones;
+    without either, the module constants above apply unchanged.
     """
-    if n_genomes <= 1 and n_distinct * n_vectors <= SCALAR_MAX_WORK:
+    if profile is None:
+        profile = get_active_profile()
+    if profile is None:
+        min_distinct = BITPACK_MIN_DISTINCT
+        wide_min_distinct = BITPACK_WIDE_MIN_DISTINCT
+        scalar_max_work = SCALAR_MAX_WORK
+    else:
+        min_distinct = profile.bitpack_min_distinct
+        wide_min_distinct = profile.bitpack_wide_min_distinct
+        scalar_max_work = profile.scalar_max_work
+    if n_genomes <= 1 and n_distinct * n_vectors <= scalar_max_work:
         return ScalarKernel.name
     lane_words = -(-2 * block_length // 64)
-    if (
-        lane_words <= BITPACK_MAX_LANE_WORDS
-        and n_distinct >= BITPACK_MIN_DISTINCT
-    ):
+    if lane_words <= BITPACK_MAX_LANE_WORDS and n_distinct >= min_distinct:
         return BitpackKernel.name
-    if n_distinct >= BITPACK_WIDE_MIN_DISTINCT:
+    if n_distinct >= wide_min_distinct:
         return BitpackKernel.name
     return GemmKernel.name
 
@@ -164,12 +193,27 @@ def resolve_kernel(
     n_distinct: int,
     n_vectors: int,
     block_length: int,
+    profile: TuningProfile | None = None,
 ) -> CoveringKernel:
-    """Turn a kernel choice (name, ``auto`` or instance) into a kernel."""
+    """Turn a kernel choice (name, ``auto`` or instance) into a kernel.
+
+    ``profile`` tunes both halves of the decision: ``auto`` selects
+    with the profile's cutovers, and a bitpack instance is built with
+    the profile's ``bitpack_shard_size`` (when set) instead of the
+    kernel's cache-budget autosizing.
+    """
     if isinstance(choice, CoveringKernel):
         return choice
+    if profile is None:
+        profile = get_active_profile()
     if choice == AUTO_KERNEL:
         choice = select_kernel_name(
-            n_genomes, n_distinct, n_vectors, block_length
+            n_genomes, n_distinct, n_vectors, block_length, profile=profile
         )
+    if (
+        choice == BitpackKernel.name
+        and profile is not None
+        and profile.bitpack_shard_size is not None
+    ):
+        return get_kernel(choice, shard_size=profile.bitpack_shard_size)
     return get_kernel(choice)

@@ -151,6 +151,11 @@ def execute_run_task(task: RunTask) -> RunOutcome:
         strategy=config.strategy,
         kernel=config.kernel,
         mv_cache_size=config.mv_cache_size,
+        # The profile rides in the config so process workers (which
+        # never inherit the CLI's process-wide active profile) tune
+        # identically to the serial path.
+        tuning=config.tuning,
+        mv_feedback=config.mv_feedback,
     )
     engine = EvolutionaryEngine(
         fitness=fitness,

@@ -35,6 +35,7 @@ from ..core.nine_c import DEFAULT_NINE_C_BLOCK_LENGTH, compress_nine_c
 from ..core.optimizer import EAMVOptimizer, OptimizationResult, execute_run_task
 from ..parallel import ExecutionBackend, SerialBackend, grouped_map
 from ..testdata.test_set import TestSet
+from ..tuning.profile import TuningProfile
 
 __all__ = [
     "AblationPoint",
@@ -117,6 +118,8 @@ def kl_sweep(
     progress: Callable[[str], None] | None = None,
     kernel: str = "auto",
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
+    tuning: TuningProfile | None = None,
+    mv_feedback: bool | None = None,
 ) -> list[AblationPoint]:
     """Compression rate across (K, L) — the source of 'EA-Best'."""
     ea = ea or EAParameters(stagnation_limit=30, max_evaluations=1200)
@@ -129,6 +132,8 @@ def kl_sweep(
                 runs=runs,
                 kernel=kernel,
                 mv_cache_size=mv_cache_size,
+                tuning=tuning,
+                mv_feedback=mv_feedback,
                 ea=ea,
             ),
         )
@@ -147,6 +152,8 @@ def operator_sweep(
     progress: Callable[[str], None] | None = None,
     kernel: str = "auto",
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
+    tuning: TuningProfile | None = None,
+    mv_feedback: bool | None = None,
 ) -> list[AblationPoint]:
     """Vary the operator-probability mix around the paper's setting."""
     base = dict(stagnation_limit=30, max_evaluations=1200)
@@ -176,7 +183,8 @@ def operator_sweep(
             label,
             CompressionConfig(
                 block_length=block_length, n_vectors=n_vectors, runs=runs,
-                kernel=kernel, mv_cache_size=mv_cache_size, ea=ea,
+                kernel=kernel, mv_cache_size=mv_cache_size,
+                tuning=tuning, mv_feedback=mv_feedback, ea=ea,
             ),
         )
         for label, ea in variants.items()
@@ -194,6 +202,8 @@ def seeding_ablation(
     progress: Callable[[str], None] | None = None,
     kernel: str = "auto",
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
+    tuning: TuningProfile | None = None,
+    mv_feedback: bool | None = None,
 ) -> list[AblationPoint]:
     """Random initial population vs one individual seeded with 9C MVs."""
     base = dict(stagnation_limit=30, max_evaluations=1200)
@@ -202,7 +212,8 @@ def seeding_ablation(
             label,
             CompressionConfig(
                 block_length=block_length, n_vectors=n_vectors, runs=runs,
-                kernel=kernel, mv_cache_size=mv_cache_size, ea=ea,
+                kernel=kernel, mv_cache_size=mv_cache_size,
+                tuning=tuning, mv_feedback=mv_feedback, ea=ea,
             ),
         )
         for label, ea in (
@@ -223,6 +234,8 @@ def subsumption_ablation(
     progress: Callable[[str], None] | None = None,
     kernel: str = "auto",
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
+    tuning: TuningProfile | None = None,
+    mv_feedback: bool | None = None,
 ) -> list[AblationPoint]:
     """Plain Huffman vs subsumption-refined encoding of the same MVs.
 
@@ -232,7 +245,8 @@ def subsumption_ablation(
     ea = EAParameters(stagnation_limit=30, max_evaluations=1200)
     config = CompressionConfig(
         block_length=block_length, n_vectors=n_vectors, runs=runs,
-        kernel=kernel, mv_cache_size=mv_cache_size, ea=ea,
+        kernel=kernel, mv_cache_size=mv_cache_size,
+        tuning=tuning, mv_feedback=mv_feedback, ea=ea,
     )
     blocks = test_set.blocks(block_length)
     result = EAMVOptimizer(config, seed=seed, backend=backend).optimize(blocks)
@@ -270,6 +284,8 @@ def decoder_cost_study(
     backend: ExecutionBackend | None = None,
     kernel: str = "auto",
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
+    tuning: TuningProfile | None = None,
+    mv_feedback: bool | None = None,
 ) -> dict[str, dict[str, float]]:
     """Payload vs code-table cost for 9C and the EA decoder.
 
@@ -285,6 +301,8 @@ def decoder_cost_study(
         runs=1,
         kernel=kernel,
         mv_cache_size=mv_cache_size,
+        tuning=tuning,
+        mv_feedback=mv_feedback,
         ea=EAParameters(stagnation_limit=30, max_evaluations=1200),
     )
     blocks = test_set.blocks(block_length)

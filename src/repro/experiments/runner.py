@@ -56,6 +56,7 @@ from ..testdata.calibration import calibrate_spec
 from ..testdata.registry import PaperRow
 from ..testdata.synthetic import SyntheticSpec
 from ..testdata.test_set import TestSet
+from ..tuning.profile import TuningProfile
 
 __all__ = ["ExperimentBudget", "QUICK", "PAPER", "RowResult", "run_row"]
 
@@ -167,6 +168,8 @@ def _config_jobs(
     seed: int,
     kernel: str = "auto",
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
+    tuning: TuningProfile | None = None,
+    mv_feedback: bool | None = None,
 ) -> list[_EAConfigJob]:
     """Build self-seeded run tasks for every (label, K, L) of a row.
 
@@ -188,6 +191,8 @@ def _config_jobs(
             runs=budget.runs,
             kernel=kernel,
             mv_cache_size=mv_cache_size,
+            tuning=tuning,
+            mv_feedback=mv_feedback,
             ea=budget.ea_parameters(),
         )
         optimizer = EAMVOptimizer(config, seed=child)
@@ -263,6 +268,8 @@ def run_row(
     progress: Callable[[str], None] | None = None,
     kernel: str = "auto",
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
+    tuning: TuningProfile | None = None,
+    mv_feedback: bool | None = None,
 ) -> RowResult:
     """Reproduce one table row: calibrate, then run all methods.
 
@@ -272,8 +279,12 @@ def run_row(
     through ``backend``; results are independent of the backend and
     job count.  ``kernel`` names the covering kernel pricing every EA
     fitness call and ``mv_cache_size`` bounds the per-run MV
-    match-column cache (0 disables it); both price bit-identically, so
-    the table is byte-identical under any choice.
+    match-column cache (0 disables it).  ``tuning`` pins a
+    machine-measured :class:`repro.tuning.TuningProfile` inside every
+    run's config (so process workers tune identically) and
+    ``mv_feedback`` forces the runtime MV-cache engagement monitor on
+    or off.  All four price bit-identically, so the table is
+    byte-identical under any choice.
     """
     if kind not in ("stuck-at", "path-delay"):
         raise ValueError(f"unknown experiment kind {kind!r}")
@@ -306,7 +317,8 @@ def run_row(
 
     search_set = _subsample(test_set, budget.search_bit_cap, seed)
     jobs = _config_jobs(
-        search_set, configurations, budget, seed, kernel, mv_cache_size
+        search_set, configurations, budget, seed, kernel, mv_cache_size,
+        tuning, mv_feedback,
     )
     rates = _execute_config_jobs(
         jobs, test_set, search_set is test_set, backend, progress

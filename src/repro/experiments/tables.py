@@ -29,6 +29,7 @@ from ..testdata.registry import (
     TABLE2_PATH_DELAY,
     PaperRow,
 )
+from ..tuning.profile import TuningProfile
 from .runner import QUICK, ExperimentBudget, RowResult, run_row
 
 __all__ = [
@@ -108,6 +109,8 @@ def _build(
     backend: ExecutionBackend | None,
     kernel: str,
     mv_cache_size: int,
+    tuning: TuningProfile | None,
+    mv_feedback: bool | None,
 ) -> TableResult:
     selected = [
         row for row in table if circuits is None or row.circuit in set(circuits)
@@ -133,6 +136,8 @@ def _build(
                 seed=seed,
                 kernel=kernel,
                 mv_cache_size=mv_cache_size,
+                tuning=tuning,
+                mv_feedback=mv_feedback,
             ),
             selected,
             on_result=lambda index, result: fan_in.publish(
@@ -145,6 +150,7 @@ def _build(
             result = run_row(
                 row, kind, budget=budget, seed=seed, backend=backend,
                 kernel=kernel, mv_cache_size=mv_cache_size,
+                tuning=tuning, mv_feedback=mv_feedback,
             )
             results.append(result)
             if progress is not None:
@@ -165,6 +171,8 @@ def build_table1(
     backend: ExecutionBackend | None = None,
     kernel: str = "auto",
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
+    tuning: TuningProfile | None = None,
+    mv_feedback: bool | None = None,
 ) -> TableResult:
     """Reproduce Table 1 (stuck-at).  ``circuits=None`` runs all 39.
 
@@ -185,6 +193,8 @@ def build_table1(
         backend,
         kernel,
         mv_cache_size,
+        tuning,
+        mv_feedback,
     )
 
 
@@ -196,6 +206,8 @@ def build_table2(
     backend: ExecutionBackend | None = None,
     kernel: str = "auto",
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
+    tuning: TuningProfile | None = None,
+    mv_feedback: bool | None = None,
 ) -> TableResult:
     """Reproduce Table 2 (path delay).  ``circuits=None`` runs all 29."""
     return _build(
@@ -210,6 +222,8 @@ def build_table2(
         backend,
         kernel,
         mv_cache_size,
+        tuning,
+        mv_feedback,
     )
 
 

@@ -1,0 +1,140 @@
+"""Runtime feedback engagement for the MV match-column cache.
+
+The static shape heuristic in ``repro.core.fitness`` decides *before*
+a run whether the unique-MV dedup path should engage; this module adds
+the runtime half the ROADMAP asked for: the cache already knows its
+own hit rate, so a run whose batches keep missing (cache-hostile
+operator mixes, eviction-thrashed tables) can stop paying the dedup
+bookkeeping *mid-run*.  :class:`MVCacheFeedback` watches the per-batch
+hit rate delivered by the fitness, disengages the dedup path after
+``patience`` consecutive generations below ``min_hit_rate``, and
+re-probes it every ``reprobe_period`` fused generations in case the
+population has since converged (the usual late-run regime, where the
+cache wins ×1.75–2).  The monitor is pure bookkeeping over a path that
+is itself semantically inert, so engagement decisions can never change
+a result — only the wall clock — which is what lets seeded runs stay
+byte-identical with feedback forced on, forced off, or left adaptive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MVCacheFeedback", "MVFeedbackStats"]
+
+
+@dataclass(frozen=True)
+class MVFeedbackStats:
+    """Counters describing one monitor's decisions so far."""
+
+    batches_observed: int = 0
+    batches_fused: int = 0
+    disengagements: int = 0
+    reprobes: int = 0
+    low_streak: int = 0
+    engaged: bool = True
+
+
+class MVCacheFeedback:
+    """Hit-rate monitor that gates the MV-dedup path mid-run.
+
+    Parameters mirror the ``mv_feedback_*`` fields of
+    :class:`repro.tuning.profile.TuningProfile`:
+
+    min_hit_rate:
+        Break-even per-batch hit rate.  Below it, the dedup path is
+        presumed slower than the fused kernels (the probe derives the
+        value from measured fused / cold-dedup / warm-dedup timings).
+    patience:
+        Consecutive low-hit batches tolerated before disengaging —
+        early generations legitimately run cold while the cache fills,
+        so one bad batch must never flip the path.
+    reprobe_period:
+        Fused batches between re-probes once disengaged.  A re-probe
+        re-engages the dedup path for one batch and lets its observed
+        hit rate decide again (the low streak re-opens primed at
+        ``patience − 1``, so that single batch is decisive).
+
+    The monitor only ever *advises*; the fitness asks :attr:`engaged`
+    before each batch, reports dedup batches through :meth:`observe`
+    and fused-by-advice batches through :meth:`tick_fused`.
+    """
+
+    def __init__(
+        self,
+        min_hit_rate: float = 0.25,
+        patience: int = 10,
+        reprobe_period: int = 50,
+    ) -> None:
+        if not 0.0 <= min_hit_rate <= 1.0:
+            raise ValueError(
+                f"min_hit_rate must be within [0, 1], got {min_hit_rate}"
+            )
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if reprobe_period < 1:
+            raise ValueError(
+                f"reprobe_period must be >= 1, got {reprobe_period}"
+            )
+        self._min_hit_rate = min_hit_rate
+        self._patience = patience
+        self._reprobe_period = reprobe_period
+        self._low_streak = 0
+        self._fused_remaining = 0  # > 0 ⇔ disengaged
+        self._batches_observed = 0
+        self._batches_fused = 0
+        self._disengagements = 0
+        self._reprobes = 0
+
+    @property
+    def engaged(self) -> bool:
+        """Whether the next batch should take the dedup path."""
+        return self._fused_remaining == 0
+
+    @property
+    def stats(self) -> MVFeedbackStats:
+        """Decision counters (for `EAResult`/bench reporting)."""
+        return MVFeedbackStats(
+            batches_observed=self._batches_observed,
+            batches_fused=self._batches_fused,
+            disengagements=self._disengagements,
+            reprobes=self._reprobes,
+            low_streak=self._low_streak,
+            engaged=self.engaged,
+        )
+
+    def observe(self, hits: int, misses: int) -> None:
+        """Record one dedup batch's cache outcome.
+
+        A batch with no lookups (every row already deduplicated away
+        inside the batch) carries no signal and counts as healthy.
+        """
+        self._batches_observed += 1
+        lookups = hits + misses
+        rate = hits / lookups if lookups else 1.0
+        if rate < self._min_hit_rate:
+            self._low_streak += 1
+            if self._low_streak >= self._patience:
+                self._fused_remaining = self._reprobe_period
+                self._low_streak = 0
+                self._disengagements += 1
+        else:
+            self._low_streak = 0
+
+    def tick_fused(self) -> None:
+        """Record one batch priced fused because the monitor disengaged.
+
+        When the fused window closes, the re-probe opens with the low
+        streak primed at ``patience − 1``: the single probe batch
+        decides alone — still cold disengages again immediately,
+        healthy resets the streak and stays engaged — so a
+        persistently hostile run pays one dedup batch per
+        ``reprobe_period``, not ``patience`` of them.
+        """
+        if self._fused_remaining == 0:
+            return
+        self._batches_fused += 1
+        self._fused_remaining -= 1
+        if self._fused_remaining == 0:
+            self._reprobes += 1
+            self._low_streak = self._patience - 1

@@ -1,0 +1,558 @@
+"""The ``repro tune`` microbenchmarks: measure thresholds, not guess them.
+
+Each probe times the two contenders behind one hot-path decision on
+*this* machine and derives the threshold from where the measured
+curves cross (FFTW-style measure-then-dispatch):
+
+* :func:`probe_kernel_crossover` — the batched fitness under the
+  ``gemm`` vs ``bitpack`` kernel across distinct-table sizes, for
+  narrow (one fused lane word) and wide (K > 64) blocks → the
+  ``bitpack_min_distinct`` / ``bitpack_wide_min_distinct`` auto
+  cutovers;
+* :func:`probe_mv_dedup` — the fused kernels vs the unique-MV dedup
+  path on convergent (high-duplicate) batches across (C, D) → the
+  ``mv_dedup_min_*`` engagement shapes, plus the feedback monitor's
+  break-even hit rate from the measured fused / cold / warm timings;
+* :func:`probe_shard_size` — the bitpack kernel across candidate
+  D-axis shard sizes → ``bitpack_shard_size`` (``None`` when the
+  kernel's cache-budget autosizing wins);
+* :func:`probe_huffman_lockstep` — per-row vs lockstep two-queue
+  Huffman totals across batch row counts → ``huffman_lockstep_min_rows``.
+
+Every probe takes an injectable ``timer`` (default
+:func:`time.perf_counter`); given the same timer readings the derived
+profile is a pure function of them, which is how the test suite pins
+probe determinism with a scripted clock.  Probe workloads are seeded,
+so the *work* is identical run to run too.
+
+All derived thresholds are semantically inert — they move the wall
+clock, never a result — so a bad probe on a noisy machine can cost
+speed but can never corrupt an experiment.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from datetime import datetime, timezone
+
+import numpy as np
+
+from ..core.blocks import BlockSet, pack_bits_to_words
+from ..core.fitness import DEFAULT_MV_CACHE_SIZE, BatchCompressionRateFitness
+from ..core.kernels import BitpackKernel
+from ..core.trits import DC
+from ..ea.genome import random_genome
+from .profile import TuningProfile, current_fingerprint
+
+__all__ = [
+    "crossover_point",
+    "probe_huffman_lockstep",
+    "probe_kernel_crossover",
+    "probe_mv_dedup",
+    "probe_shard_size",
+    "run_probes",
+    "tuning_summary",
+]
+
+Timer = Callable[[], float]
+
+# Forces the dedup path on for any shape (for timing it below its
+# default engagement floor); forces nothing semantically.
+_DEDUP_ALWAYS = TuningProfile(
+    mv_dedup_min_genomes=1, mv_dedup_min_table=1, mv_dedup_min_distinct=1
+)
+# Pins the shipped defaults regardless of any process-wide active
+# profile, so probing is not skewed by the profile being replaced.
+_BASELINE = TuningProfile()
+
+
+def _probe_blocks(
+    n_distinct: int, block_length: int, rng: np.random.Generator
+) -> BlockSet:
+    """A fully-specified distinct-block table of an exact size.
+
+    Fully specified blocks make ``n_distinct`` exact (the probe's
+    x-axis) and are timing-representative: kernel match work is dense
+    integer/float arithmetic whose cost does not depend on block
+    content, and the pinned all-U MV keeps every covering complete.
+    """
+    if block_length <= 20:
+        if n_distinct > 1 << block_length:
+            raise ValueError(
+                f"cannot build {n_distinct} distinct K={block_length} blocks"
+            )
+        values = rng.choice(
+            1 << block_length, size=n_distinct, replace=False
+        ).astype(np.uint64)
+        mask = np.uint64((1 << block_length) - 1)
+        ones = values & mask
+        zeros = ~values & mask
+    else:
+        bits = rng.integers(0, 2, size=(n_distinct, block_length), dtype=np.uint8)
+        ones = pack_bits_to_words(bits == 1)
+        zeros = pack_bits_to_words(bits == 0)
+    counts = rng.integers(1, 5, size=n_distinct).astype(np.int64)
+    return BlockSet(
+        block_length=block_length,
+        original_bits=int(counts.sum()) * block_length,
+        ones=ones,
+        zeros=zeros,
+        counts=counts,
+        sequence=np.repeat(
+            np.arange(n_distinct, dtype=np.int32), counts
+        ),
+    )
+
+
+def _probe_genomes(
+    n_genomes: int, n_vectors: int, block_length: int, rng: np.random.Generator
+) -> np.ndarray:
+    genomes = np.stack(
+        [random_genome(n_vectors * block_length, rng) for _ in range(n_genomes)]
+    )
+    genomes[:, -block_length:] = DC  # pinned all-U MV: coverings complete
+    return genomes
+
+
+def _convergent_genomes(
+    n_genomes: int,
+    n_vectors: int,
+    block_length: int,
+    rng: np.random.Generator,
+    n_parents: int = 8,
+    mutated_genes: int = 3,
+) -> np.ndarray:
+    """Copy+mutate offspring of a few parents — the late-run EA regime
+    the MV dedup path is built for (mirrors the bench's convergent
+    workload)."""
+    parents = _probe_genomes(n_parents, n_vectors, block_length, rng)
+    rows = []
+    for index in range(n_genomes):
+        child = parents[index % n_parents].copy()
+        sites = rng.integers(0, (n_vectors - 1) * block_length, size=mutated_genes)
+        child[sites] = rng.integers(0, 3, size=mutated_genes)
+        rows.append(child)
+    return np.stack(rows)
+
+
+def _best_seconds(function, repeats: int, timer: Timer) -> float:
+    """Best-of-N wall time through the injectable clock."""
+    function()  # warm allocations, caches, lazy kernel resolution
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = timer()
+        function()
+        best = min(best, timer() - start)
+    return best
+
+
+def crossover_point(
+    points: Sequence[tuple[int, float, float]],
+) -> int | None:
+    """Smallest x from which the challenger beats the incumbent *and
+    keeps winning* through the largest probed x.
+
+    ``points`` are ``(x, incumbent_seconds, challenger_seconds)``.
+    Requiring the win to persist to the end of the probed range makes
+    the decision robust to a single noisy point in the middle; a
+    challenger that loses at the largest x yields ``None`` (no safe
+    crossover was observed).
+    """
+    best = None
+    for x, incumbent, challenger in sorted(points, reverse=True):
+        if challenger <= incumbent:
+            best = x
+        else:
+            break
+    return best
+
+
+def _fallback_threshold(max_probed: int) -> int:
+    # The challenger never won inside the probed range; engage it only
+    # well past the measured evidence.
+    return 2 * max_probed
+
+
+# -- probes -----------------------------------------------------------
+
+
+def probe_kernel_crossover(
+    quick: bool = False,
+    repeats: int = 3,
+    timer: Timer = time.perf_counter,
+) -> tuple[int, int, dict[str, float]]:
+    """(bitpack_min_distinct, bitpack_wide_min_distinct, measurements)."""
+    measurements: dict[str, float] = {}
+
+    def sweep(block_length, n_vectors, batch, d_values, tag):
+        points = []
+        for n_distinct in d_values:
+            rng = np.random.default_rng(1000 + n_distinct + block_length)
+            blocks = _probe_blocks(n_distinct, block_length, rng)
+            genomes = _probe_genomes(batch, n_vectors, block_length, rng)
+            seconds = {}
+            for kernel in ("gemm", "bitpack"):
+                fitness = BatchCompressionRateFitness(
+                    blocks,
+                    n_vectors=n_vectors,
+                    block_length=block_length,
+                    kernel=kernel,
+                    mv_cache_size=0,
+                    tuning=_BASELINE,
+                )
+                seconds[kernel] = _best_seconds(
+                    lambda f=fitness: f.evaluate_batch(genomes), repeats, timer
+                )
+                measurements[f"{tag}/d{n_distinct}/{kernel}"] = seconds[kernel]
+            points.append((n_distinct, seconds["gemm"], seconds["bitpack"]))
+        crossover = crossover_point(points)
+        return crossover if crossover is not None else _fallback_threshold(
+            max(d_values)
+        )
+
+    narrow_ds = (128, 256, 512, 1024) if quick else (64, 128, 256, 512, 1024, 2048)
+    wide_ds = (256, 512, 1024) if quick else (256, 512, 1024, 2048, 4096)
+    narrow = sweep(12, 32, 32, narrow_ds, "kernel_narrow")
+    wide = sweep(96, 16, 16, wide_ds, "kernel_wide")
+    return narrow, wide, measurements
+
+
+def probe_mv_dedup(
+    quick: bool = False,
+    repeats: int = 3,
+    timer: Timer = time.perf_counter,
+) -> tuple[int, int, int, float, dict[str, float]]:
+    """(min_genomes, min_table, min_distinct, feedback_min_hit_rate,
+    measurements)."""
+    measurements: dict[str, float] = {}
+    block_length, n_vectors = 12, 32
+
+    def fitness(blocks, mv_cache_size, tuning):
+        return BatchCompressionRateFitness(
+            blocks,
+            n_vectors=n_vectors,
+            block_length=block_length,
+            mv_cache_size=mv_cache_size,
+            tuning=tuning,
+            mv_feedback=False,  # probe the paths, not the monitor
+        )
+
+    def contenders(n_distinct, batch, tag):
+        rng = np.random.default_rng(2000 + n_distinct + batch)
+        blocks = _probe_blocks(n_distinct, block_length, rng)
+        genomes = _convergent_genomes(batch, n_vectors, block_length, rng)
+        fused = fitness(blocks, 0, _BASELINE)
+        deduped = fitness(blocks, DEFAULT_MV_CACHE_SIZE, _DEDUP_ALWAYS)
+        deduped.evaluate_batch(genomes)  # warm the MV cache
+        fused_s = _best_seconds(
+            lambda: fused.evaluate_batch(genomes), repeats, timer
+        )
+        dedup_s = _best_seconds(
+            lambda: deduped.evaluate_batch(genomes), repeats, timer
+        )
+        measurements[f"{tag}/fused"] = fused_s
+        measurements[f"{tag}/dedup"] = dedup_s
+        return fused_s, dedup_s
+
+    # Table floor at generation scale (C = 32).
+    d_values = (128, 256, 512, 1024) if quick else (128, 256, 512, 1024, 2048)
+    table_points = []
+    for n_distinct in d_values:
+        fused_s, dedup_s = contenders(n_distinct, 32, f"dedup_table/d{n_distinct}")
+        table_points.append((n_distinct, fused_s, dedup_s))
+    min_table = crossover_point(table_points)
+    min_table = (
+        min_table if min_table is not None else _fallback_threshold(max(d_values))
+    )
+
+    # Generation floor at a mid-size table.
+    c_values = (2, 4, 8, 16, 32)
+    d_mid = 1024 if quick else 2048
+    genome_points = []
+    for batch in c_values:
+        fused_s, dedup_s = contenders(d_mid, batch, f"dedup_genomes/c{batch}")
+        genome_points.append((batch, fused_s, dedup_s))
+    min_genomes = crossover_point(genome_points)
+    min_genomes = (
+        min_genomes
+        if min_genomes is not None
+        else _fallback_threshold(max(c_values))
+    )
+
+    # Any-batch floor: tiny post-memo batches (C = 2) across tables.
+    tiny_points = []
+    for n_distinct in d_values:
+        fused_s, dedup_s = contenders(n_distinct, 2, f"dedup_tiny/d{n_distinct}")
+        tiny_points.append((n_distinct, fused_s, dedup_s))
+    min_distinct = crossover_point(tiny_points)
+    min_distinct = (
+        min_distinct
+        if min_distinct is not None
+        else _fallback_threshold(max(d_values))
+    )
+
+    # Feedback break-even: fused vs dedup at ~0% (cold) and at the
+    # measured warm hit rate; linear interpolation in the hit rate
+    # gives the rate at which dedup time equals fused time.
+    rng = np.random.default_rng(3000)
+    blocks = _probe_blocks(d_mid, block_length, rng)
+    warm_batch = _convergent_genomes(32, n_vectors, block_length, rng)
+    fused = fitness(blocks, 0, _BASELINE)
+    fused_s = _best_seconds(
+        lambda: fused.evaluate_batch(warm_batch), repeats, timer
+    )
+    warm = fitness(blocks, DEFAULT_MV_CACHE_SIZE, _DEDUP_ALWAYS)
+    warm.evaluate_batch(warm_batch)  # cold fill, outside the timing
+    hits_before, misses_before = warm.mv_cache.hits, warm.mv_cache.misses
+    warm_s = _best_seconds(
+        lambda: warm.evaluate_batch(warm_batch), repeats, timer
+    )
+    hits = warm.mv_cache.hits - hits_before
+    misses = warm.mv_cache.misses - misses_before
+    lookups = hits + misses
+    warm_hit_rate = hits / lookups if lookups else 1.0
+
+    cold = fitness(blocks, DEFAULT_MV_CACHE_SIZE, _DEDUP_ALWAYS)
+
+    def cold_batch():
+        cold.evaluate_batch(
+            _probe_genomes(32, n_vectors, block_length, rng)
+        )
+
+    cold_s = _best_seconds(cold_batch, repeats, timer)
+    measurements["dedup_feedback/fused"] = fused_s
+    measurements["dedup_feedback/warm"] = warm_s
+    measurements["dedup_feedback/cold"] = cold_s
+    measurements["dedup_feedback/warm_hit_rate"] = warm_hit_rate
+    if cold_s <= fused_s:
+        min_hit_rate = 0.05  # dedup wins even stone-cold: barely ever veto
+    elif warm_s >= fused_s:
+        min_hit_rate = 0.95  # dedup loses even warm: veto aggressively
+    else:
+        min_hit_rate = (
+            warm_hit_rate * (cold_s - fused_s) / (cold_s - warm_s)
+        )
+        min_hit_rate = float(min(0.95, max(0.05, min_hit_rate)))
+    return min_genomes, min_table, min_distinct, min_hit_rate, measurements
+
+
+def probe_shard_size(
+    quick: bool = False,
+    repeats: int = 3,
+    timer: Timer = time.perf_counter,
+) -> tuple[int | None, dict[str, float]]:
+    """(bitpack_shard_size or None for autosizing, measurements)."""
+    measurements: dict[str, float] = {}
+    block_length, n_vectors, batch = 12, 32, 32
+    n_distinct = 2048 if quick else 4096
+    rng = np.random.default_rng(4000)
+    blocks = _probe_blocks(n_distinct, block_length, rng)
+    genomes = _probe_genomes(batch, n_vectors, block_length, rng)
+    candidates: list[int | None] = [None, 256, 512, 1024, 2048]
+    seconds: dict[int | None, float] = {}
+    for shard_size in candidates:
+        fitness = BatchCompressionRateFitness(
+            blocks,
+            n_vectors=n_vectors,
+            block_length=block_length,
+            kernel=BitpackKernel(shard_size=shard_size),
+            mv_cache_size=0,
+            tuning=_BASELINE,
+        )
+        seconds[shard_size] = _best_seconds(
+            lambda f=fitness: f.evaluate_batch(genomes), repeats, timer
+        )
+        label = "auto" if shard_size is None else str(shard_size)
+        measurements[f"shard/{label}"] = seconds[shard_size]
+    best = min(candidates, key=lambda size: seconds[size])
+    # Prefer autosizing unless an explicit shard is a real (>2%) win —
+    # autosizing adapts to future table sizes, a pinned number cannot.
+    if best is not None and seconds[best] > 0.98 * seconds[None]:
+        best = None
+    return best, measurements
+
+
+def probe_huffman_lockstep(
+    quick: bool = False,
+    repeats: int = 3,
+    timer: Timer = time.perf_counter,
+) -> tuple[int, dict[str, float]]:
+    """(huffman_lockstep_min_rows, measurements)."""
+    from ..coding.huffman import huffman_total_bits_batch
+
+    measurements: dict[str, float] = {}
+    n_symbols = 64
+    row_values = (16, 32, 64, 96, 128) if quick else (16, 32, 64, 96, 128, 192, 256)
+    rng = np.random.default_rng(5000)
+    points = []
+    for n_rows in row_values:
+        freqs = rng.integers(0, 50, size=(n_rows, n_symbols))
+        per_row = _best_seconds(
+            lambda f=freqs: huffman_total_bits_batch(
+                f, lockstep_min_rows=1 << 30
+            ),
+            repeats,
+            timer,
+        )
+        lockstep = _best_seconds(
+            lambda f=freqs: huffman_total_bits_batch(f, lockstep_min_rows=1),
+            repeats,
+            timer,
+        )
+        measurements[f"huffman/r{n_rows}/per_row"] = per_row
+        measurements[f"huffman/r{n_rows}/lockstep"] = lockstep
+        points.append((n_rows, per_row, lockstep))
+    crossover = crossover_point(points)
+    return (
+        crossover if crossover is not None else _fallback_threshold(max(row_values))
+    ), measurements
+
+
+def _timing_signature(timer: Timer) -> tuple[float, float]:
+    """(gemm_us, bitand_us) — the fingerprint's dtype timing signature."""
+    rng = np.random.default_rng(6000)
+    a = rng.random((256, 256), dtype=np.float32)
+    b = rng.random((256, 256), dtype=np.float32)
+    gemm_s = _best_seconds(lambda: a @ b, 3, timer)
+    words = rng.integers(0, 1 << 62, size=1 << 18, dtype=np.uint64)
+    bitand_s = _best_seconds(lambda: words & words[0], 3, timer)
+    return round(gemm_s * 1e6, 3), round(bitand_s * 1e6, 3)
+
+
+def run_probes(
+    quick: bool = False,
+    repeats: int = 3,
+    timer: Timer = time.perf_counter,
+    progress: Callable[[str], None] | None = None,
+    created: str | None = None,
+) -> TuningProfile:
+    """Run every probe and assemble the machine's :class:`TuningProfile`.
+
+    Pure given the timer's readings and the fixed probe seeds: the
+    same measurements produce the same profile (the determinism tests
+    drive this with a scripted clock).  Unprobed thresholds
+    (``scalar_max_work``, the feedback patience/reprobe cadence) keep
+    the shipped defaults.
+    """
+    started = timer()
+    measurements: dict[str, float] = {}
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    note("probing gemm-vs-bitpack crossover ...")
+    narrow, wide, kernel_measured = probe_kernel_crossover(quick, repeats, timer)
+    measurements.update(kernel_measured)
+    note(f"  bitpack from D>={narrow} (narrow), D>={wide} (wide)")
+
+    note("probing MV-dedup engagement break-even ...")
+    (
+        min_genomes,
+        min_table,
+        min_distinct,
+        min_hit_rate,
+        dedup_measured,
+    ) = probe_mv_dedup(quick, repeats, timer)
+    measurements.update(dedup_measured)
+    note(
+        f"  dedup from C>={min_genomes} at D>={min_table}, "
+        f"any batch at D>={min_distinct}; break-even hit rate "
+        f"{min_hit_rate:.2f}"
+    )
+
+    note("probing bitpack shard size ...")
+    shard_size, shard_measured = probe_shard_size(quick, repeats, timer)
+    measurements.update(shard_measured)
+    note(f"  shard_size={'auto' if shard_size is None else shard_size}")
+
+    note("probing Huffman lockstep cutover ...")
+    lockstep_rows, huffman_measured = probe_huffman_lockstep(
+        quick, repeats, timer
+    )
+    measurements.update(huffman_measured)
+    note(f"  lockstep from {lockstep_rows} rows")
+
+    gemm_us, bitand_us = _timing_signature(timer)
+    defaults = TuningProfile()
+    return TuningProfile(
+        fingerprint=current_fingerprint(gemm_us=gemm_us, bitand_us=bitand_us),
+        bitpack_min_distinct=narrow,
+        bitpack_wide_min_distinct=wide,
+        scalar_max_work=defaults.scalar_max_work,
+        mv_dedup_min_genomes=min_genomes,
+        mv_dedup_min_table=min_table,
+        mv_dedup_min_distinct=min_distinct,
+        bitpack_shard_size=shard_size,
+        huffman_lockstep_min_rows=lockstep_rows,
+        mv_feedback_min_hit_rate=round(min_hit_rate, 3),
+        mv_feedback_patience=defaults.mv_feedback_patience,
+        mv_feedback_reprobe_period=defaults.mv_feedback_reprobe_period,
+        source=f"repro tune ({'quick' if quick else 'full'}, repeats={repeats})",
+        created=(
+            created
+            if created is not None
+            else datetime.now(timezone.utc).isoformat(timespec="seconds")
+        ),
+        probe_seconds=round(timer() - started, 3),
+        measurements=tuple(
+            sorted((name, round(value, 9)) for name, value in measurements.items())
+        ),
+    )
+
+
+def tuning_summary(
+    profile: TuningProfile,
+    quick: bool = False,
+    repeats: int = 3,
+    timer: Timer = time.perf_counter,
+) -> list[dict]:
+    """Before/after genomes/s of the full default pipeline.
+
+    Prices one convergent generation batch end to end (``auto``
+    kernel, MV cache and feedback at their defaults) under the shipped
+    defaults and under ``profile`` — the number ``repro tune`` prints
+    after writing, so the operator sees what the profile actually buys
+    on this machine.  Results are asserted identical: tuning moves
+    only the clock.
+    """
+    shapes = {
+        "medium": (768 if quick else 860, 12, 32, 32),
+        "large": (2048 if quick else 3300, 12, 64, 32),
+    }
+    rows = []
+    for name, (n_distinct, block_length, n_vectors, batch) in shapes.items():
+        rng = np.random.default_rng(7000 + n_distinct)
+        blocks = _probe_blocks(n_distinct, block_length, rng)
+        genomes = _convergent_genomes(batch, n_vectors, block_length, rng)
+
+        def throughput(tuning):
+            fitness = BatchCompressionRateFitness(
+                blocks,
+                n_vectors=n_vectors,
+                block_length=block_length,
+                tuning=tuning,
+            )
+            rates = fitness.evaluate_batch(genomes)  # warm cache + kernel
+            seconds = _best_seconds(
+                lambda: fitness.evaluate_batch(genomes), repeats, timer
+            )
+            return batch / seconds, rates
+
+        default_gps, default_rates = throughput(_BASELINE)
+        tuned_gps, tuned_rates = throughput(profile)
+        assert (default_rates == tuned_rates).all(), (
+            "tuning changed results; profiles must be semantically inert"
+        )
+        rows.append(
+            {
+                "workload": name,
+                "n_distinct_blocks": n_distinct,
+                "batch_size": batch,
+                "default_genomes_per_second": round(default_gps, 1),
+                "tuned_genomes_per_second": round(tuned_gps, 1),
+                "speedup_tuned_vs_default": round(tuned_gps / default_gps, 2),
+            }
+        )
+    return rows

@@ -248,3 +248,124 @@ class TestJobsSmoke:
         serial = capsys.readouterr().out
         assert main(["compress", path, *self.ARGS, "--jobs", "2"]) == 0
         assert capsys.readouterr().out == serial
+
+
+class TestTuningFlags:
+    """--profile / --mv-feedback on every command, plus `repro tune`."""
+
+    EVERY_COMMAND = (
+        ["table1"],
+        ["table2"],
+        ["compress", "file.txt"],
+        ["atpg", "c17"],
+        ["ablate", "kl"],
+        ["report"],
+    )
+
+    def test_profile_defaults_to_none(self):
+        for argv in self.EVERY_COMMAND:
+            assert build_parser().parse_args(argv).profile is None
+
+    def test_profile_path_parsed(self, tmp_path):
+        from pathlib import Path
+
+        arguments = build_parser().parse_args(
+            ["table1", "--profile", str(tmp_path / "p.json")]
+        )
+        assert arguments.profile == Path(tmp_path / "p.json")
+
+    def test_mv_feedback_defaults_to_auto(self):
+        for argv in self.EVERY_COMMAND:
+            assert build_parser().parse_args(argv).mv_feedback == "auto"
+
+    def test_mv_feedback_choices(self):
+        for choice in ("auto", "on", "off"):
+            arguments = build_parser().parse_args(
+                ["compress", "file.txt", "--mv-feedback", choice]
+            )
+            assert arguments.mv_feedback == choice
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--mv-feedback", "maybe"])
+
+    def test_tune_parser_defaults(self):
+        arguments = build_parser().parse_args(["tune"])
+        assert arguments.command == "tune"
+        assert arguments.profile is None
+        assert not arguments.quick
+        assert arguments.repeats == 3
+
+    def test_flags_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--profile" in help_text
+        assert "--mv-feedback" in help_text
+        assert "repro tune" in help_text
+
+    def test_tune_documented_in_top_level_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        assert "tune" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_tune_writes_a_loadable_profile(self, tmp_path, capsys):
+        from repro.tuning.profile import load_profile
+
+        path = tmp_path / "profile.json"
+        assert (
+            main(
+                ["tune", "--quick", "--repeats", "1", "--no-summary",
+                 "--profile", str(path)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"wrote {path}" in out
+        profile = load_profile(path)  # valid for this machine
+        assert profile.source.startswith("repro tune")
+
+    def test_missing_profile_warns_and_still_runs(self, tmp_path, capsys):
+        path = tmp_path / "patterns.txt"
+        path.write_text(
+            "\n".join(["11001100XXXX", "110011001111", "XXXX11001100"] * 6)
+        )
+        args = ["compress", str(path), "--k", "4", "--l", "6", "--runs", "1",
+                "--stagnation", "5", "--max-evaluations", "120", "--seed", "3"]
+        assert main(args) == 0
+        baseline = capsys.readouterr().out
+        assert (
+            main([*args, "--profile", str(tmp_path / "absent.json")]) == 0
+        )
+        captured = capsys.readouterr()
+        assert captured.out == baseline  # fell back to shipped defaults
+        assert "ignoring tuning profile" in captured.err
+
+    @pytest.mark.slow
+    def test_compress_profile_and_feedback_output_matches_default(
+        self, tmp_path, capsys
+    ):
+        from repro.tuning.probes import run_probes
+        from repro.tuning.profile import save_profile
+
+        profile_path = save_profile(
+            run_probes(quick=True, repeats=1), tmp_path / "tuned.json"
+        )
+        path = tmp_path / "patterns.txt"
+        path.write_text(
+            "\n".join(["11001100XXXX", "110011001111", "XXXX11001100"] * 6)
+        )
+        args = ["compress", str(path), "--k", "4", "--l", "6", "--runs", "1",
+                "--stagnation", "5", "--max-evaluations", "120", "--seed", "3"]
+        outputs = {}
+        for label, extra in {
+            "default": [],
+            "tuned": ["--profile", str(profile_path)],
+            "feedback-on": ["--mv-feedback", "on"],
+            "feedback-off": ["--mv-feedback", "off"],
+            "tuned-feedback-off": [
+                "--profile", str(profile_path), "--mv-feedback", "off"
+            ],
+        }.items():
+            assert main([*args, *extra]) == 0
+            outputs[label] = capsys.readouterr().out
+        assert len(set(outputs.values())) == 1  # byte-identical output

@@ -1,0 +1,119 @@
+"""The MVCacheFeedback engagement state machine."""
+
+import pytest
+
+from repro.tuning.feedback import MVCacheFeedback
+
+
+class TestValidation:
+    def test_rejects_bad_hit_rate(self):
+        with pytest.raises(ValueError, match="min_hit_rate"):
+            MVCacheFeedback(min_hit_rate=-0.1)
+
+    def test_rejects_bad_patience(self):
+        with pytest.raises(ValueError, match="patience"):
+            MVCacheFeedback(patience=0)
+
+    def test_rejects_bad_reprobe_period(self):
+        with pytest.raises(ValueError, match="reprobe_period"):
+            MVCacheFeedback(reprobe_period=0)
+
+
+class TestEngagement:
+    def test_starts_engaged(self):
+        assert MVCacheFeedback().engaged
+
+    def test_disengages_after_patience_consecutive_low_batches(self):
+        monitor = MVCacheFeedback(min_hit_rate=0.5, patience=3)
+        monitor.observe(hits=0, misses=10)
+        monitor.observe(hits=0, misses=10)
+        assert monitor.engaged  # 2 < patience
+        monitor.observe(hits=0, misses=10)
+        assert not monitor.engaged
+        assert monitor.stats.disengagements == 1
+
+    def test_healthy_batch_resets_the_streak(self):
+        monitor = MVCacheFeedback(min_hit_rate=0.5, patience=2)
+        monitor.observe(hits=0, misses=10)
+        monitor.observe(hits=9, misses=1)  # healthy: streak resets
+        monitor.observe(hits=0, misses=10)
+        assert monitor.engaged
+        assert monitor.stats.low_streak == 1
+
+    def test_boundary_hit_rate_counts_as_healthy(self):
+        monitor = MVCacheFeedback(min_hit_rate=0.5, patience=1)
+        monitor.observe(hits=5, misses=5)  # exactly at break-even
+        assert monitor.engaged
+
+    def test_empty_batch_counts_as_healthy(self):
+        monitor = MVCacheFeedback(min_hit_rate=0.9, patience=1)
+        monitor.observe(hits=0, misses=0)
+        assert monitor.engaged
+
+
+class TestReprobe:
+    def test_reengages_after_reprobe_period_fused_batches(self):
+        monitor = MVCacheFeedback(min_hit_rate=0.5, patience=1, reprobe_period=3)
+        monitor.observe(hits=0, misses=10)
+        assert not monitor.engaged
+        monitor.tick_fused()
+        monitor.tick_fused()
+        assert not monitor.engaged
+        monitor.tick_fused()
+        assert monitor.engaged  # re-probe window opens
+        stats = monitor.stats
+        assert stats.reprobes == 1
+        assert stats.batches_fused == 3
+
+    def test_reprobe_can_disengage_again(self):
+        monitor = MVCacheFeedback(min_hit_rate=0.5, patience=1, reprobe_period=1)
+        monitor.observe(hits=0, misses=10)
+        monitor.tick_fused()
+        assert monitor.engaged
+        monitor.observe(hits=0, misses=10)  # the probe batch is still cold
+        assert not monitor.engaged
+        assert monitor.stats.disengagements == 2
+
+    def test_single_probe_batch_is_decisive_even_with_patience(self):
+        # The re-probe window opens with the low streak primed at
+        # patience - 1: one still-cold probe batch disengages again
+        # immediately — a hostile run pays one dedup batch per
+        # reprobe_period, not `patience` of them.
+        monitor = MVCacheFeedback(min_hit_rate=0.5, patience=3, reprobe_period=2)
+        for _ in range(3):
+            monitor.observe(hits=0, misses=10)
+        assert not monitor.engaged
+        monitor.tick_fused()
+        monitor.tick_fused()
+        assert monitor.engaged
+        monitor.observe(hits=0, misses=10)  # the single probe batch
+        assert not monitor.engaged
+        assert monitor.stats.disengagements == 2
+
+    def test_reprobe_can_stay_engaged_when_warm(self):
+        monitor = MVCacheFeedback(min_hit_rate=0.5, patience=1, reprobe_period=1)
+        monitor.observe(hits=0, misses=10)
+        monitor.tick_fused()
+        monitor.observe(hits=10, misses=0)  # converged: the probe hits
+        assert monitor.engaged
+
+    def test_tick_fused_is_noop_while_engaged(self):
+        monitor = MVCacheFeedback()
+        monitor.tick_fused()
+        assert monitor.stats.batches_fused == 0
+        assert monitor.engaged
+
+
+class TestStats:
+    def test_counters_accumulate(self):
+        monitor = MVCacheFeedback(min_hit_rate=0.5, patience=2, reprobe_period=2)
+        for _ in range(2):
+            monitor.observe(hits=0, misses=4)
+        monitor.tick_fused()
+        monitor.tick_fused()
+        stats = monitor.stats
+        assert stats.batches_observed == 2
+        assert stats.batches_fused == 2
+        assert stats.disengagements == 1
+        assert stats.reprobes == 1
+        assert stats.engaged

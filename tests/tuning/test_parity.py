@@ -1,0 +1,249 @@
+"""Seeded byte-parity: tuning profiles and feedback never change results.
+
+The acceptance property of the whole subsystem — every threshold a
+profile can move, and every decision the feedback monitor can take, is
+semantically inert.  These tests pin it at three layers: one batched
+fitness call, a full seeded EA run, and the engagement bookkeeping
+itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CompressionConfig, EAParameters
+from repro.core.fitness import BatchCompressionRateFitness
+from repro.core.kernels import BitpackKernel, resolve_kernel, select_kernel_name
+from repro.core.optimizer import EAMVOptimizer
+from repro.ea.genome import random_genome
+from repro.testdata.synthetic import SyntheticSpec, synthetic_test_set
+from repro.tuning.feedback import MVCacheFeedback
+from repro.tuning.profile import TuningProfile, use_profile
+
+KERNELS = ("gemm", "bitpack", "scalar")
+
+# Thresholds shifted hard in both directions: everything engages
+# everywhere / nothing engages anywhere.  If any threshold leaked into
+# results, one of these would break parity.
+EAGER_PROFILE = TuningProfile(
+    bitpack_min_distinct=1,
+    bitpack_wide_min_distinct=1,
+    scalar_max_work=1,
+    mv_dedup_min_genomes=1,
+    mv_dedup_min_table=1,
+    mv_dedup_min_distinct=1,
+    bitpack_shard_size=16,
+    huffman_lockstep_min_rows=1,
+    mv_feedback_min_hit_rate=0.05,
+)
+LAZY_PROFILE = TuningProfile(
+    bitpack_min_distinct=1 << 30,
+    bitpack_wide_min_distinct=1 << 30,
+    scalar_max_work=1 << 30,
+    mv_dedup_min_genomes=1 << 30,
+    mv_dedup_min_table=1 << 30,
+    mv_dedup_min_distinct=1 << 30,
+    huffman_lockstep_min_rows=1 << 30,
+    mv_feedback_min_hit_rate=0.95,
+    mv_feedback_patience=1,
+    mv_feedback_reprobe_period=2,
+)
+
+
+def small_workload():
+    spec = SyntheticSpec(
+        name="tuning-parity", n_patterns=24, pattern_bits=36,
+        care_density=0.55, seed=11,
+    )
+    blocks = synthetic_test_set(spec).blocks(6)
+    rng = np.random.default_rng(17)
+    genomes = np.stack([random_genome(8 * 6, rng) for _ in range(24)])
+    genomes[:, -6:] = 2  # pinned all-U MV
+    return blocks, genomes
+
+
+class TestBatchParity:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("profile", [None, EAGER_PROFILE, LAZY_PROFILE])
+    def test_profiles_never_move_rates(self, kernel, profile):
+        blocks, genomes = small_workload()
+        reference = BatchCompressionRateFitness(
+            blocks, n_vectors=8, block_length=6, mv_cache_size=0,
+        ).evaluate_batch(genomes)
+        tuned = BatchCompressionRateFitness(
+            blocks, n_vectors=8, block_length=6,
+            kernel=kernel, tuning=profile,
+        ).evaluate_batch(genomes)
+        assert (tuned == reference).all()
+
+    @pytest.mark.parametrize("mv_feedback", [None, True, False])
+    def test_feedback_modes_never_move_rates(self, mv_feedback):
+        blocks, genomes = small_workload()
+        reference = BatchCompressionRateFitness(
+            blocks, n_vectors=8, block_length=6, mv_cache_size=0,
+        ).evaluate_batch(genomes)
+        fitness = BatchCompressionRateFitness(
+            blocks, n_vectors=8, block_length=6,
+            tuning=EAGER_PROFILE, mv_feedback=mv_feedback,
+        )
+        for _ in range(3):  # repeated generations: warm, maybe disengage
+            assert (fitness.evaluate_batch(genomes) == reference).all()
+
+    def test_active_profile_is_parity_safe_too(self):
+        blocks, genomes = small_workload()
+        reference = BatchCompressionRateFitness(
+            blocks, n_vectors=8, block_length=6, mv_cache_size=0,
+        ).evaluate_batch(genomes)
+        with use_profile(EAGER_PROFILE):
+            ambient = BatchCompressionRateFitness(
+                blocks, n_vectors=8, block_length=6,
+            )
+            assert ambient.tuning is EAGER_PROFILE
+            assert (ambient.evaluate_batch(genomes) == reference).all()
+
+
+class TestSeededRunParity:
+    CONFIG = dict(
+        block_length=6, n_vectors=8, runs=2,
+        ea=EAParameters(
+            population_size=6, children_per_generation=4,
+            stagnation_limit=8, max_evaluations=250,
+        ),
+    )
+
+    def run_result(self, **overrides):
+        spec = SyntheticSpec(
+            name="tuning-run-parity", n_patterns=30, pattern_bits=30,
+            care_density=0.5, seed=5,
+        )
+        blocks = synthetic_test_set(spec).blocks(6)
+        config = CompressionConfig(**{**self.CONFIG, **overrides})
+        return EAMVOptimizer(config, seed=99).optimize(blocks)
+
+    def digest(self, result):
+        return [
+            (run.rate, run.mv_set.to_genome().tobytes())
+            for run in result.runs
+        ]
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_profiles_and_feedback_do_not_move_seeded_runs(self, kernel):
+        reference = self.digest(self.run_result())
+        variants = [
+            dict(kernel=kernel, tuning=EAGER_PROFILE),
+            dict(kernel=kernel, tuning=LAZY_PROFILE),
+            dict(kernel=kernel, mv_feedback=True),
+            dict(kernel=kernel, mv_feedback=False),
+            dict(kernel=kernel, tuning=EAGER_PROFILE, mv_feedback=True),
+            dict(kernel=kernel, tuning=LAZY_PROFILE, mv_feedback=False),
+        ]
+        for overrides in variants:
+            assert self.digest(self.run_result(**overrides)) == reference, (
+                f"seeded run diverged under {overrides}"
+            )
+
+
+class TestThresholdPlumbing:
+    """Profiles must actually steer the decisions they claim to steer."""
+
+    def test_select_kernel_honors_profile(self):
+        # Shape that defaults route to bitpack (narrow lanes, D >= 256).
+        assert select_kernel_name(32, 1024, 32, 12) == "bitpack"
+        assert (
+            select_kernel_name(32, 1024, 32, 12, profile=LAZY_PROFILE)
+            == "gemm"
+        )
+        assert select_kernel_name(32, 64, 32, 12) == "gemm"
+        assert (
+            select_kernel_name(32, 64, 32, 12, profile=EAGER_PROFILE)
+            == "bitpack"
+        )
+
+    def test_select_kernel_honors_active_profile(self):
+        with use_profile(LAZY_PROFILE):
+            assert select_kernel_name(32, 1024, 32, 12) == "gemm"
+        assert select_kernel_name(32, 1024, 32, 12) == "bitpack"
+
+    def test_resolve_kernel_applies_profile_shard_size(self):
+        kernel = resolve_kernel("bitpack", 32, 4096, 32, 12, profile=EAGER_PROFILE)
+        assert isinstance(kernel, BitpackKernel)
+        assert kernel._shard_size == 16
+        untouched = resolve_kernel("bitpack", 32, 4096, 32, 12, profile=None)
+        assert untouched._shard_size is None
+
+    def test_dedup_engagement_honors_profile(self):
+        blocks, genomes = small_workload()
+        eager = BatchCompressionRateFitness(
+            blocks, n_vectors=8, block_length=6, tuning=EAGER_PROFILE,
+        )
+        eager.evaluate_batch(genomes)
+        assert eager.mv_cache_stats.rows_total > 0  # dedup path ran
+        lazy = BatchCompressionRateFitness(
+            blocks, n_vectors=8, block_length=6, tuning=LAZY_PROFILE,
+        )
+        lazy.evaluate_batch(genomes)
+        assert lazy.mv_cache_stats.rows_total == 0  # static veto
+
+    def test_feedback_disengages_and_reprobes_in_the_fitness(self):
+        blocks, genomes = small_workload()
+        monitor = MVCacheFeedback(
+            min_hit_rate=1.0, patience=1, reprobe_period=2
+        )
+        fitness = BatchCompressionRateFitness(
+            blocks, n_vectors=8, block_length=6,
+            tuning=EAGER_PROFILE, mv_feedback=monitor,
+        )
+        rng = np.random.default_rng(3)
+
+        def fresh_batch():
+            batch = np.stack([random_genome(8 * 6, rng) for _ in range(24)])
+            batch[:, -6:] = 2
+            return batch
+
+        fitness.evaluate_batch(fresh_batch())  # cold: hit rate < 1.0
+        assert not monitor.engaged
+        fitness.evaluate_batch(fresh_batch())  # fused (vetoed)
+        fitness.evaluate_batch(fresh_batch())  # fused; reprobe window opens
+        assert monitor.engaged
+        stats = fitness.mv_cache_stats.feedback
+        assert stats.batches_fused == 2
+        assert stats.reprobes == 1
+        assert stats.disengagements == 1
+
+    def test_feedback_off_means_no_monitor(self):
+        blocks, _ = small_workload()
+        fitness = BatchCompressionRateFitness(
+            blocks, n_vectors=8, block_length=6, mv_feedback=False,
+        )
+        assert fitness.mv_feedback is None
+        assert fitness.mv_cache_stats.feedback is None
+
+    def test_monitor_parameters_come_from_the_profile(self):
+        blocks, _ = small_workload()
+        fitness = BatchCompressionRateFitness(
+            blocks, n_vectors=8, block_length=6, tuning=LAZY_PROFILE,
+        )
+        assert fitness.mv_feedback._min_hit_rate == 0.95
+        assert fitness.mv_feedback._patience == 1
+
+    def test_config_carries_profile_to_run_tasks(self):
+        config = CompressionConfig(
+            block_length=6, n_vectors=8, runs=1, tuning=EAGER_PROFILE,
+            mv_feedback=False,
+        )
+        assert config.tuning is EAGER_PROFILE
+        assert config.with_updates(runs=2).tuning is EAGER_PROFILE
+
+    def test_config_rejects_non_profile_tuning(self):
+        with pytest.raises(ValueError, match="tuning"):
+            CompressionConfig(tuning={"bitpack_min_distinct": 5})
+
+    def test_huffman_lockstep_override_is_parity_safe(self):
+        from repro.coding.huffman import huffman_total_bits_batch
+
+        rng = np.random.default_rng(8)
+        freqs = rng.integers(0, 40, size=(130, 24))
+        per_row = huffman_total_bits_batch(freqs, lockstep_min_rows=1 << 30)
+        lockstep = huffman_total_bits_batch(freqs, lockstep_min_rows=1)
+        default = huffman_total_bits_batch(freqs)
+        assert (per_row == lockstep).all()
+        assert (per_row == default).all()
