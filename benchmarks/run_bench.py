@@ -81,6 +81,7 @@ from repro.core.fitness import (  # noqa: E402
 )
 from repro.core.kernels import select_kernel_name  # noqa: E402
 from repro.ea.genome import random_genome  # noqa: E402
+from repro.io_utils import atomic_write_json  # noqa: E402
 from repro.testdata.synthetic import synthetic_test_set  # noqa: E402
 from repro.tuning.profile import (  # noqa: E402
     get_active_profile,
@@ -351,7 +352,7 @@ def emit_fitness_artifact(output: Path, repeats: int) -> None:
             bench_mv_cache(name, repeats) for name in MV_CACHE_WORKLOADS
         ],
     }
-    output.write_text(json.dumps(document, indent=2) + "\n")
+    atomic_write_json(output, document)
     for row in document["workloads"]:
         print(
             f"{row['workload']:>7}: batched {row['genomes_per_second']['batched']:>9}/s  "
@@ -398,9 +399,12 @@ def check_against_committed(
     slows numerator and denominator alike, and only a genuine change
     in the batched path's relative speed moves the ratio.  Raw
     genomes/second are printed for context but never gate (they track
-    the machine, not the code).  Returns a process exit code —
+    the machine, not the code).  A workload that lands below tolerance
+    is re-measured once before being declared regressed, so a single
+    noisy-runner spike (another job stealing the cores mid-measurement)
+    cannot fail the build spuriously.  Returns a process exit code —
     nonzero when any workload's speedup fell more than ``tolerance``
-    below the committed one.
+    below the committed one on both measurements.
     """
     committed = json.loads(committed_path.read_text())
     failures = []
@@ -412,15 +416,21 @@ def check_against_committed(
     )
     for row in committed["workloads"]:
         name = row["workload"]
-        fresh = bench_workload(name, repeats)
         old = row["speedup_batched_vs_reference"]
+        fresh = bench_workload(name, repeats)
         new = fresh["speedup_batched_vs_reference"]
         ratio = new / old
+        retried = ""
+        if ratio < 1.0 - tolerance:
+            fresh = bench_workload(name, repeats)
+            new = fresh["speedup_batched_vs_reference"]
+            ratio = new / old
+            retried = " [re-measured]"
         verdict = "ok" if ratio >= 1.0 - tolerance else "REGRESSED"
         print(
             f"{name:>7}: speedup committed ×{old}  fresh ×{new}  "
             f"(ratio {ratio:.2f}; fresh batched "
-            f"{fresh['genomes_per_second']['batched']}/s)  {verdict}"
+            f"{fresh['genomes_per_second']['batched']}/s)  {verdict}{retried}"
         )
         if verdict != "ok":
             failures.append(name)
@@ -441,7 +451,7 @@ def emit_parallel_artifact(output: Path, repeats: int) -> None:
         **scaling_report(repeats=repeats),
         "bitpack_shard_scaling": bitpack_shard_report(repeats=repeats),
     }
-    output.write_text(json.dumps(document, indent=2) + "\n")
+    atomic_write_json(output, document)
     for row in document["results"]:
         print(
             f"{row['backend']:>8} jobs={row['jobs']}: "

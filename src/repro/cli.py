@@ -17,6 +17,7 @@ Examples
 
     python -m repro table1 --circuits s349 s298 --seed 1
     python -m repro table1 --full --budget paper --jobs 0
+    python -m repro table1 --full --budget paper --jobs 0 --resume
     python -m repro compress my_tests.txt --k 12 --l 64
     python -m repro atpg c17
     python -m repro ablate kl --circuit s349 --jobs 4
@@ -30,6 +31,15 @@ applies a machine-measured tuning profile (written by ``repro tune``)
 to every hot-path threshold; like ``--kernel`` and
 ``--mv-cache-size``, it only moves the wall clock — seeded output is
 byte-identical with or without it.
+
+Fault tolerance: ``--retries N`` re-attempts transient failures
+(worker crashes, hangs cut short by ``--task-timeout SECONDS``) with
+deterministic backoff, and ``--resume`` (table/ablate/report
+commands) journals every completed EA run under ``REPRO_CACHE_DIR``
+so an interrupted sweep restarted with ``--resume`` skips work it
+already finished.  None of these can change seeded output — a
+retried or resumed table is byte-identical to an uninterrupted one;
+absorbed faults are summarized on stderr.
 """
 
 from __future__ import annotations
@@ -44,7 +54,7 @@ from .core.fitness import DEFAULT_MV_CACHE_SIZE
 from .core.kernels import KERNEL_CHOICES
 from .core.nine_c import compress_nine_c
 from .core.optimizer import EAMVOptimizer
-from .parallel import ExecutionBackend, resolve_backend
+from .parallel import ExecutionBackend, RetryPolicy, resolve_backend
 from .testdata.calibration import calibrate_spec
 from .testdata.registry import TABLE1_STUCK_AT, row_by_name
 from .testdata.synthetic import SyntheticSpec
@@ -121,6 +131,29 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
             "byte-identical with or without it)"
         ),
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "re-attempts granted to each work unit after a transient "
+            "failure (worker crash, timeout, injected fault) with "
+            "deterministic exponential backoff; 0 disables retries; "
+            "seeded results are byte-identical regardless (default 1)"
+        ),
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-attempt wall-clock budget on pool backends: an "
+            "overdue work unit is abandoned and (given --retries) "
+            "re-run on a fresh slot; ignored by the serial backend"
+        ),
+    )
 
 
 def _resolve_backend(arguments: argparse.Namespace) -> ExecutionBackend:
@@ -156,6 +189,42 @@ def _resolve_mv_feedback(arguments: argparse.Namespace) -> bool | None:
     return {"auto": None, "on": True, "off": False}[arguments.mv_feedback]
 
 
+def _resolve_fault_tolerance(
+    arguments: argparse.Namespace,
+) -> tuple[RetryPolicy | None, float | None]:
+    """``(retry, timeout)`` from ``--retries``/``--task-timeout``."""
+    if arguments.retries < 0:
+        raise SystemExit(f"--retries must be >= 0, got {arguments.retries}")
+    retry = (
+        RetryPolicy(max_attempts=arguments.retries + 1)
+        if arguments.retries > 0
+        else None
+    )
+    return retry, arguments.task_timeout
+
+
+def _resolve_checkpoint(arguments: argparse.Namespace):
+    """A ``CheckpointStore`` when ``--resume`` is on, else ``None``."""
+    if not getattr(arguments, "resume", False):
+        return None
+    from .experiments import CheckpointStore
+
+    return CheckpointStore.default()
+
+
+def _print_fault_summary(stats: dict[str, int]) -> None:
+    """Absorbed-fault accounting on stderr (stdout stays byte-stable)."""
+    eventful = {
+        key: value
+        for key, value in stats.items()
+        if value and key != "attempts"
+    }
+    if not eventful:
+        return
+    rendered = " ".join(f"{key}={value}" for key, value in eventful.items())
+    print(f"fault tolerance: {rendered}", file=sys.stderr)
+
+
 def _add_table_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--full", action="store_true", help="run every circuit in the table"
@@ -170,6 +239,15 @@ def _add_table_arguments(parser: argparse.ArgumentParser) -> None:
         help="EA effort per row (paper = 5 runs, 500-gen stagnation)",
     )
     parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "journal completed EA runs under REPRO_CACHE_DIR and skip "
+            "work already journaled by a previous --resume run of the "
+            "same seeded sweep (byte-identical output either way)"
+        ),
+    )
     _add_execution_arguments(parser)
 
 
@@ -195,6 +273,7 @@ def _table_command(arguments: argparse.Namespace, which: int) -> int:
         from .experiments import DEFAULT_QUICK_TABLE1, DEFAULT_QUICK_TABLE2
 
         circuits = DEFAULT_QUICK_TABLE1 if which == 1 else DEFAULT_QUICK_TABLE2
+    retry, timeout = _resolve_fault_tolerance(arguments)
     result = builder(
         circuits=circuits,
         budget=budget,
@@ -205,11 +284,15 @@ def _table_command(arguments: argparse.Namespace, which: int) -> int:
         mv_cache_size=arguments.mv_cache_size,
         tuning=tuning,
         mv_feedback=mv_feedback,
+        retry=retry,
+        timeout=timeout,
+        checkpoint=_resolve_checkpoint(arguments),
     )
     print()
     print(format_table(result))
     print()
     print(shape_check_markdown(result))
+    _print_fault_summary(result.fault_stats())
     return 0
 
 
@@ -244,7 +327,10 @@ def _compress_command(arguments: argparse.Namespace) -> int:
     optimizer = EAMVOptimizer(
         config, seed=arguments.seed, backend=_resolve_backend(arguments)
     )
-    result = optimizer.optimize(test_set.blocks(arguments.k))
+    retry, timeout = _resolve_fault_tolerance(arguments)
+    result = optimizer.optimize(
+        test_set.blocks(arguments.k), retry=retry, timeout=timeout
+    )
     print(
         f"EA     rate: {result.mean_rate:6.2f}% mean, "
         f"{result.best_rate:6.2f}% best over {config.runs} runs"
@@ -286,9 +372,10 @@ def _atpg_command(arguments: argparse.Namespace) -> int:
         mv_feedback=mv_feedback,
         ea=EAParameters(stagnation_limit=30, max_evaluations=1200),
     )
+    retry, timeout = _resolve_fault_tolerance(arguments)
     result = EAMVOptimizer(
         config, seed=arguments.seed, backend=_resolve_backend(arguments)
-    ).optimize(test_set.blocks(arguments.k))
+    ).optimize(test_set.blocks(arguments.k), retry=retry, timeout=timeout)
     print(
         f"EA     rate: {result.mean_rate:6.2f}% mean, "
         f"{result.best_rate:6.2f}% best"
@@ -322,6 +409,8 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
 
     test_set = _calibrated_test_set(arguments.circuit, arguments.seed)
     backend = _resolve_backend(arguments)
+    retry, timeout = _resolve_fault_tolerance(arguments)
+    checkpoint = _resolve_checkpoint(arguments)
     if arguments.study == "kl":
         points = kl_sweep(
             test_set, seed=arguments.seed, backend=backend,
@@ -329,6 +418,7 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
             mv_cache_size=arguments.mv_cache_size,
             tuning=tuning,
             mv_feedback=mv_feedback,
+            retry=retry, timeout=timeout, checkpoint=checkpoint,
         )
         print(ablation_markdown(points, f"K/L sweep on {arguments.circuit}"))
     elif arguments.study == "operators":
@@ -338,6 +428,7 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
             mv_cache_size=arguments.mv_cache_size,
             tuning=tuning,
             mv_feedback=mv_feedback,
+            retry=retry, timeout=timeout, checkpoint=checkpoint,
         )
         print(
             ablation_markdown(
@@ -351,6 +442,7 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
             mv_cache_size=arguments.mv_cache_size,
             tuning=tuning,
             mv_feedback=mv_feedback,
+            retry=retry, timeout=timeout, checkpoint=checkpoint,
         )
         print(ablation_markdown(points, f"9C seeding on {arguments.circuit}"))
     elif arguments.study == "subsumption":
@@ -360,6 +452,7 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
             mv_cache_size=arguments.mv_cache_size,
             tuning=tuning,
             mv_feedback=mv_feedback,
+            retry=retry, timeout=timeout,
         )
         print(
             ablation_markdown(
@@ -404,6 +497,8 @@ def _report_command(arguments: argparse.Namespace) -> int:
     circuits1 = None if arguments.full else DEFAULT_QUICK_TABLE1
     circuits2 = None if arguments.full else DEFAULT_QUICK_TABLE2
     backend = _resolve_backend(arguments)
+    retry, timeout = _resolve_fault_tolerance(arguments)
+    checkpoint = _resolve_checkpoint(arguments)
     print("building Table 1 ...")
     table1 = build_table1(
         circuits=circuits1,
@@ -415,6 +510,7 @@ def _report_command(arguments: argparse.Namespace) -> int:
         mv_cache_size=arguments.mv_cache_size,
         tuning=tuning,
         mv_feedback=mv_feedback,
+        retry=retry, timeout=timeout, checkpoint=checkpoint,
     )
     print("building Table 2 ...")
     table2 = build_table2(
@@ -427,6 +523,7 @@ def _report_command(arguments: argparse.Namespace) -> int:
         mv_cache_size=arguments.mv_cache_size,
         tuning=tuning,
         mv_feedback=mv_feedback,
+        retry=retry, timeout=timeout, checkpoint=checkpoint,
     )
     print("running ablations on s349 ...")
     test_set = _calibrated_test_set("s349", arguments.seed)
@@ -437,6 +534,7 @@ def _report_command(arguments: argparse.Namespace) -> int:
             mv_cache_size=arguments.mv_cache_size,
             tuning=tuning,
             mv_feedback=mv_feedback,
+            retry=retry, timeout=timeout, checkpoint=checkpoint,
         ),
         "Operator probabilities (s349)": operator_sweep(
             test_set, seed=arguments.seed, backend=backend,
@@ -444,6 +542,7 @@ def _report_command(arguments: argparse.Namespace) -> int:
             mv_cache_size=arguments.mv_cache_size,
             tuning=tuning,
             mv_feedback=mv_feedback,
+            retry=retry, timeout=timeout, checkpoint=checkpoint,
         ),
         "9C seeding of the initial population (s349)": seeding_ablation(
             test_set, seed=arguments.seed, backend=backend,
@@ -451,6 +550,7 @@ def _report_command(arguments: argparse.Namespace) -> int:
             mv_cache_size=arguments.mv_cache_size,
             tuning=tuning,
             mv_feedback=mv_feedback,
+            retry=retry, timeout=timeout, checkpoint=checkpoint,
         ),
         "Subsumption-aware encoding (s349, Section 3.3)": subsumption_ablation(
             test_set, seed=arguments.seed, backend=backend,
@@ -458,8 +558,16 @@ def _report_command(arguments: argparse.Namespace) -> int:
             mv_cache_size=arguments.mv_cache_size,
             tuning=tuning,
             mv_feedback=mv_feedback,
+            retry=retry, timeout=timeout,
         ),
     }
+    _print_fault_summary(
+        {
+            key: table1.fault_stats().get(key, 0)
+            + table2.fault_stats().get(key, 0)
+            for key in set(table1.fault_stats()) | set(table2.fault_stats())
+        }
+    )
     document = experiments_markdown(
         table1, table2, ablations, budget_label=arguments.budget
     )
@@ -544,6 +652,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ablate.add_argument("--circuit", default="s349")
     ablate.add_argument("--seed", type=int, default=2005)
+    ablate.add_argument(
+        "--resume",
+        action="store_true",
+        help="journal completed EA runs and skip already-journaled work",
+    )
     _add_execution_arguments(ablate)
 
     report = commands.add_parser(
@@ -555,6 +668,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--full", action="store_true")
     report.add_argument("--seed", type=int, default=2005)
+    report.add_argument(
+        "--resume",
+        action="store_true",
+        help="journal completed EA runs and skip already-journaled work",
+    )
     _add_execution_arguments(report)
 
     tune = commands.add_parser(

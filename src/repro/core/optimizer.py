@@ -29,7 +29,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..ea.engine import EAResult, EvolutionaryEngine
-from ..parallel import ExecutionBackend, SerialBackend
+from ..parallel import (
+    ExecutionBackend,
+    FaultToleranceStats,
+    RetryPolicy,
+    SerialBackend,
+)
 from .blocks import BlockSet
 from .compressor import CompressedTestSet, compress_blocks
 from .config import CompressionConfig
@@ -246,10 +251,31 @@ class EAMVOptimizer:
             for run_index, child in enumerate(self._run_seeds)
         )
 
-    def optimize(self, blocks: BlockSet) -> OptimizationResult:
-        """Run the configured number of independent EA searches."""
+    def optimize(
+        self,
+        blocks: BlockSet,
+        *,
+        retry: "RetryPolicy | None" = None,
+        timeout: float | None = None,
+        stats: "FaultToleranceStats | None" = None,
+    ) -> OptimizationResult:
+        """Run the configured number of independent EA searches.
+
+        ``retry``/``timeout``/``stats`` engage the backend's
+        fault-tolerance layer (see :mod:`repro.parallel.retry`); they
+        are forwarded only when set, so duck-typed backends with the
+        bare ``map`` signature keep working.  Because every task is
+        self-seeded, retried runs return bit-identical outcomes.
+        """
+        map_kwargs: dict = {}
+        if retry is not None:
+            map_kwargs["retry"] = retry
+        if timeout is not None:
+            map_kwargs["timeout"] = timeout
+        if stats is not None:
+            map_kwargs["stats"] = stats
         outcomes = self._backend.map(
-            execute_run_task, self.build_run_tasks(blocks)
+            execute_run_task, self.build_run_tasks(blocks), **map_kwargs
         )
         return OptimizationResult(config=self._config, runs=tuple(outcomes))
 

@@ -8,6 +8,13 @@ from .ablations import (
     seeding_ablation,
     subsumption_ablation,
 )
+from .checkpoint import (
+    CheckpointStore,
+    RunJournal,
+    RunTaskCache,
+    default_checkpoint_root,
+    task_fingerprint,
+)
 from .report import (
     ablation_markdown,
     experiments_markdown,
@@ -33,6 +40,11 @@ __all__ = [
     "operator_sweep",
     "seeding_ablation",
     "subsumption_ablation",
+    "CheckpointStore",
+    "RunJournal",
+    "RunTaskCache",
+    "default_checkpoint_root",
+    "task_fingerprint",
     "ablation_markdown",
     "experiments_markdown",
     "shape_check_markdown",

@@ -33,9 +33,16 @@ from ..core.encoding import EncodingStrategy
 from ..core.fitness import DEFAULT_MV_CACHE_SIZE
 from ..core.nine_c import DEFAULT_NINE_C_BLOCK_LENGTH, compress_nine_c
 from ..core.optimizer import EAMVOptimizer, OptimizationResult, execute_run_task
-from ..parallel import ExecutionBackend, SerialBackend, grouped_map
+from ..parallel import (
+    ExecutionBackend,
+    FaultToleranceStats,
+    RetryPolicy,
+    SerialBackend,
+    grouped_map,
+)
 from ..testdata.test_set import TestSet
 from ..tuning.profile import TuningProfile
+from .checkpoint import CheckpointStore
 
 __all__ = [
     "AblationPoint",
@@ -63,13 +70,19 @@ def _sweep(
     seed: int,
     backend: ExecutionBackend | None,
     progress: Callable[[str], None] | None,
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
+    checkpoint: CheckpointStore | None = None,
+    checkpoint_label: str = "ablation",
 ) -> list[AblationPoint]:
     """Run every (label, config) point and collect its rates.
 
     All points' runs go through the backend as one flat task list;
     each point re-uses the same master seed so variants face identical
     random initial conditions (the knob under study is the only
-    difference).
+    difference).  ``retry``/``timeout`` engage the backend's fault
+    tolerance and ``checkpoint`` journals completed runs under
+    ``checkpoint_label`` so an interrupted sweep resumes.
     """
     backend = backend or SerialBackend()
     blocks_cache: dict[int, BlockSet] = {}
@@ -84,6 +97,11 @@ def _sweep(
             optimizer.build_run_tasks(blocks_cache[config.block_length])
         )
 
+    cache = (
+        checkpoint.cache(f"{checkpoint_label}:seed{seed}")
+        if checkpoint is not None
+        else None
+    )
     grouped = grouped_map(
         backend,
         execute_run_task,
@@ -92,6 +110,9 @@ def _sweep(
             for (label, _), tasks in zip(points, tasks_per_point)
         ],
         progress=progress,
+        retry=retry,
+        timeout=timeout,
+        cache=cache,
     )
 
     results = []
@@ -120,6 +141,9 @@ def kl_sweep(
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
     tuning: TuningProfile | None = None,
     mv_feedback: bool | None = None,
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
+    checkpoint: CheckpointStore | None = None,
 ) -> list[AblationPoint]:
     """Compression rate across (K, L) — the source of 'EA-Best'."""
     ea = ea or EAParameters(stagnation_limit=30, max_evaluations=1200)
@@ -139,7 +163,11 @@ def kl_sweep(
         )
         for block_length, n_vectors in grid
     ]
-    return _sweep(test_set, points, seed, backend, progress)
+    return _sweep(
+        test_set, points, seed, backend, progress,
+        retry=retry, timeout=timeout, checkpoint=checkpoint,
+        checkpoint_label=f"ablation:kl:{test_set.name}",
+    )
 
 
 def operator_sweep(
@@ -154,6 +182,9 @@ def operator_sweep(
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
     tuning: TuningProfile | None = None,
     mv_feedback: bool | None = None,
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
+    checkpoint: CheckpointStore | None = None,
 ) -> list[AblationPoint]:
     """Vary the operator-probability mix around the paper's setting."""
     base = dict(stagnation_limit=30, max_evaluations=1200)
@@ -189,7 +220,11 @@ def operator_sweep(
         )
         for label, ea in variants.items()
     ]
-    return _sweep(test_set, points, seed, backend, progress)
+    return _sweep(
+        test_set, points, seed, backend, progress,
+        retry=retry, timeout=timeout, checkpoint=checkpoint,
+        checkpoint_label=f"ablation:operators:{test_set.name}",
+    )
 
 
 def seeding_ablation(
@@ -204,6 +239,9 @@ def seeding_ablation(
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
     tuning: TuningProfile | None = None,
     mv_feedback: bool | None = None,
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
+    checkpoint: CheckpointStore | None = None,
 ) -> list[AblationPoint]:
     """Random initial population vs one individual seeded with 9C MVs."""
     base = dict(stagnation_limit=30, max_evaluations=1200)
@@ -221,7 +259,11 @@ def seeding_ablation(
             ("9C-seeded init", EAParameters(seed_nine_c=True, **base)),
         )
     ]
-    return _sweep(test_set, points, seed, backend, progress)
+    return _sweep(
+        test_set, points, seed, backend, progress,
+        retry=retry, timeout=timeout, checkpoint=checkpoint,
+        checkpoint_label=f"ablation:seeding:{test_set.name}",
+    )
 
 
 def subsumption_ablation(
@@ -236,6 +278,8 @@ def subsumption_ablation(
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
     tuning: TuningProfile | None = None,
     mv_feedback: bool | None = None,
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
 ) -> list[AblationPoint]:
     """Plain Huffman vs subsumption-refined encoding of the same MVs.
 
@@ -249,7 +293,9 @@ def subsumption_ablation(
         tuning=tuning, mv_feedback=mv_feedback, ea=ea,
     )
     blocks = test_set.blocks(block_length)
-    result = EAMVOptimizer(config, seed=seed, backend=backend).optimize(blocks)
+    result = EAMVOptimizer(config, seed=seed, backend=backend).optimize(
+        blocks, retry=retry, timeout=timeout
+    )
     if progress is not None:
         progress(f"  search done ({runs} runs); re-encoding both ways")
     plain = [

@@ -36,6 +36,7 @@ from __future__ import annotations
 import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -51,12 +52,20 @@ from ..core.optimizer import (
     RunTask,
     execute_run_task,
 )
-from ..parallel import ExecutionBackend, SerialBackend, grouped_map, spawn_seeds
+from ..parallel import (
+    ExecutionBackend,
+    FaultToleranceStats,
+    RetryPolicy,
+    SerialBackend,
+    grouped_map,
+    spawn_seeds,
+)
 from ..testdata.calibration import calibrate_spec
 from ..testdata.registry import PaperRow
 from ..testdata.synthetic import SyntheticSpec
 from ..testdata.test_set import TestSet
 from ..tuning.profile import TuningProfile
+from .checkpoint import CheckpointStore
 
 __all__ = ["ExperimentBudget", "QUICK", "PAPER", "RowResult", "run_row"]
 
@@ -134,6 +143,14 @@ class RowResult:
     measured: dict[str, float]
     published: dict[str, float]
     seconds: float = field(default=0.0, compare=False)
+    # What the fault-tolerance layer absorbed while measuring this row
+    # (attempts/retries/timeouts/crashes/resumed, see
+    # FaultToleranceStats.as_dict).  Diagnostic only: excluded from
+    # comparison and never rendered into tables, so resumed or retried
+    # rows stay byte-identical to clean ones.
+    fault_stats: dict[str, int] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     def delta(self, column: str) -> float:
         """measured − published, in percentage points."""
@@ -212,13 +229,20 @@ def _execute_config_jobs(
     search_is_full: bool,
     backend: ExecutionBackend,
     progress: Callable[[str], None] | None,
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
+    stats: FaultToleranceStats | None = None,
+    cache: Any = None,
 ) -> list[tuple[float, float]]:
     """(mean rate, best rate) per configuration, via one flat fan-out.
 
     The search may have run on a subsample; every run's best MV set is
     then re-priced on the full test set with Huffman coding.  Progress
     emits one line per configuration, released in configuration order
-    as soon as all of a configuration's runs are in.
+    as soon as all of a configuration's runs are in.  ``retry``/
+    ``timeout``/``stats`` ride through to the backend and ``cache``
+    (a checkpoint :class:`~repro.experiments.checkpoint.RunTaskCache`)
+    serves journaled runs instead of re-searching them.
     """
     grouped = grouped_map(
         backend,
@@ -231,6 +255,10 @@ def _execute_config_jobs(
         describe=lambda label, n_runs, seconds: (
             f"  {label}: {n_runs} runs searched [t={seconds:5.1f}s]"
         ),
+        retry=retry,
+        timeout=timeout,
+        stats=stats,
+        cache=cache,
     )
 
     rates = []
@@ -270,6 +298,9 @@ def run_row(
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
     tuning: TuningProfile | None = None,
     mv_feedback: bool | None = None,
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
+    checkpoint: CheckpointStore | None = None,
 ) -> RowResult:
     """Reproduce one table row: calibrate, then run all methods.
 
@@ -285,6 +316,14 @@ def run_row(
     ``mv_feedback`` forces the runtime MV-cache engagement monitor on
     or off.  All four price bit-identically, so the table is
     byte-identical under any choice.
+
+    ``retry`` and ``timeout`` make the row's EA fan-out fault
+    tolerant (see :class:`repro.parallel.RetryPolicy`); ``checkpoint``
+    journals every completed run under a per-row label so an
+    interrupted row resumes instead of restarting — none of the three
+    can change the measured values, only whether and how fast they
+    arrive.  What was absorbed is reported in the result's
+    ``fault_stats``.
     """
     if kind not in ("stuck-at", "path-delay"):
         raise ValueError(f"unknown experiment kind {kind!r}")
@@ -320,8 +359,15 @@ def run_row(
         search_set, configurations, budget, seed, kernel, mv_cache_size,
         tuning, mv_feedback,
     )
+    stats = FaultToleranceStats()
+    cache = (
+        checkpoint.cache(f"{kind}:{row.circuit}:seed{seed}", stats=stats)
+        if checkpoint is not None
+        else None
+    )
     rates = _execute_config_jobs(
-        jobs, test_set, search_set is test_set, backend, progress
+        jobs, test_set, search_set is test_set, backend, progress,
+        retry=retry, timeout=timeout, stats=stats, cache=cache,
     )
 
     if kind == "stuck-at":
@@ -342,4 +388,5 @@ def run_row(
         measured=measured,
         published=dict(row.published),
         seconds=time.perf_counter() - started,
+        fault_stats=stats.as_dict(),
     )

@@ -21,7 +21,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.fitness import DEFAULT_MV_CACHE_SIZE
-from ..parallel import ExecutionBackend, OrderedProgress, SerialBackend
+from ..parallel import (
+    ExecutionBackend,
+    FaultToleranceStats,
+    OrderedProgress,
+    RetryPolicy,
+    SerialBackend,
+)
 from ..testdata.registry import (
     TABLE1_AVERAGES,
     TABLE1_STUCK_AT,
@@ -30,6 +36,7 @@ from ..testdata.registry import (
     PaperRow,
 )
 from ..tuning.profile import TuningProfile
+from .checkpoint import CheckpointStore
 from .runner import QUICK, ExperimentBudget, RowResult, run_row
 
 __all__ = [
@@ -88,6 +95,14 @@ class TableResult:
             if row.measured[column_a] > row.measured[column_b]
         )
 
+    def fault_stats(self) -> dict[str, int]:
+        """Fault-tolerance accounting summed over all rows (diagnostic)."""
+        totals: dict[str, int] = {}
+        for row in self.rows:
+            for key, value in row.fault_stats.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
 
 def _format_row_progress(result: RowResult, columns: tuple[str, ...]) -> str:
     cells = "  ".join(
@@ -111,6 +126,9 @@ def _build(
     mv_cache_size: int,
     tuning: TuningProfile | None,
     mv_feedback: bool | None,
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
+    checkpoint: CheckpointStore | None = None,
 ) -> TableResult:
     selected = [
         row for row in table if circuits is None or row.circuit in set(circuits)
@@ -128,6 +146,15 @@ def _build(
     # self-seeded — only the scheduling differs.
     if backend.jobs > 1 and len(selected) >= backend.jobs:
         fan_in = OrderedProgress(progress)
+        # Each row worker applies retry/timeout to its *in-row* EA
+        # fan-out (serial inside the worker) and journals its own runs;
+        # the row-level map additionally retries whole crashed rows —
+        # with the journal in play a retried row resumes its completed
+        # runs instead of repeating them.
+        map_kwargs: dict = {}
+        if retry is not None:
+            map_kwargs["retry"] = retry
+            map_kwargs["stats"] = FaultToleranceStats()
         results = backend.map(
             functools.partial(
                 run_row,
@@ -138,11 +165,15 @@ def _build(
                 mv_cache_size=mv_cache_size,
                 tuning=tuning,
                 mv_feedback=mv_feedback,
+                retry=retry,
+                timeout=timeout,
+                checkpoint=checkpoint,
             ),
             selected,
             on_result=lambda index, result: fan_in.publish(
                 index, _format_row_progress(result, columns)
             ),
+            **map_kwargs,
         )
     else:
         results = []
@@ -151,6 +182,7 @@ def _build(
                 row, kind, budget=budget, seed=seed, backend=backend,
                 kernel=kernel, mv_cache_size=mv_cache_size,
                 tuning=tuning, mv_feedback=mv_feedback,
+                retry=retry, timeout=timeout, checkpoint=checkpoint,
             )
             results.append(result)
             if progress is not None:
@@ -173,13 +205,19 @@ def build_table1(
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
     tuning: TuningProfile | None = None,
     mv_feedback: bool | None = None,
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
+    checkpoint: CheckpointStore | None = None,
 ) -> TableResult:
     """Reproduce Table 1 (stuck-at).  ``circuits=None`` runs all 39.
 
     ``kernel`` selects the covering kernel for every EA fitness call
     and ``mv_cache_size`` bounds the per-run MV match-column cache
     (0 disables it); both price bit-identically, so a seeded table is
-    byte-identical under any choice.
+    byte-identical under any choice.  So are ``retry``/``timeout``
+    (transient-fault absorption) and ``checkpoint`` (resume from a
+    journal of completed runs) — the fault-tolerance layer can change
+    wall clock, never values.
     """
     return _build(
         TABLE1_STUCK_AT,
@@ -195,6 +233,9 @@ def build_table1(
         mv_cache_size,
         tuning,
         mv_feedback,
+        retry,
+        timeout,
+        checkpoint,
     )
 
 
@@ -208,6 +249,9 @@ def build_table2(
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
     tuning: TuningProfile | None = None,
     mv_feedback: bool | None = None,
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
+    checkpoint: CheckpointStore | None = None,
 ) -> TableResult:
     """Reproduce Table 2 (path delay).  ``circuits=None`` runs all 29."""
     return _build(
@@ -224,6 +268,9 @@ def build_table2(
         mv_cache_size,
         tuning,
         mv_feedback,
+        retry,
+        timeout,
+        checkpoint,
     )
 
 

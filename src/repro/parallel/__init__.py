@@ -27,6 +27,14 @@ Progress reporting under concurrency goes through
 :class:`OrderedProgress`, which buffers out-of-order completions and
 releases messages to a single sink in submission order — no
 interleaved or garbled lines.
+
+Fault tolerance layers on top without touching determinism: a
+:class:`RetryPolicy` re-attempts transient failures with
+deterministically-jittered backoff, per-task timeouts abandon hung
+slots, broken process pools degrade to threads and then to serial
+execution (see :mod:`repro.parallel.retry`), and the
+:mod:`repro.parallel.chaos` harness injects reproducible faults so
+every one of those paths is tested rather than hoped-for.
 """
 
 from .backends import (
@@ -37,8 +45,18 @@ from .backends import (
     in_worker,
     resolve_backend,
 )
+from .chaos import Fault, FaultPlan, InjectedFaultError, chaos_wrap
 from .grouped import grouped_map
 from .progress import OrderedProgress
+from .retry import (
+    DEFAULT_RETRYABLE,
+    NO_RETRY,
+    FaultToleranceStats,
+    RetryPolicy,
+    TaskTimeoutError,
+    TransientTaskError,
+    WorkerCrashError,
+)
 from .seeding import spawn_seeds
 
 __all__ = [
@@ -51,4 +69,15 @@ __all__ = [
     "grouped_map",
     "OrderedProgress",
     "spawn_seeds",
+    "RetryPolicy",
+    "NO_RETRY",
+    "DEFAULT_RETRYABLE",
+    "FaultToleranceStats",
+    "TaskTimeoutError",
+    "WorkerCrashError",
+    "TransientTaskError",
+    "Fault",
+    "FaultPlan",
+    "InjectedFaultError",
+    "chaos_wrap",
 ]

@@ -1,0 +1,197 @@
+"""Deterministic fault injection for the fault-tolerance layer.
+
+Retry, timeout, degradation and resume paths are worthless if they are
+only ever exercised by real production faults.  This module makes
+chosen work units fail *reproducibly*: a :class:`FaultPlan` maps a
+task key to the fault each attempt should suffer —
+
+* ``raise`` — raise (by default a retryable
+  :class:`~repro.parallel.retry.TransientTaskError`);
+* ``hang`` — sleep ``seconds`` before doing the real work, long enough
+  to trip a per-task timeout;
+* ``die`` — kill the worker process outright (``os._exit``), breaking
+  a process pool the way an OOM kill does.
+
+Attempt numbers are tracked through the filesystem: every invocation
+claims the lowest free ``<key>.attempt<N>`` marker file in the plan's
+state directory via exclusive creation (``O_CREAT | O_EXCL``), which
+is atomic across threads *and* processes — so "fail on attempt 0,
+succeed on attempt 1" means exactly that on every backend, and tests
+can read the same markers back to assert how many attempts ran.
+
+:func:`chaos_wrap` wraps any picklable work function into a picklable
+:class:`ChaosFunction`, so the harness drops into
+:meth:`ExecutionBackend.map` (or a monkeypatched
+``execute_run_task``) without the backends knowing chaos exists.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from .retry import TransientTaskError
+
+__all__ = [
+    "RAISE",
+    "HANG",
+    "DIE",
+    "Fault",
+    "InjectedFaultError",
+    "FaultPlan",
+    "ChaosFunction",
+    "chaos_wrap",
+    "default_task_key",
+]
+
+RAISE = "raise"
+HANG = "hang"
+DIE = "die"
+_KINDS = (RAISE, HANG, DIE)
+
+
+class InjectedFaultError(TransientTaskError):
+    """The retryable exception ``raise`` faults throw by default."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """What happens to one ``(task key, attempt)`` pair.
+
+    ``seconds`` is the hang duration (``hang`` only); ``retryable``
+    selects between :class:`InjectedFaultError` (absorbed by the
+    default :class:`~repro.parallel.retry.RetryPolicy`) and a plain
+    ``RuntimeError`` (terminal — aborts the map like a real bug), for
+    ``raise`` faults.
+    """
+
+    kind: str = RAISE
+    seconds: float = 0.25
+    retryable: bool = True
+    exit_code: int = 86
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose one of {_KINDS}"
+            )
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+
+def default_task_key(item: Any) -> str:
+    """Key work units by their own identity fields when they have any.
+
+    Self-seeded run tasks carry ``run_index`` plus a config — keyed as
+    ``K{K}L{L}r{run}`` so a plan can name "run 1 of the K=12,L=64
+    configuration" without knowing submission order.  Everything else
+    keys as ``str(item)`` (fine for the scalar items of backend-level
+    tests).
+    """
+    run_index = getattr(item, "run_index", None)
+    config = getattr(item, "config", None)
+    if run_index is not None and config is not None:
+        return (
+            f"K{config.block_length}L{config.n_vectors}r{int(run_index)}"
+        )
+    return str(item)
+
+
+def _safe_name(key: str) -> str:
+    """A filesystem-safe marker-file stem for an arbitrary key."""
+    digest = hashlib.sha256(key.encode()).hexdigest()[:12]
+    printable = "".join(c if c.isalnum() or c in "-_." else "_" for c in key)
+    return f"{printable[:40]}-{digest}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which faults to inject, plus the attempt-counter directory.
+
+    ``faults`` maps task key → (attempt number → :class:`Fault`);
+    attempts are 0-based and unlisted attempts run clean, so
+    ``{"3": {0: Fault(DIE)}}`` means "task 3 dies on its first
+    attempt and succeeds when retried".  The plan is picklable (it
+    holds only a path and plain data), so it crosses process-pool
+    boundaries intact.
+    """
+
+    state_dir: Path
+    faults: Mapping[str, Mapping[int, Fault]]
+
+    def begin_attempt(self, key: str) -> int:
+        """Claim and return this invocation's 0-based attempt number."""
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        stem = _safe_name(key)
+        for attempt in range(10_000):
+            marker = self.state_dir / f"{stem}.attempt{attempt}"
+            try:
+                os.close(os.open(str(marker), os.O_CREAT | os.O_EXCL))
+            except FileExistsError:
+                continue
+            return attempt
+        raise RuntimeError(f"more than 10000 attempts recorded for {key!r}")
+
+    def attempts(self, key: str) -> int:
+        """How many attempts have started for ``key`` (all processes)."""
+        stem = _safe_name(key)
+        count = 0
+        while (self.state_dir / f"{stem}.attempt{count}").exists():
+            count += 1
+        return count
+
+    def fault_for(self, key: str, attempt: int) -> Fault | None:
+        """The fault planned for ``(key, attempt)``, if any."""
+        return self.faults.get(key, {}).get(attempt)
+
+    def inject(self, key: str) -> None:
+        """Claim an attempt for ``key`` and suffer its planned fault.
+
+        ``raise`` faults raise before any real work happens; ``hang``
+        faults sleep and then return (the unit proceeds, modeling a
+        slow worker whose eventual result the timeout layer already
+        abandoned); ``die`` faults terminate the whole process
+        without cleanup, exactly like an external kill.
+        """
+        attempt = self.begin_attempt(key)
+        fault = self.fault_for(key, attempt)
+        if fault is None:
+            return
+        if fault.kind == RAISE:
+            error_type = (
+                InjectedFaultError if fault.retryable else RuntimeError
+            )
+            raise error_type(
+                f"injected fault: task {key!r} attempt {attempt}"
+            )
+        if fault.kind == HANG:
+            time.sleep(fault.seconds)
+            return
+        os._exit(fault.exit_code)  # DIE: no cleanup, like a real kill
+
+
+@dataclass(frozen=True)
+class ChaosFunction:
+    """A picklable work function with a :class:`FaultPlan` strapped on."""
+
+    function: Callable[[Any], Any]
+    plan: FaultPlan
+    key: Callable[[Any], str] = default_task_key
+
+    def __call__(self, item: Any) -> Any:
+        self.plan.inject(self.key(item))
+        return self.function(item)
+
+
+def chaos_wrap(
+    function: Callable[[Any], Any],
+    plan: FaultPlan,
+    key: Callable[[Any], str] = default_task_key,
+) -> ChaosFunction:
+    """Wrap ``function`` so ``plan`` governs each invocation's fate."""
+    return ChaosFunction(function=function, plan=plan, key=key)

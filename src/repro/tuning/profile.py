@@ -32,6 +32,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..io_utils import atomic_write_json
+
 __all__ = [
     "PROFILE_FORMAT",
     "PROFILE_VERSION",
@@ -296,11 +298,14 @@ def default_profile_path() -> Path:
 
 
 def save_profile(profile: TuningProfile, path: Path | None = None) -> Path:
-    """Write ``profile`` as JSON, creating parent directories."""
+    """Write ``profile`` as JSON, creating parent directories.
+
+    Goes through :func:`repro.io_utils.atomic_write_json` so a crash
+    mid-save can never leave a truncated profile for the next run's
+    loader to choke on.
+    """
     path = Path(path) if path is not None else default_profile_path()
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(profile.to_dict(), indent=2) + "\n")
-    return path
+    return atomic_write_json(path, profile.to_dict())
 
 
 def load_profile(path: Path | None = None, check_fingerprint: bool = True) -> TuningProfile:

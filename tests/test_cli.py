@@ -369,3 +369,124 @@ class TestTuningFlags:
             assert main([*args, *extra]) == 0
             outputs[label] = capsys.readouterr().out
         assert len(set(outputs.values())) == 1  # byte-identical output
+
+
+class TestFaultToleranceFlags:
+    """--retries / --task-timeout / --resume parsing and wiring."""
+
+    EVERY_COMMAND = (
+        ["table1"],
+        ["table2"],
+        ["compress", "file.txt"],
+        ["atpg", "c17"],
+        ["ablate", "kl"],
+        ["report"],
+    )
+
+    def test_defaults(self):
+        for argv in self.EVERY_COMMAND:
+            arguments = build_parser().parse_args(argv)
+            assert arguments.retries == 1
+            assert arguments.task_timeout is None
+
+    def test_values_parsed_on_every_command(self):
+        for argv in self.EVERY_COMMAND:
+            arguments = build_parser().parse_args(
+                [*argv, "--retries", "3", "--task-timeout", "2.5"]
+            )
+            assert arguments.retries == 3
+            assert arguments.task_timeout == 2.5
+
+    def test_retries_map_to_policy(self):
+        from repro.cli import _resolve_fault_tolerance
+
+        arguments = build_parser().parse_args(["table1", "--retries", "2"])
+        retry, timeout = _resolve_fault_tolerance(arguments)
+        assert retry is not None
+        assert retry.max_attempts == 3  # N retries = N+1 attempts
+        assert timeout is None
+
+    def test_zero_retries_disable_policy(self):
+        from repro.cli import _resolve_fault_tolerance
+
+        arguments = build_parser().parse_args(["table1", "--retries", "0"])
+        retry, _ = _resolve_fault_tolerance(arguments)
+        assert retry is None
+
+    def test_negative_retries_rejected(self):
+        from repro.cli import _resolve_fault_tolerance
+
+        arguments = build_parser().parse_args(["table1", "--retries", "-1"])
+        with pytest.raises(SystemExit):
+            _resolve_fault_tolerance(arguments)
+
+    def test_resume_flag_on_sweep_commands(self):
+        for argv in (["table1"], ["table2"], ["ablate", "kl"], ["report"]):
+            assert not build_parser().parse_args(argv).resume
+            assert build_parser().parse_args([*argv, "--resume"]).resume
+
+    def test_resume_not_offered_on_single_shot_commands(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress", "file.txt", "--resume"])
+
+    def test_resume_resolves_checkpoint_store(self, tmp_path, monkeypatch):
+        from repro.cli import _resolve_checkpoint
+        from repro.experiments.checkpoint import CheckpointStore
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        off = build_parser().parse_args(["table1"])
+        assert _resolve_checkpoint(off) is None
+        on = build_parser().parse_args(["table1", "--resume"])
+        store = _resolve_checkpoint(on)
+        assert isinstance(store, CheckpointStore)
+        assert store.root == tmp_path / "checkpoints"
+
+    def test_flags_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--help"])
+        text = capsys.readouterr().out
+        assert "--retries" in text
+        assert "--task-timeout" in text
+        assert "--resume" in text
+
+    def test_fault_summary_silent_when_uneventful(self, capsys):
+        from repro.cli import _print_fault_summary
+
+        _print_fault_summary({"attempts": 12, "retries": 0, "resumed": 0})
+        assert capsys.readouterr().err == ""
+
+    def test_fault_summary_on_stderr_when_eventful(self, capsys):
+        from repro.cli import _print_fault_summary
+
+        _print_fault_summary({"attempts": 12, "retries": 2, "resumed": 3})
+        captured = capsys.readouterr()
+        assert captured.out == ""  # stdout stays byte-stable
+        assert "retries=2" in captured.err
+        assert "resumed=3" in captured.err
+
+    def test_compress_output_invariant_under_retries(self, tmp_path, capsys):
+        path = tmp_path / "patterns.txt"
+        path.write_text(
+            "\n".join(["11001100XXXX", "110011001111", "XXXX11001100"] * 6)
+        )
+        args = ["compress", str(path), "--k", "4", "--l", "6", "--runs", "1",
+                "--stagnation", "5", "--max-evaluations", "120", "--seed", "3"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main([*args, "--retries", "3", "--task-timeout", "600"]) == 0
+        assert capsys.readouterr().out == plain
+
+    @pytest.mark.slow
+    def test_resumed_table_run_skips_journaled_work(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        args = ["table1", "--circuits", "s298", "--seed", "11", "--resume"]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert main(args) == 0
+        second = capsys.readouterr()
+        # Progress lines carry wall-clock timings; the rendered table
+        # (everything after the progress block) must be byte-identical.
+        assert second.out.split("\n\n", 1)[1] == first.out.split("\n\n", 1)[1]
+        assert "resumed=" in second.err  # second run served from journal
