@@ -18,7 +18,14 @@ script and catch regressions:
   be localized, not just detected) and an ``mv_cache`` section prices
   the unique-MV match-column cache against the fused kernels on
   convergent (high-duplicate) and cold uniform-random batches, with
-  hit rates and dedup ratios recorded.
+  hit rates and dedup ratios recorded.  An ``eviction_policy``
+  section compares every registered cache policy (lru, lfu, 2q,
+  segmented) under real eviction pressure — hit rates and genomes/s
+  on convergent and cold-uniform traffic — and a ``warm_start``
+  section measures the cold-vs-warm first-generation speedup from a
+  persisted cache (written to a throwaway directory, never the real
+  ``$REPRO_CACHE_DIR``).  ``cpu_count`` and the resolved cache
+  directory are recorded as provenance.
 * ``BENCH_parallel.json`` — runs/second of the multi-run EA fan-out
   through the serial, thread, and process backends at jobs ∈
   {1, 2, 4, 8} (``bench_parallel.scaling_report``), with ``cpu_count``
@@ -40,7 +47,9 @@ against the committed ``BENCH_fitness.json``, exiting nonzero if any
 workload's speedup fell by more than ``--check-tolerance`` (default
 30%).  Both paths run in the same process, so the gate is meaningful
 on any machine — including CI's bench lane, which runs it on every
-push; raw genomes/second are printed for context only.  ``--profile
+push; raw genomes/second are printed for context only.  The gated
+fitnesses pin cache persistence *off*, so a leftover persisted cache
+can never warm-start a measurement the gate depends on.  ``--profile
 PATH`` applies a ``repro tune`` profile to every in-process fitness
 (CI tunes first, then gates against the tuned profile, so the gate
 and the tuner agree on kernel and cache-engagement decisions); the
@@ -55,8 +64,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -74,6 +85,7 @@ from bench_batch import (  # noqa: E402
     reference_scalar_fitness,
     stage_timings,
 )
+from repro.core.cache import POLICY_CHOICES, mv_cache_dir  # noqa: E402
 from repro.core.fitness import (  # noqa: E402
     DEFAULT_MV_CACHE_SIZE,
     BatchCompressionRateFitness,
@@ -92,6 +104,12 @@ from repro.tuning.profile import (  # noqa: E402
 # Workloads priced by the mv_cache section; small's table sits below
 # the dedup engagement floor, so it has nothing to measure.
 MV_CACHE_WORKLOADS = ("medium", "large", "wide")
+
+# Workloads for the eviction_policy and warm_start sections — one per
+# kind is enough (the parity suites pin that results never differ; the
+# bench only records *speed*, and the shapes repeat across workloads).
+POLICY_BENCH_WORKLOADS = ("medium",)
+WARM_START_WORKLOADS = ("medium", "large")
 
 
 def best_seconds(function, repeats: int) -> float:
@@ -124,11 +142,23 @@ def bench_workload(name: str, repeats: int) -> dict:
     genomes[:, -block_length:] = 2
 
     reference = reference_scalar_fitness(blocks, n_vectors, block_length)
+    # Persistence is pinned off alongside the cache itself: the
+    # ``--check`` gate times these exact rows, and a warm-started cache
+    # (for example a leftover ``$REPRO_CACHE_DIR`` from a previous lane)
+    # would make the measurement depend on disk state instead of code.
     scalar = CompressionRateFitness(
-        blocks, n_vectors=n_vectors, block_length=block_length, mv_cache_size=0
+        blocks,
+        n_vectors=n_vectors,
+        block_length=block_length,
+        mv_cache_size=0,
+        mv_cache_persist=False,
     )
     batch = BatchCompressionRateFitness(
-        blocks, n_vectors=n_vectors, block_length=block_length, mv_cache_size=0
+        blocks,
+        n_vectors=n_vectors,
+        block_length=block_length,
+        mv_cache_size=0,
+        mv_cache_persist=False,
     )
     assert np.allclose(
         batch.evaluate_batch(genomes[:8]),
@@ -325,6 +355,166 @@ def bench_mv_cache(name: str, repeats: int) -> dict:
     }
 
 
+def _fresh_batch_maker(name, n_vectors, block_length, batch_size):
+    """Generator of never-seen uniform-random batches for one workload."""
+    spec = KERNEL_WORKLOADS[name][0]
+    rng = np.random.default_rng(spec.seed + 3)
+
+    def fresh_batch():
+        genomes = np.stack(
+            [
+                random_genome(n_vectors * block_length, rng)
+                for _ in range(batch_size)
+            ]
+        )
+        genomes[:, -block_length:] = 2
+        return genomes
+
+    return fresh_batch
+
+
+def bench_eviction_policies(name: str, repeats: int) -> dict:
+    """Throughput and hit rate of every eviction policy on one workload.
+
+    Capacity is pinned to *half* the convergent batch's unique-MV-row
+    count so eviction pressure is real and the policies can actually
+    diverge — at the default capacity the whole working set fits and
+    every policy is trivially identical.  Two traffic shapes:
+
+    * ``convergent`` — repeated generations of the same high-duplicate
+      offspring batch (steady state; what retention quality buys);
+    * ``uniform_cold`` — a stream of never-repeated random batches
+      (pure scan; what admission/eviction overhead costs when nothing
+      is reusable).
+
+    Rates are pinned byte-identical across policies by the parity
+    suites; only speed and hit rate may differ here.
+    """
+    blocks, block_length, n_vectors, convergent = build_convergent_workload(
+        name
+    )
+    batch_size = len(convergent)
+
+    probe = BatchCompressionRateFitness(
+        blocks, n_vectors=n_vectors, block_length=block_length
+    )
+    probe.evaluate_batch(convergent)
+    rows_unique = probe.mv_cache_stats.rows_unique
+    capacity = max(64, rows_unique // 2)
+
+    fresh_batch = _fresh_batch_maker(name, n_vectors, block_length, batch_size)
+    policies = {}
+    for policy in POLICY_CHOICES:
+
+        def fitness():
+            return BatchCompressionRateFitness(
+                blocks,
+                n_vectors=n_vectors,
+                block_length=block_length,
+                mv_cache_size=capacity,
+                mv_cache_policy=policy,
+            )
+
+        steady = fitness()
+        steady.evaluate_batch(convergent)  # warm generation
+        steady_seconds = best_seconds(
+            lambda: steady.evaluate_batch(convergent), repeats
+        )
+        steady_stats = steady.mv_cache_stats
+
+        cold = fitness()
+        cold.evaluate_batch(fresh_batch())  # warm allocations only
+        samples = []
+        for _ in range(max(3, repeats)):
+            batch = fresh_batch()
+            start = time.perf_counter()
+            cold.evaluate_batch(batch)
+            samples.append(time.perf_counter() - start)
+        cold_seconds = float(np.median(samples))
+        cold_stats = cold.mv_cache_stats
+
+        policies[policy] = {
+            "genomes_per_second": {
+                "convergent_steady_state": round(
+                    batch_size / steady_seconds, 1
+                ),
+                "uniform_cold": round(batch_size / cold_seconds, 1),
+            },
+            "hit_rate": {
+                "convergent": round(steady_stats.hit_rate, 3),
+                "uniform_cold": round(cold_stats.hit_rate, 3),
+            },
+            "evictions_convergent": steady_stats.evictions,
+        }
+
+    return {
+        "workload": f"convergent-{name}",
+        "batch_size": batch_size,
+        "rows_unique_per_batch": rows_unique,
+        "capacity": capacity,
+        "policies": policies,
+    }
+
+
+def bench_warm_start(name: str, repeats: int) -> dict:
+    """Cold vs persisted-warm *first generation* on one workload.
+
+    Times the complete first ``evaluate_batch`` of a freshly built
+    fitness — kernel resolution, persisted-cache probe, pricing —
+    first against an empty cache directory, then against the file a
+    previous run persisted, in a throwaway ``$REPRO_CACHE_DIR`` so the
+    bench never touches (or is warmed by) the user's real cache.
+    """
+    blocks, block_length, n_vectors, convergent = build_convergent_workload(
+        name
+    )
+    batch_size = len(convergent)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-mvcache-") as tmp:
+        cache_dir = Path(tmp)
+
+        def fitness():
+            return BatchCompressionRateFitness(
+                blocks,
+                n_vectors=n_vectors,
+                block_length=block_length,
+                mv_cache_persist=True,
+                mv_cache_dir=cache_dir,
+            )
+
+        def first_generation():
+            samples = []
+            for _ in range(max(3, repeats)):
+                target = fitness()
+                start = time.perf_counter()
+                target.evaluate_batch(convergent)
+                samples.append(time.perf_counter() - start)
+            return float(np.median(samples)), target.mv_cache_stats
+
+        # Cold: the directory is empty, every probe misses silently.
+        cold_seconds, _ = first_generation()
+        # Persist one generation's columns, then re-measure first
+        # generations that warm-load them.
+        seeding = fitness()
+        seeding.evaluate_batch(convergent)
+        seeding.persist_mv_cache()
+        warm_seconds, warm_stats = first_generation()
+
+    return {
+        "workload": f"convergent-{name}",
+        "batch_size": batch_size,
+        "first_generation_genomes_per_second": {
+            "cold": round(batch_size / cold_seconds, 1),
+            "warm": round(batch_size / warm_seconds, 1),
+        },
+        "speedup_warm_vs_cold_first_generation": round(
+            cold_seconds / warm_seconds, 2
+        ),
+        "warm_loaded_entries": warm_stats.warm_loaded,
+        "warm_first_generation_hit_rate": round(warm_stats.hit_rate, 3),
+    }
+
+
 def _profile_note() -> dict | None:
     """What tuning profile governed this run (None = shipped defaults)."""
     profile = get_active_profile()
@@ -338,6 +528,14 @@ def emit_fitness_artifact(output: Path, repeats: int) -> None:
         "benchmark": "batched fitness engine (cover + Huffman + price)",
         "python": platform.python_version(),
         "numpy": np.__version__,
+        # Provenance: throughput scales with the machine, and the
+        # warm_start section depends on where persisted caches live
+        # (the bench itself always uses a throwaway directory).
+        "cpu_count": os.cpu_count(),
+        "repro_cache_dir": {
+            "env": os.environ.get("REPRO_CACHE_DIR"),
+            "resolved": str(mv_cache_dir()),
+        },
         "tuning_profile": _profile_note(),
         "workloads": [
             bench_workload(name, repeats) for name in sorted(WORKLOADS)
@@ -350,6 +548,13 @@ def emit_fitness_artifact(output: Path, repeats: int) -> None:
         ],
         "mv_cache": [
             bench_mv_cache(name, repeats) for name in MV_CACHE_WORKLOADS
+        ],
+        "eviction_policy": [
+            bench_eviction_policies(name, repeats)
+            for name in POLICY_BENCH_WORKLOADS
+        ],
+        "warm_start": [
+            bench_warm_start(name, repeats) for name in WARM_START_WORKLOADS
         ],
     }
     atomic_write_json(output, document)
@@ -383,6 +588,26 @@ def emit_fitness_artifact(output: Path, repeats: int) -> None:
             f"×{row['speedup_cached_vs_fused_convergent']}  "
             f"(hit {row['mv_cache']['hit_rate']:.0%}; uniform-cold "
             f"×{row['speedup_cached_vs_fused_uniform_cold']})"
+        )
+    for row in document["eviction_policy"]:
+        for policy, entry in row["policies"].items():
+            rates = entry["genomes_per_second"]
+            hits = entry["hit_rate"]
+            print(
+                f"{row['workload']:>18} policy {policy:>9}: "
+                f"steady {rates['convergent_steady_state']}/s "
+                f"(hit {hits['convergent']:.0%})  "
+                f"cold {rates['uniform_cold']}/s "
+                f"(hit {hits['uniform_cold']:.0%})"
+            )
+    for row in document["warm_start"]:
+        rates = row["first_generation_genomes_per_second"]
+        print(
+            f"{row['workload']:>18} first gen: warm {rates['warm']}/s "
+            f"vs cold {rates['cold']}/s "
+            f"×{row['speedup_warm_vs_cold_first_generation']}  "
+            f"({row['warm_loaded_entries']} entries loaded, "
+            f"hit {row['warm_first_generation_hit_rate']:.0%})"
         )
     print(f"wrote {output}")
 

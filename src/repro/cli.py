@@ -10,6 +10,8 @@ Commands
 ``ablate``      Run one of the ablation studies on a calibrated test set.
 ``tune``        Probe this machine's kernel/cache crossovers and write
                 a tuning profile for the other commands' ``--profile``.
+``cache``       Inspect or clear the persisted MV-cache directory
+                (``list``/``info``/``clear``).
 
 Examples
 --------
@@ -28,9 +30,9 @@ Every command takes ``--jobs N`` (1 = serial, 0 = all CPU cores) and
 ``--backend {process,thread}``; results are independent of both — the
 same seed gives the same table at any job count.  ``--profile PATH``
 applies a machine-measured tuning profile (written by ``repro tune``)
-to every hot-path threshold; like ``--kernel`` and
-``--mv-cache-size``, it only moves the wall clock — seeded output is
-byte-identical with or without it.
+to every hot-path threshold; like ``--kernel``, ``--mv-cache-size``,
+``--mv-cache-policy`` and ``--mv-cache-persist``, it only moves the
+wall clock — seeded output is byte-identical with or without it.
 
 Fault tolerance: ``--retries N`` re-attempts transient failures
 (worker crashes, hangs cut short by ``--task-timeout SECONDS``) with
@@ -48,6 +50,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from .core.cache import DEFAULT_POLICY, POLICY_CHOICES
 from .core.compressor import compress_blocks
 from .core.config import CompressionConfig, EAParameters
 from .core.fitness import DEFAULT_MV_CACHE_SIZE
@@ -103,6 +106,29 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
             "the cache and prices through the fused per-generation "
             "kernels (results are byte-identical either way, only "
             f"the wall clock moves; default {DEFAULT_MV_CACHE_SIZE})"
+        ),
+    )
+    parser.add_argument(
+        "--mv-cache-policy",
+        choices=POLICY_CHOICES,
+        default=None,
+        help=(
+            "eviction policy of the MV match-column cache; unset "
+            "defers to the tuning profile's choice and then to the "
+            f"default ({DEFAULT_POLICY}); every policy prices "
+            "byte-identically, only hit rates differ"
+        ),
+    )
+    parser.add_argument(
+        "--mv-cache-persist",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "save the MV cache contents under REPRO_CACHE_DIR after "
+            "each run and warm-start later runs on the same block "
+            "table and kernel from disk; a corrupt or mismatched "
+            "file is ignored with a warning (cold start) and seeded "
+            "results are byte-identical either way (default off)"
         ),
     )
     parser.add_argument(
@@ -225,6 +251,27 @@ def _print_fault_summary(stats: dict[str, int]) -> None:
     print(f"fault tolerance: {rendered}", file=sys.stderr)
 
 
+def _print_mv_cache_summary(result, persist: bool) -> None:
+    """Warm/cold cache accounting on stderr (stdout stays byte-stable).
+
+    The warm line is the hook the CI smoke step greps for: a second
+    ``--mv-cache-persist`` run over the same inputs must report a warm
+    start.
+    """
+    if not persist:
+        return
+    warm = sum(run.ea_result.mv_cache_warm_loaded for run in result.runs)
+    if warm:
+        print(
+            f"mv cache: warm start ({warm} persisted entries loaded "
+            f"across {len(result.runs)} runs)",
+            file=sys.stderr,
+        )
+    else:
+        print("mv cache: cold start (no usable persisted cache)",
+              file=sys.stderr)
+
+
 def _add_table_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--full", action="store_true", help="run every circuit in the table"
@@ -284,6 +331,8 @@ def _table_command(arguments: argparse.Namespace, which: int) -> int:
         mv_cache_size=arguments.mv_cache_size,
         tuning=tuning,
         mv_feedback=mv_feedback,
+        mv_cache_policy=arguments.mv_cache_policy,
+        mv_cache_persist=arguments.mv_cache_persist,
         retry=retry,
         timeout=timeout,
         checkpoint=_resolve_checkpoint(arguments),
@@ -319,6 +368,8 @@ def _compress_command(arguments: argparse.Namespace) -> int:
         mv_cache_size=arguments.mv_cache_size,
         tuning=tuning,
         mv_feedback=mv_feedback,
+        mv_cache_policy=arguments.mv_cache_policy,
+        mv_cache_persist=arguments.mv_cache_persist,
         ea=EAParameters(
             stagnation_limit=arguments.stagnation,
             max_evaluations=arguments.max_evaluations,
@@ -331,6 +382,7 @@ def _compress_command(arguments: argparse.Namespace) -> int:
     result = optimizer.optimize(
         test_set.blocks(arguments.k), retry=retry, timeout=timeout
     )
+    _print_mv_cache_summary(result, arguments.mv_cache_persist)
     print(
         f"EA     rate: {result.mean_rate:6.2f}% mean, "
         f"{result.best_rate:6.2f}% best over {config.runs} runs"
@@ -370,12 +422,15 @@ def _atpg_command(arguments: argparse.Namespace) -> int:
         mv_cache_size=arguments.mv_cache_size,
         tuning=tuning,
         mv_feedback=mv_feedback,
+        mv_cache_policy=arguments.mv_cache_policy,
+        mv_cache_persist=arguments.mv_cache_persist,
         ea=EAParameters(stagnation_limit=30, max_evaluations=1200),
     )
     retry, timeout = _resolve_fault_tolerance(arguments)
     result = EAMVOptimizer(
         config, seed=arguments.seed, backend=_resolve_backend(arguments)
     ).optimize(test_set.blocks(arguments.k), retry=retry, timeout=timeout)
+    _print_mv_cache_summary(result, arguments.mv_cache_persist)
     print(
         f"EA     rate: {result.mean_rate:6.2f}% mean, "
         f"{result.best_rate:6.2f}% best"
@@ -418,6 +473,8 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
             mv_cache_size=arguments.mv_cache_size,
             tuning=tuning,
             mv_feedback=mv_feedback,
+            mv_cache_policy=arguments.mv_cache_policy,
+            mv_cache_persist=arguments.mv_cache_persist,
             retry=retry, timeout=timeout, checkpoint=checkpoint,
         )
         print(ablation_markdown(points, f"K/L sweep on {arguments.circuit}"))
@@ -428,6 +485,8 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
             mv_cache_size=arguments.mv_cache_size,
             tuning=tuning,
             mv_feedback=mv_feedback,
+            mv_cache_policy=arguments.mv_cache_policy,
+            mv_cache_persist=arguments.mv_cache_persist,
             retry=retry, timeout=timeout, checkpoint=checkpoint,
         )
         print(
@@ -442,6 +501,8 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
             mv_cache_size=arguments.mv_cache_size,
             tuning=tuning,
             mv_feedback=mv_feedback,
+            mv_cache_policy=arguments.mv_cache_policy,
+            mv_cache_persist=arguments.mv_cache_persist,
             retry=retry, timeout=timeout, checkpoint=checkpoint,
         )
         print(ablation_markdown(points, f"9C seeding on {arguments.circuit}"))
@@ -452,6 +513,8 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
             mv_cache_size=arguments.mv_cache_size,
             tuning=tuning,
             mv_feedback=mv_feedback,
+            mv_cache_policy=arguments.mv_cache_policy,
+            mv_cache_persist=arguments.mv_cache_persist,
             retry=retry, timeout=timeout,
         )
         print(
@@ -466,6 +529,8 @@ def _ablate_command(arguments: argparse.Namespace) -> int:
             mv_cache_size=arguments.mv_cache_size,
             tuning=tuning,
             mv_feedback=mv_feedback,
+            mv_cache_policy=arguments.mv_cache_policy,
+            mv_cache_persist=arguments.mv_cache_persist,
         )
         for method, values in costs.items():
             print(
@@ -510,6 +575,8 @@ def _report_command(arguments: argparse.Namespace) -> int:
         mv_cache_size=arguments.mv_cache_size,
         tuning=tuning,
         mv_feedback=mv_feedback,
+        mv_cache_policy=arguments.mv_cache_policy,
+        mv_cache_persist=arguments.mv_cache_persist,
         retry=retry, timeout=timeout, checkpoint=checkpoint,
     )
     print("building Table 2 ...")
@@ -523,6 +590,8 @@ def _report_command(arguments: argparse.Namespace) -> int:
         mv_cache_size=arguments.mv_cache_size,
         tuning=tuning,
         mv_feedback=mv_feedback,
+        mv_cache_policy=arguments.mv_cache_policy,
+        mv_cache_persist=arguments.mv_cache_persist,
         retry=retry, timeout=timeout, checkpoint=checkpoint,
     )
     print("running ablations on s349 ...")
@@ -534,6 +603,8 @@ def _report_command(arguments: argparse.Namespace) -> int:
             mv_cache_size=arguments.mv_cache_size,
             tuning=tuning,
             mv_feedback=mv_feedback,
+            mv_cache_policy=arguments.mv_cache_policy,
+            mv_cache_persist=arguments.mv_cache_persist,
             retry=retry, timeout=timeout, checkpoint=checkpoint,
         ),
         "Operator probabilities (s349)": operator_sweep(
@@ -542,6 +613,8 @@ def _report_command(arguments: argparse.Namespace) -> int:
             mv_cache_size=arguments.mv_cache_size,
             tuning=tuning,
             mv_feedback=mv_feedback,
+            mv_cache_policy=arguments.mv_cache_policy,
+            mv_cache_persist=arguments.mv_cache_persist,
             retry=retry, timeout=timeout, checkpoint=checkpoint,
         ),
         "9C seeding of the initial population (s349)": seeding_ablation(
@@ -550,6 +623,8 @@ def _report_command(arguments: argparse.Namespace) -> int:
             mv_cache_size=arguments.mv_cache_size,
             tuning=tuning,
             mv_feedback=mv_feedback,
+            mv_cache_policy=arguments.mv_cache_policy,
+            mv_cache_persist=arguments.mv_cache_persist,
             retry=retry, timeout=timeout, checkpoint=checkpoint,
         ),
         "Subsumption-aware encoding (s349, Section 3.3)": subsumption_ablation(
@@ -558,6 +633,8 @@ def _report_command(arguments: argparse.Namespace) -> int:
             mv_cache_size=arguments.mv_cache_size,
             tuning=tuning,
             mv_feedback=mv_feedback,
+            mv_cache_policy=arguments.mv_cache_policy,
+            mv_cache_persist=arguments.mv_cache_persist,
             retry=retry, timeout=timeout,
         ),
     }
@@ -613,6 +690,46 @@ def _tune_command(arguments: argparse.Namespace) -> int:
             "(seeded results are byte-identical with or without the "
             "profile — only the wall clock moves)"
         )
+    return 0
+
+
+def _cache_command(arguments: argparse.Namespace) -> int:
+    from .core.cache import describe_cache_file, mv_cache_dir
+
+    directory = (
+        Path(arguments.dir) if arguments.dir is not None else mv_cache_dir()
+    )
+    files = (
+        sorted(directory.glob("*.npz")) if directory.is_dir() else []
+    )
+    if arguments.action == "list":
+        print(f"cache directory: {directory}")
+        if not files:
+            print("(empty)")
+            return 0
+        total = 0
+        for path in files:
+            size = path.stat().st_size
+            total += size
+            print(f"{size:>12,d}  {path.name}")
+        print(f"{total:>12,d}  total in {len(files)} file(s)")
+        return 0
+    if arguments.action == "info":
+        if not files:
+            print(f"cache directory: {directory}")
+            print("(empty)")
+            return 0
+        for path in files:
+            info = describe_cache_file(path)
+            print(f"{path.name}:")
+            for key in sorted(info):
+                if key != "file":
+                    print(f"  {key}: {info[key]}")
+        return 0
+    # clear
+    for path in files:
+        path.unlink()
+    print(f"removed {len(files)} file(s) from {directory}")
     return 0
 
 
@@ -708,6 +825,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the before/after genomes/s summary after writing",
     )
+
+    cache = commands.add_parser(
+        "cache",
+        help=(
+            "inspect or clear the persisted MV-cache files written by "
+            "--mv-cache-persist"
+        ),
+    )
+    cache.add_argument(
+        "action",
+        choices=("list", "info", "clear"),
+        help=(
+            "list = file names and sizes; info = decoded metadata per "
+            "file; clear = delete every cache file"
+        ),
+    )
+    cache.add_argument(
+        "--dir",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "cache directory to operate on (default: the mv_cache "
+            "directory under REPRO_CACHE_DIR)"
+        ),
+    )
     return parser
 
 
@@ -728,6 +871,8 @@ def main(argv: list[str] | None = None) -> int:
         return _report_command(arguments)
     if arguments.command == "tune":
         return _tune_command(arguments)
+    if arguments.command == "cache":
+        return _cache_command(arguments)
     raise AssertionError(f"unhandled command {arguments.command!r}")
 
 

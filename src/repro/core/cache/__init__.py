@@ -1,0 +1,62 @@
+"""The MV match-column cache subsystem: policies + persistence.
+
+Split out of :mod:`repro.core.fitness` when the cache grew from an
+inlined LRU dict into a first-class subsystem:
+
+* :mod:`repro.core.cache.policies` — the pluggable
+  :class:`EvictionPolicy` protocol and the four shipped policies
+  (``lru`` — the default and historical behavior — ``lfu``, ``2q``,
+  ``segmented``).  All semantically inert: the policy decides which
+  columns a full cache keeps, never what a column contains.
+* :mod:`repro.core.cache.persist` — save/load of the packed slot
+  array + keys under ``$REPRO_CACHE_DIR/mv_cache/``, keyed by
+  (block-table digest, kernel, K, format version), with atomic writes
+  and a discard-with-warning contract for anything invalid.
+
+The cache class itself (:class:`repro.core.fitness.MVMatchCache`)
+stays in the fitness module next to its one consumer; it delegates
+retention decisions to a policy from here and (de)hydrates through
+the persistence helpers.
+"""
+
+from .persist import (
+    CACHE_FORMAT,
+    CACHE_VERSION,
+    block_table_digest,
+    cache_file_name,
+    cache_file_path,
+    describe_cache_file,
+    load_mv_cache,
+    mv_cache_dir,
+    save_mv_cache,
+)
+from .policies import (
+    DEFAULT_POLICY,
+    POLICY_CHOICES,
+    EvictionPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    SegmentedPolicy,
+    TwoQueuePolicy,
+    make_policy,
+)
+
+__all__ = [
+    "CACHE_FORMAT",
+    "CACHE_VERSION",
+    "DEFAULT_POLICY",
+    "POLICY_CHOICES",
+    "EvictionPolicy",
+    "LFUPolicy",
+    "LRUPolicy",
+    "SegmentedPolicy",
+    "TwoQueuePolicy",
+    "block_table_digest",
+    "cache_file_name",
+    "cache_file_path",
+    "describe_cache_file",
+    "load_mv_cache",
+    "make_policy",
+    "mv_cache_dir",
+    "save_mv_cache",
+]

@@ -1,0 +1,257 @@
+"""On-disk persistence of MV match-column caches.
+
+A warm MV cache is pure wall-clock state: match columns depend only on
+(MV, block table), so a column computed by yesterday's run over the
+same circuit is exactly as valid today.  This module saves a cache's
+packed slot array + keys to ``$REPRO_CACHE_DIR/mv_cache/`` and loads
+it back on the next run, keyed by
+
+    (block-table digest, kernel name, block length K, format version)
+
+so a file can only ever be replayed against the exact distinct-block
+table it was computed from.  The failure contract is asymmetric by
+design: a corrupt, truncated, version-mismatched or wrong-table file
+is discarded with a warning — the cost is a cold start, never a wrong
+rate.  Writes go through :func:`repro.io_utils.atomic_write_bytes`
+(temp file + ``os.replace``), so concurrent writers of the same key —
+e.g. the independent EA runs of one ``ProcessBackend`` sweep — race
+harmlessly: the last rename wins and every load observes one complete
+file.
+
+File format (documented in ``docs/cache-format.md``): a ``.npz``
+archive (``allow_pickle=False`` on load) with
+
+* ``meta`` — a JSON string (0-d unicode array) carrying format tag,
+  version, table digest, kernel, K, column width and entry count;
+* ``columns`` — ``(N, ⌈D/8⌉)`` uint8 bit-packed match columns,
+  coldest entry first (the eviction-priority order exported by the
+  cache's policy), so a load into a *smaller* cache keeps the hottest
+  entries;
+* ``keys_int`` — ``(N,)`` uint64 fused ``[ones|zeros]`` keys
+  (``2K <= 64``), or ``keys_bytes`` — ``(N, key_bytes)`` uint8 rows
+  whose ``tobytes()`` are the cache keys (wide blocks).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from ...io_utils import atomic_write_bytes
+
+__all__ = [
+    "CACHE_FORMAT",
+    "CACHE_VERSION",
+    "block_table_digest",
+    "cache_file_name",
+    "cache_file_path",
+    "describe_cache_file",
+    "load_mv_cache",
+    "mv_cache_dir",
+    "save_mv_cache",
+]
+
+CACHE_FORMAT = "repro-mv-cache"
+CACHE_VERSION = 1
+
+
+def mv_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR/mv_cache`` (default ``~/.cache/repro/mv_cache``)."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    base = Path(root) if root else Path.home() / ".cache" / "repro"
+    return base / "mv_cache"
+
+
+def block_table_digest(blocks) -> str:
+    """SHA-256 content digest of a block set (dtype/shape-qualified).
+
+    The same recipe the checkpoint journal uses for its run
+    fingerprints: K and original bit count, then every distinct-table
+    array with its dtype and shape, so two tables collide only if they
+    are byte-identical in every semantic respect.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        f"K={blocks.block_length};bits={blocks.original_bits};".encode()
+    )
+    for name in ("ones", "zeros", "counts", "sequence"):
+        array = np.ascontiguousarray(getattr(blocks, name))
+        digest.update(f"{name}:{array.dtype}:{array.shape}:".encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def cache_file_name(digest: str, kernel: str, block_length: int) -> str:
+    """File name for one cache key (digest prefix keeps names short)."""
+    return f"{digest[:16]}-{kernel}-K{block_length}-v{CACHE_VERSION}.npz"
+
+
+def cache_file_path(
+    digest: str, kernel: str, block_length: int, directory: Path | None = None
+) -> Path:
+    """Full path of one cache key's file under the cache directory."""
+    base = Path(directory) if directory is not None else mv_cache_dir()
+    return base / cache_file_name(digest, kernel, block_length)
+
+
+def _encode_keys(keys: list) -> tuple[str, np.ndarray]:
+    """Keys as one homogeneous array: uint64 scalars or uint8 byte rows.
+
+    Plain byte-string dtypes (``S``) are unusable here — numpy strips
+    trailing NUL bytes on round-trip, and packed-word keys end in NULs
+    routinely — so bytes keys are stored as fixed-width uint8 rows.
+    """
+    if isinstance(keys[0], bytes):
+        width = len(keys[0])
+        rows = np.frombuffer(b"".join(keys), dtype=np.uint8)
+        return "keys_bytes", rows.reshape(len(keys), width)
+    return "keys_int", np.asarray(keys, dtype=np.uint64)
+
+
+def save_mv_cache(
+    cache,
+    digest: str,
+    kernel: str,
+    block_length: int,
+    directory: Path | None = None,
+) -> Path | None:
+    """Persist ``cache`` for (``digest``, ``kernel``, ``block_length``).
+
+    Returns the written path, or ``None`` when the cache holds nothing
+    (an empty file would buy the next run nothing).  The write is
+    atomic; concurrent savers of the same key leave whichever complete
+    file renamed last.
+    """
+    keys, columns = cache.export_state()
+    if not keys:
+        return None
+    key_field, key_array = _encode_keys(keys)
+    meta = json.dumps(
+        {
+            "format": CACHE_FORMAT,
+            "version": CACHE_VERSION,
+            "digest": digest,
+            "kernel": kernel,
+            "block_length": int(block_length),
+            "column_width": int(columns.shape[1]),
+            "entries": len(keys),
+            "policy": cache.policy_name,
+        }
+    )
+    buffer = io.BytesIO()
+    np.savez(
+        buffer,
+        meta=np.asarray(meta),
+        columns=columns,
+        **{key_field: key_array},
+    )
+    path = cache_file_path(digest, kernel, block_length, directory)
+    return atomic_write_bytes(path, buffer.getvalue())
+
+
+def _decode_keys(archive) -> list:
+    if "keys_int" in archive:
+        return [int(value) for value in archive["keys_int"]]
+    rows = np.ascontiguousarray(archive["keys_bytes"], dtype=np.uint8)
+    return [bytes(row.tobytes()) for row in rows]
+
+
+def load_mv_cache(
+    cache,
+    digest: str,
+    kernel: str,
+    block_length: int,
+    column_width: int,
+    directory: Path | None = None,
+    warn=None,
+) -> int:
+    """Warm ``cache`` from the persisted file for this key, if valid.
+
+    Returns the number of entries loaded (0 on a cold start).  Any
+    defect — unreadable file, truncated archive, foreign format,
+    version/digest/width mismatch — discards the file with a ``warn``
+    message and leaves the cache cold; persistence can never poison a
+    result, only skip a warm start.
+    """
+    path = cache_file_path(digest, kernel, block_length, directory)
+    if not path.exists():
+        return 0
+
+    def _reject(reason: str) -> int:
+        if warn is not None:
+            warn(f"ignoring persisted MV cache {path.name}: {reason}")
+        return 0
+
+    try:
+        with np.load(io.BytesIO(path.read_bytes()), allow_pickle=False) as archive:
+            if "meta" not in archive or "columns" not in archive:
+                return _reject("missing required arrays")
+            meta = json.loads(str(archive["meta"]))
+            if meta.get("format") != CACHE_FORMAT:
+                return _reject("not a repro MV cache file")
+            if meta.get("version") != CACHE_VERSION:
+                return _reject(
+                    f"format version {meta.get('version')!r}, "
+                    f"expected {CACHE_VERSION}"
+                )
+            if meta.get("digest") != digest:
+                return _reject("block-table digest mismatch")
+            if meta.get("kernel") != kernel:
+                return _reject("kernel mismatch")
+            if meta.get("block_length") != block_length:
+                return _reject("block length mismatch")
+            columns = np.asarray(archive["columns"], dtype=np.uint8)
+            if columns.ndim != 2 or columns.shape[1] != column_width:
+                return _reject(
+                    f"column width {columns.shape[-1] if columns.ndim else '?'}, "
+                    f"expected {column_width}"
+                )
+            keys = _decode_keys(archive)
+            if len(keys) != columns.shape[0]:
+                return _reject("key/column count mismatch")
+    except (
+        OSError,
+        ValueError,
+        KeyError,
+        EOFError,
+        zipfile.BadZipFile,
+        json.JSONDecodeError,
+    ) as error:
+        return _reject(f"unreadable ({error})")
+    # Coldest-first replay: under a smaller capacity the hottest
+    # persisted entries are the ones that survive.
+    cache.load_state(keys, columns)
+    return len(cache)
+
+
+def describe_cache_file(path: Path) -> dict:
+    """Metadata of one persisted cache file (for ``repro cache``).
+
+    Returns the embedded ``meta`` document plus file size, or an
+    ``{"error": ...}`` record for undecodable files — the inspection
+    tool must not crash on exactly the corrupt files it exists to
+    find.
+    """
+    info: dict = {"file": path.name, "bytes": path.stat().st_size}
+    try:
+        with np.load(io.BytesIO(path.read_bytes()), allow_pickle=False) as archive:
+            if "meta" not in archive:
+                info["error"] = "missing meta"
+                return info
+            info.update(json.loads(str(archive["meta"])))
+    except (
+        OSError,
+        ValueError,
+        KeyError,
+        EOFError,
+        zipfile.BadZipFile,
+        json.JSONDecodeError,
+    ) as error:
+        info["error"] = str(error)
+    return info

@@ -1,0 +1,346 @@
+"""Pluggable eviction policies behind :class:`repro.core.fitness.MVMatchCache`.
+
+The MV match-column cache is semantically inert — an eviction can only
+cost a recomputation, never change a result — so *which* entries a
+full cache keeps is purely a wall-clock decision.  This module factors
+that decision out of the cache: an :class:`EvictionPolicy` owns the
+key → slot mapping of one cache and answers two questions — "where is
+this key?" (:meth:`EvictionPolicy.lookup`, recording the access) and
+"which slot does a new key get?" (:meth:`EvictionPolicy.claim`,
+evicting a victim when no free slot remains).  The slot *store* (the
+preallocated packed-column array), the hit/miss/eviction counters and
+the batch API stay with the cache itself, so every policy prices
+byte-identically and only the retention pattern differs.
+
+Four policies ship:
+
+* ``lru`` — least recently used; the historical behavior and the
+  default.  Best when the EA's working set drifts slowly (convergent
+  populations revisit their parents' MVs).
+* ``lfu`` — least frequently used with LRU tie-breaking inside each
+  frequency class (the classic O(1) frequency-bucket scheme).  Keeps
+  long-lived hot MVs (the all-U row, popular parents) through scan
+  bursts that would flush an LRU.
+* ``2q`` — the simplified 2Q of Johnson & Shasha: new keys enter a
+  FIFO probation queue (≈¼ capacity), re-accessed keys promote to the
+  protected LRU main queue, and a ghost list of recently evicted
+  probation keys (≈½ capacity, keys only — no columns) fast-tracks
+  readmitted keys straight to the main queue.  Scan-resistant: a
+  one-shot sweep of cold MVs cycles through probation without
+  touching the protected set.
+* ``segmented`` — frequency-segmented LRU (SLRU): a probationary and
+  a protected LRU segment (protected ≈½ capacity); first touch lands
+  in probation, a second promotes, protected overflow demotes back to
+  probation's hot end.  Victims always come from probation first.
+
+All four are exercised by the byte-parity suites in
+``tests/core/test_mv_cache.py`` — same seeded results, entry for
+entry, as the fused no-cache path.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from typing import Iterator
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "POLICY_CHOICES",
+    "EvictionPolicy",
+    "LRUPolicy",
+    "LFUPolicy",
+    "TwoQueuePolicy",
+    "SegmentedPolicy",
+    "make_policy",
+]
+
+
+class EvictionPolicy(abc.ABC):
+    """Key → slot bookkeeping of one bounded cache.
+
+    Subclasses own the retention order; the shared base owns the free
+    slot pool and the claim protocol.  ``capacity`` is the number of
+    slots (matching the cache's preallocated store rows).
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        # Popped from the end: slot 0 is handed out first, matching
+        # the historical allocation order.
+        self._free: list[int] = list(range(capacity - 1, -1, -1))
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained keys."""
+        return self._capacity
+
+    # -- access protocol ----------------------------------------------
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of keys currently retained."""
+
+    @abc.abstractmethod
+    def __contains__(self, key) -> bool:
+        """Whether ``key`` is retained (no access recorded)."""
+
+    @abc.abstractmethod
+    def lookup(self, key) -> int | None:
+        """The slot of ``key`` (``None`` if absent), recording the access."""
+
+    def claim(self, key) -> tuple[int, bool]:
+        """The slot for a new ``key``; ``(slot, evicted_existing)``.
+
+        ``key`` must be absent.  A free slot is preferred; otherwise
+        the policy's victim is dropped and its slot recycled.
+        """
+        if self._free:
+            slot = self._free.pop()
+            evicted = False
+        else:
+            slot = self._evict()
+            evicted = True
+        self._admit(key, slot)
+        return slot, evicted
+
+    @abc.abstractmethod
+    def _admit(self, key, slot: int) -> None:
+        """Record a new ``key`` at ``slot`` (key known absent)."""
+
+    @abc.abstractmethod
+    def _evict(self) -> int:
+        """Drop the policy's victim key; return its freed slot."""
+
+    @abc.abstractmethod
+    def items(self) -> Iterator[tuple]:
+        """``(key, slot)`` pairs, coldest first.
+
+        The persistence order: replaying ``items()`` through a fresh
+        cache's inserts reproduces the retention priority, and under a
+        *smaller* capacity the coldest entries are the ones evicted.
+        """
+
+
+class LRUPolicy(EvictionPolicy):
+    """Least recently used — the historical default."""
+
+    name = "lru"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._entries: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def lookup(self, key) -> int | None:
+        slot = self._entries.get(key)
+        if slot is not None:
+            self._entries.move_to_end(key)
+        return slot
+
+    def _admit(self, key, slot: int) -> None:
+        self._entries[key] = slot
+
+    def _evict(self) -> int:
+        _, slot = self._entries.popitem(last=False)
+        return slot
+
+    def items(self) -> Iterator[tuple]:
+        return iter(self._entries.items())
+
+
+class LFUPolicy(EvictionPolicy):
+    """Least frequently used, LRU tie-break within a frequency class.
+
+    O(1) per operation via frequency buckets: ``_buckets[f]`` is the
+    insertion-ordered set of keys accessed exactly ``f`` times, and
+    the victim is the least recent key of the lowest populated
+    frequency.
+    """
+
+    name = "lfu"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._entries: dict = {}  # key -> (slot, frequency)
+        self._buckets: dict[int, OrderedDict] = {}
+        self._min_frequency = 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def _bump(self, key, slot: int, frequency: int) -> None:
+        bucket = self._buckets[frequency]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[frequency]
+            if self._min_frequency == frequency:
+                self._min_frequency = frequency + 1
+        self._entries[key] = (slot, frequency + 1)
+        self._buckets.setdefault(frequency + 1, OrderedDict())[key] = None
+
+    def lookup(self, key) -> int | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        slot, frequency = entry
+        self._bump(key, slot, frequency)
+        return slot
+
+    def _admit(self, key, slot: int) -> None:
+        self._entries[key] = (slot, 1)
+        self._buckets.setdefault(1, OrderedDict())[key] = None
+        self._min_frequency = 1
+
+    def _evict(self) -> int:
+        while self._min_frequency not in self._buckets:
+            self._min_frequency += 1
+        bucket = self._buckets[self._min_frequency]
+        key, _ = bucket.popitem(last=False)
+        if not bucket:
+            del self._buckets[self._min_frequency]
+        slot, _ = self._entries.pop(key)
+        return slot
+
+    def items(self) -> Iterator[tuple]:
+        for frequency in sorted(self._buckets):
+            for key in self._buckets[frequency]:
+                yield key, self._entries[key][0]
+
+
+class TwoQueuePolicy(EvictionPolicy):
+    """Simplified 2Q: FIFO probation + LRU main + ghost readmission."""
+
+    name = "2q"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._in_target = max(1, capacity // 4)  # probation size target
+        self._ghost_capacity = max(1, capacity // 2)
+        self._probation: OrderedDict = OrderedDict()  # FIFO, key -> slot
+        self._main: OrderedDict = OrderedDict()  # LRU, key -> slot
+        self._ghost: OrderedDict = OrderedDict()  # keys only, no columns
+
+    def __len__(self) -> int:
+        return len(self._probation) + len(self._main)
+
+    def __contains__(self, key) -> bool:
+        return key in self._probation or key in self._main
+
+    def lookup(self, key) -> int | None:
+        slot = self._main.get(key)
+        if slot is not None:
+            self._main.move_to_end(key)
+            return slot
+        slot = self._probation.get(key)
+        if slot is not None:
+            # A second access while on probation proves the key hot.
+            del self._probation[key]
+            self._main[key] = slot
+            return slot
+        return None
+
+    def _admit(self, key, slot: int) -> None:
+        if key in self._ghost:
+            del self._ghost[key]
+            self._main[key] = slot
+        else:
+            self._probation[key] = slot
+
+    def _evict(self) -> int:
+        if self._probation and (
+            len(self._probation) >= self._in_target or not self._main
+        ):
+            key, slot = self._probation.popitem(last=False)
+            self._ghost[key] = None
+            while len(self._ghost) > self._ghost_capacity:
+                self._ghost.popitem(last=False)
+        else:
+            _, slot = self._main.popitem(last=False)
+        return slot
+
+    def items(self) -> Iterator[tuple]:
+        yield from self._probation.items()
+        yield from self._main.items()
+
+
+class SegmentedPolicy(EvictionPolicy):
+    """Frequency-segmented LRU (SLRU): probation + protected segments."""
+
+    name = "segmented"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._protected_capacity = max(1, capacity // 2)
+        self._probation: OrderedDict = OrderedDict()  # key -> slot, LRU
+        self._protected: OrderedDict = OrderedDict()  # key -> slot, LRU
+
+    def __len__(self) -> int:
+        return len(self._probation) + len(self._protected)
+
+    def __contains__(self, key) -> bool:
+        return key in self._probation or key in self._protected
+
+    def lookup(self, key) -> int | None:
+        slot = self._protected.get(key)
+        if slot is not None:
+            self._protected.move_to_end(key)
+            return slot
+        slot = self._probation.get(key)
+        if slot is not None:
+            del self._probation[key]
+            self._protected[key] = slot
+            if len(self._protected) > self._protected_capacity:
+                # Demote the protected LRU to probation's hot end —
+                # it keeps its slot, only its eviction priority drops.
+                demoted, demoted_slot = self._protected.popitem(last=False)
+                self._probation[demoted] = demoted_slot
+            return slot
+        return None
+
+    def _admit(self, key, slot: int) -> None:
+        self._probation[key] = slot
+
+    def _evict(self) -> int:
+        if self._probation:
+            _, slot = self._probation.popitem(last=False)
+        else:
+            _, slot = self._protected.popitem(last=False)
+        return slot
+
+    def items(self) -> Iterator[tuple]:
+        yield from self._probation.items()
+        yield from self._protected.items()
+
+
+_POLICIES = {
+    policy.name: policy
+    for policy in (LRUPolicy, LFUPolicy, TwoQueuePolicy, SegmentedPolicy)
+}
+
+POLICY_CHOICES: tuple[str, ...] = tuple(_POLICIES)
+DEFAULT_POLICY = LRUPolicy.name
+
+
+def make_policy(policy: str, capacity: int) -> EvictionPolicy:
+    """Instantiate the named eviction policy at the given capacity."""
+    try:
+        policy_class = _POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown eviction policy {policy!r}; "
+            f"choose one of: {', '.join(POLICY_CHOICES)}"
+        ) from None
+    return policy_class(capacity)

@@ -42,8 +42,9 @@ negative constant, far below any reachable rate.
 from __future__ import annotations
 
 import time
-from collections import OrderedDict
+import warnings
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -51,6 +52,14 @@ from ..coding.huffman import huffman_total_bits_batch
 from ..tuning.feedback import MVCacheFeedback, MVFeedbackStats
 from ..tuning.profile import TuningProfile, get_active_profile
 from .blocks import BlockSet, mask_word_count, pack_bits_to_words
+from .cache import (
+    DEFAULT_POLICY,
+    EvictionPolicy,
+    block_table_digest,
+    load_mv_cache,
+    make_policy,
+    save_mv_cache,
+)
 from .encoding import EncodingStrategy, build_encoding_table
 from .kernels import (
     AUTO_KERNEL,
@@ -121,9 +130,13 @@ class MVCacheStats:
     per-batch dedup; ``hits``/``misses`` count unique rows served from
     (vs priced into) the persistent cache.  Only kernel work for
     misses is ever recomputed, so the saved fraction of match work is
-    ``1 − misses/rows_total``.  ``feedback`` carries the runtime
-    engagement monitor's decision counters (``None`` when no monitor
-    is attached).
+    ``1 − misses/rows_total``.  ``policy`` names the cache's eviction
+    policy (empty when the cache is disabled) and ``warm_loaded``
+    counts entries hydrated from a persisted cache file before the
+    first batch.  ``feedback`` carries the runtime engagement
+    monitor's decision counters (``None`` when no monitor is
+    attached).  Every ratio here is well-defined at zero activity:
+    a run that never looks anything up reports 0.0, never NaN.
     """
 
     hits: int = 0
@@ -133,6 +146,8 @@ class MVCacheStats:
     capacity: int = 0
     rows_total: int = 0
     rows_unique: int = 0
+    policy: str = ""
+    warm_loaded: int = 0
     feedback: MVFeedbackStats | None = None
 
     @property
@@ -150,7 +165,7 @@ class MVCacheStats:
 
 
 class MVMatchCache:
-    """LRU cache: packed MV key → bit-packed match column.
+    """Policy-bounded cache: packed MV key → bit-packed match column.
 
     Keys identify an MV's ``[ones|zeros]`` word representation — a
     plain ``int`` when the fused row fits one uint64 (``2K ≤ 64``),
@@ -159,34 +174,50 @@ class MVMatchCache:
     (``np.packbits`` little-endian, ⌈D/8⌉ uint8) and stored as rows of
     one preallocated slot array, so whole-generation lookups resolve
     into a single vectorized gather (:meth:`columns_at`) instead of
-    per-row array copies.  Capacity-bounded exactly like the engine's
-    genome memo cache, and just as semantically inert: an eviction can
-    only cost a recomputation, never change a result.
+    per-row array copies.
+
+    Which entries a *full* cache keeps is delegated to a pluggable
+    :class:`repro.core.cache.EvictionPolicy` (``"lru"`` — the
+    historical behavior — ``"lfu"``, ``"2q"``, ``"segmented"``).  Any
+    policy is semantically inert, exactly like the engine's genome
+    memo cache: an eviction can only cost a recomputation, never
+    change a result.  :meth:`export_state`/:meth:`load_state` move the
+    retained entries to and from the persisted on-disk form
+    (:mod:`repro.core.cache.persist`), coldest entry first so a reload
+    into a smaller cache keeps the hottest columns.
     """
 
-    def __init__(self, capacity: int) -> None:
-        if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
-        self._capacity = capacity
-        self._slots: OrderedDict[int | bytes, int] = OrderedDict()
+    def __init__(
+        self, capacity: int, policy: str | EvictionPolicy = DEFAULT_POLICY
+    ) -> None:
+        if isinstance(policy, EvictionPolicy):
+            self._policy = policy
+            self._capacity = policy.capacity
+        else:
+            self._policy = make_policy(policy, capacity)
+            self._capacity = capacity
         self._store: np.ndarray | None = None  # (capacity, ⌈D/8⌉) uint8
-        self._free: list[int] = []
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.warm_loaded = 0
 
     @property
     def capacity(self) -> int:
         """Maximum number of match columns retained."""
         return self._capacity
 
+    @property
+    def policy_name(self) -> str:
+        """Name of the eviction policy deciding retention."""
+        return self._policy.name
+
     def __len__(self) -> int:
-        return len(self._slots)
+        return len(self._policy)
 
     def _ensure_store(self, column_width: int) -> None:
         if self._store is None:
             self._store = np.empty((self._capacity, column_width), np.uint8)
-            self._free = list(range(self._capacity - 1, -1, -1))
         elif self._store.shape[1] != column_width:
             raise ValueError(
                 f"cache holds {self._store.shape[1]}-byte columns, "
@@ -194,54 +225,47 @@ class MVMatchCache:
             )
 
     def _claim_slot(self, key: int | bytes) -> int:
-        """The store row for a new ``key``, evicting the LRU if full."""
-        if self._free:
-            slot = self._free.pop()
-        else:
-            _, slot = self._slots.popitem(last=False)
+        """The store row for a new ``key``, evicting a victim if full."""
+        slot, evicted = self._policy.claim(key)
+        if evicted:
             self.evictions += 1
-        self._slots[key] = slot
         return slot
 
     def get(self, key: int | bytes) -> np.ndarray | None:
-        """The cached packed column for ``key``, refreshing its LRU slot.
+        """The cached packed column for ``key``, refreshing its priority.
 
         Returns a copy: a view into the slot store would be silently
         overwritten when a later insert recycles the slot (the batch
         path uses :meth:`lookup`/:meth:`columns_at`, whose
         read-before-insert contract makes views safe there).
         """
-        slot = self._slots.get(key)
+        slot = self._policy.lookup(key)
         if slot is None:
             self.misses += 1
             return None
-        self._slots.move_to_end(key)
         self.hits += 1
         return self._store[slot].copy()
 
     def put(self, key: int | bytes, column: np.ndarray) -> None:
-        """Insert ``key``'s packed column, evicting the LRU overflow."""
+        """Insert ``key``'s packed column, evicting the policy's victim."""
         column = np.asarray(column, dtype=np.uint8)
         self._ensure_store(column.shape[-1])
-        slot = self._slots.get(key)
+        slot = self._policy.lookup(key)  # overwrite refreshes priority
         if slot is None:
             slot = self._claim_slot(key)
-        else:
-            self._slots.move_to_end(key)
         self._store[slot] = column
 
     def lookup(self, keys: list) -> np.ndarray:
         """Store slot per key (``-1`` for misses), counting and
-        LRU-refreshing hits — the batch counterpart of :meth:`get`."""
-        slots_map = self._slots
+        priority-refreshing hits — the batch counterpart of :meth:`get`."""
+        policy = self._policy
         slots = np.empty(len(keys), dtype=np.int64)
         hits = 0
         for index, key in enumerate(keys):
-            slot = slots_map.get(key)
+            slot = policy.lookup(key)
             if slot is None:
                 slots[index] = -1
             else:
-                slots_map.move_to_end(key)
                 slots[index] = slot
                 hits += 1
         self.hits += hits
@@ -268,19 +292,55 @@ class MVMatchCache:
         """
         columns = np.asarray(columns, dtype=np.uint8)
         self._ensure_store(columns.shape[-1])
+        policy = self._policy
         slots = np.empty(len(keys), dtype=np.int64)
         for index, key in enumerate(keys):
-            slot = self._slots.get(key)
+            slot = policy.lookup(key)
             if slot is None:
                 slot = self._claim_slot(key)
-            else:
-                self._slots.move_to_end(key)
             slots[index] = slot
         unique_slots, reversed_first = np.unique(
             slots[::-1], return_index=True
         )
         last_rows = len(keys) - 1 - reversed_first
         self._store[unique_slots] = columns[last_rows]
+
+    # -- persistence --------------------------------------------------
+
+    def export_state(self) -> tuple[list, np.ndarray]:
+        """Retained ``(keys, columns)`` in eviction order, coldest first.
+
+        The on-disk form: replaying the pairs through
+        :meth:`load_state` reproduces the retention priority under any
+        policy, and under a smaller capacity the coldest entries are
+        the ones dropped.
+        """
+        pairs = list(self._policy.items())
+        if not pairs:
+            return [], np.empty((0, 0), dtype=np.uint8)
+        keys = [key for key, _ in pairs]
+        slots = np.fromiter(
+            (slot for _, slot in pairs), dtype=np.int64, count=len(pairs)
+        )
+        return keys, self._store[slots].copy()
+
+    def load_state(self, keys: list, columns: np.ndarray) -> None:
+        """Hydrate from persisted ``(keys, columns)``, coldest first.
+
+        Counters stay untouched — a warm start is not a hit, and
+        truncation to a smaller capacity is not run-time eviction
+        pressure; :attr:`warm_loaded` records how many entries are
+        resident after the load.
+        """
+        columns = np.asarray(columns, dtype=np.uint8)
+        self._ensure_store(columns.shape[-1])
+        policy = self._policy
+        for index, key in enumerate(keys):
+            slot = policy.lookup(key)
+            if slot is None:
+                slot, _ = policy.claim(key)
+            self._store[slot] = columns[index]
+        self.warm_loaded = len(policy)
 
 
 class _StageClock:
@@ -341,6 +401,9 @@ class BatchCompressionRateFitness:
         mv_cache_size: int | None = DEFAULT_MV_CACHE_SIZE,
         tuning: TuningProfile | None = None,
         mv_feedback: bool | MVCacheFeedback | None = None,
+        mv_cache_policy: str | None = None,
+        mv_cache_persist: bool = False,
+        mv_cache_dir: Path | None = None,
     ) -> None:
         if blocks.block_length != block_length:
             raise ValueError(
@@ -363,7 +426,20 @@ class BatchCompressionRateFitness:
         # Threshold resolution order: explicit profile > process-wide
         # active profile > shipped module defaults (profile absent).
         self._tuning = tuning if tuning is not None else get_active_profile()
-        self._mv_cache = MVMatchCache(mv_cache_size) if mv_cache_size else None
+        # Policy resolution mirrors the threshold order: explicit
+        # argument > profile field > shipped default (LRU).
+        if mv_cache_policy is None and self._tuning is not None:
+            mv_cache_policy = self._tuning.mv_cache_policy
+        if mv_cache_policy is None:
+            mv_cache_policy = DEFAULT_POLICY
+        self._mv_cache = (
+            MVMatchCache(mv_cache_size, policy=mv_cache_policy)
+            if mv_cache_size
+            else None
+        )
+        self._mv_cache_persist = bool(mv_cache_persist) and self._mv_cache is not None
+        self._mv_cache_dir = mv_cache_dir
+        self._table_digest_memo: str | None = None
         self._mv_feedback = self._build_feedback(mv_feedback)
         self._mv_rows_total = 0
         self._mv_rows_unique = 0
@@ -412,7 +488,49 @@ class BatchCompressionRateFitness:
                 profile=self._tuning,
             )
             self._prepared = self._kernel.prepare(self._blocks)
+            # The resolved kernel name is part of the persisted-cache
+            # key (columns must replay against the same kernel family's
+            # table layout assumptions), so warm-up can only happen
+            # here — after "auto" has collapsed to a concrete kernel.
+            if self._mv_cache_persist:
+                self._load_persisted_cache()
         return self._kernel
+
+    def _table_digest(self) -> str:
+        if self._table_digest_memo is None:
+            self._table_digest_memo = block_table_digest(self._blocks)
+        return self._table_digest_memo
+
+    def _load_persisted_cache(self) -> None:
+        """Warm the MV cache from disk; any invalid file is a cold start."""
+        load_mv_cache(
+            self._mv_cache,
+            self._table_digest(),
+            self._kernel.name,
+            self._block_length,
+            column_width=-(-self._blocks.n_distinct // 8),
+            directory=self._mv_cache_dir,
+            warn=lambda message: warnings.warn(message, stacklevel=3),
+        )
+
+    def persist_mv_cache(self) -> Path | None:
+        """Save the warm MV cache to disk; the path written, or ``None``.
+
+        A no-op (``None``) when persistence is off, the cache is
+        disabled or empty, or no batch was ever priced (an unresolved
+        ``auto`` kernel has no cache key to save under).  Safe under
+        concurrent callers — the atomic rename publishes one complete
+        file and the last writer wins.
+        """
+        if not self._mv_cache_persist or self._kernel is None:
+            return None
+        return save_mv_cache(
+            self._mv_cache,
+            self._table_digest(),
+            self._kernel.name,
+            self._block_length,
+            directory=self._mv_cache_dir,
+        )
 
     @property
     def blocks(self) -> BlockSet:
@@ -447,16 +565,26 @@ class BatchCompressionRateFitness:
     @property
     def mv_cache_stats(self) -> MVCacheStats:
         """Dedup and cache effectiveness counters (all zero if disabled)."""
+        # `is None` checks, not truthiness: an *empty* cache is falsy
+        # (``__len__`` == 0) but must still report its policy.
         cache = self._mv_cache
         feedback = self._mv_feedback
+        if cache is None:
+            return MVCacheStats(
+                rows_total=self._mv_rows_total,
+                rows_unique=self._mv_rows_unique,
+                feedback=feedback.stats if feedback else None,
+            )
         return MVCacheStats(
-            hits=cache.hits if cache else 0,
-            misses=cache.misses if cache else 0,
-            evictions=cache.evictions if cache else 0,
-            size=len(cache) if cache else 0,
-            capacity=cache.capacity if cache else 0,
+            hits=cache.hits,
+            misses=cache.misses,
+            evictions=cache.evictions,
+            size=len(cache),
+            capacity=cache.capacity,
             rows_total=self._mv_rows_total,
             rows_unique=self._mv_rows_unique,
+            policy=cache.policy_name,
+            warm_loaded=cache.warm_loaded,
             feedback=feedback.stats if feedback else None,
         )
 
@@ -750,6 +878,9 @@ class CompressionRateFitness:
         mv_cache_size: int | None = DEFAULT_MV_CACHE_SIZE,
         tuning: TuningProfile | None = None,
         mv_feedback: bool | MVCacheFeedback | None = None,
+        mv_cache_policy: str | None = None,
+        mv_cache_persist: bool = False,
+        mv_cache_dir: Path | None = None,
     ) -> None:
         self._batch = BatchCompressionRateFitness(
             blocks,
@@ -761,6 +892,9 @@ class CompressionRateFitness:
             mv_cache_size,
             tuning,
             mv_feedback,
+            mv_cache_policy=mv_cache_policy,
+            mv_cache_persist=mv_cache_persist,
+            mv_cache_dir=mv_cache_dir,
         )
         self._n_vectors = n_vectors
         self._block_length = block_length
@@ -785,6 +919,10 @@ class CompressionRateFitness:
     def mv_cache_stats(self) -> MVCacheStats:
         """The underlying batch engine's MV-cache counters."""
         return self._batch.mv_cache_stats
+
+    def persist_mv_cache(self) -> Path | None:
+        """Save the batch engine's warm MV cache (see the batch API)."""
+        return self._batch.persist_mv_cache()
 
     def genome_masks(
         self, genome: np.ndarray

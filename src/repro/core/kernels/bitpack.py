@@ -29,11 +29,16 @@ Two axes of blocking keep every temporary cache-resident:
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..blocks import masks_as_words, pack_bits_to_words, unpack_words_to_bits
+from ..blocks import (
+    mask_word_count,
+    pack_bits_to_words,
+    unpack_words_to_bits,
+)
 from ..trits import ONE, ZERO
 from .base import (
     CoveringKernel,
@@ -112,18 +117,47 @@ class BitpackKernel(CoveringKernel):
         base = self._base_prepared(
             block_ones, block_zeros, block_counts, block_length
         )
-        bits = np.concatenate(
-            [
-                unpack_words_to_bits(
-                    masks_as_words(block_ones), block_length
-                ),
-                unpack_words_to_bits(
-                    masks_as_words(block_zeros), block_length
-                ),
-            ],
-            axis=1,
-        )
-        return _BitpackPrepared(**vars(base), block_lanes=_pack_lanes(bits))
+        ones_words = base.ones_words
+        zeros_words = base.zeros_words
+        n_distinct = base.n_distinct
+        lane_bits = 2 * block_length
+        lane_words = mask_word_count(lane_bits)
+        lane_dtype = _lane_dtype(lane_bits)
+        # Out-of-core tables (np.memmap masks — see core.blocks_io)
+        # get memmap lanes over an anonymous temp file, so the shard
+        # loop in _cover_lanes streams them from disk page by page and
+        # preparation never materializes a D-sized array in RAM.
+        if isinstance(block_ones, np.memmap) or isinstance(
+            block_zeros, np.memmap
+        ):
+            spool = tempfile.TemporaryFile()
+            block_lanes = np.memmap(
+                spool, dtype=lane_dtype, mode="w+",
+                shape=(n_distinct, lane_words),
+            )
+        else:
+            block_lanes = np.empty(
+                (n_distinct, lane_words), dtype=lane_dtype
+            )
+        # Chunk the D axis: the (chunk, 2K) unpacked-bit intermediate
+        # is the preparation's RAM high-water mark, so bound it instead
+        # of building it for the whole table at once.
+        chunk = max(1, _CHUNK_TENSOR_ELEMENTS // max(1, lane_bits))
+        for start in range(0, n_distinct, chunk):
+            stop = min(start + chunk, n_distinct)
+            bits = np.concatenate(
+                [
+                    unpack_words_to_bits(
+                        np.asarray(ones_words[start:stop]), block_length
+                    ),
+                    unpack_words_to_bits(
+                        np.asarray(zeros_words[start:stop]), block_length
+                    ),
+                ],
+                axis=1,
+            )
+            block_lanes[start:stop] = _pack_lanes(bits)
+        return _BitpackPrepared(**vars(base), block_lanes=block_lanes)
 
     # -- lane construction --------------------------------------------
 

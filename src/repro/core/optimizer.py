@@ -158,9 +158,13 @@ def execute_run_task(task: RunTask) -> RunOutcome:
         mv_cache_size=config.mv_cache_size,
         # The profile rides in the config so process workers (which
         # never inherit the CLI's process-wide active profile) tune
-        # identically to the serial path.
+        # identically to the serial path; likewise the cache policy
+        # and persistence flag, so a ProcessBackend run warms from and
+        # refreshes the same persisted caches as a serial one.
         tuning=config.tuning,
         mv_feedback=config.mv_feedback,
+        mv_cache_policy=config.mv_cache_policy,
+        mv_cache_persist=config.mv_cache_persist,
     )
     engine = EvolutionaryEngine(
         fitness=fitness,
@@ -171,6 +175,11 @@ def execute_run_task(task: RunTask) -> RunOutcome:
         initial_genomes=_seed_genomes(config, rng),
     )
     result = engine.run()
+    if config.mv_cache_persist:
+        # Refresh the persisted cache with this run's warm state; the
+        # atomic rename makes concurrent runs of one sweep race
+        # harmlessly (last complete file wins, results unaffected).
+        fitness.persist_mv_cache()
     return RunOutcome(
         run_index=task.run_index,
         mv_set=MVSet.from_genome(result.best_genome, config.block_length),

@@ -113,7 +113,12 @@ class EAResult:
     into) the fitness's persistent match-column cache
     (:class:`repro.core.fitness.MVMatchCache`), counted over this run
     only.  All zero when the fitness has no MV cache (plain callables,
-    ``mv_cache_size=0``).
+    ``mv_cache_size=0``).  ``mv_cache_warm_loaded`` counts entries the
+    fitness hydrated from a persisted cache file before its first
+    batch (0 on a cold start or with persistence off).
+
+    Every rate here is well-defined at zero activity: a run with no
+    lookups reports 0.0, never NaN.
     """
 
     best_genome: np.ndarray = field(repr=False)
@@ -127,6 +132,7 @@ class EAResult:
     mv_cache_hits: int = 0
     mv_cache_misses: int = 0
     mv_cache_hit_rate: float = 0.0
+    mv_cache_warm_loaded: int = 0
 
 
 class EvolutionaryEngine:
@@ -388,6 +394,13 @@ class EvolutionaryEngine:
             return 0, 0
         return stats.hits, stats.misses
 
+    def _mv_cache_warm_loaded(self) -> int:
+        """Entries the fitness warm-loaded from a persisted MV cache."""
+        stats = getattr(self._fitness, "mv_cache_stats", None)
+        if stats is None:
+            return 0
+        return getattr(stats, "warm_loaded", 0)
+
     # -- main loop ----------------------------------------------------
 
     def _termination(self) -> AnyOf:
@@ -471,4 +484,5 @@ class EvolutionaryEngine:
             mv_cache_hits=mv_hits,
             mv_cache_misses=mv_misses,
             mv_cache_hit_rate=mv_hits / mv_lookups if mv_lookups else 0.0,
+            mv_cache_warm_loaded=self._mv_cache_warm_loaded(),
         )

@@ -141,6 +141,8 @@ def kl_sweep(
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
     tuning: TuningProfile | None = None,
     mv_feedback: bool | None = None,
+    mv_cache_policy: str | None = None,
+    mv_cache_persist: bool = False,
     retry: RetryPolicy | None = None,
     timeout: float | None = None,
     checkpoint: CheckpointStore | None = None,
@@ -156,6 +158,8 @@ def kl_sweep(
                 runs=runs,
                 kernel=kernel,
                 mv_cache_size=mv_cache_size,
+                mv_cache_policy=mv_cache_policy,
+                mv_cache_persist=mv_cache_persist,
                 tuning=tuning,
                 mv_feedback=mv_feedback,
                 ea=ea,
@@ -182,6 +186,8 @@ def operator_sweep(
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
     tuning: TuningProfile | None = None,
     mv_feedback: bool | None = None,
+    mv_cache_policy: str | None = None,
+    mv_cache_persist: bool = False,
     retry: RetryPolicy | None = None,
     timeout: float | None = None,
     checkpoint: CheckpointStore | None = None,
@@ -215,6 +221,8 @@ def operator_sweep(
             CompressionConfig(
                 block_length=block_length, n_vectors=n_vectors, runs=runs,
                 kernel=kernel, mv_cache_size=mv_cache_size,
+                mv_cache_policy=mv_cache_policy,
+                mv_cache_persist=mv_cache_persist,
                 tuning=tuning, mv_feedback=mv_feedback, ea=ea,
             ),
         )
@@ -239,6 +247,8 @@ def seeding_ablation(
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
     tuning: TuningProfile | None = None,
     mv_feedback: bool | None = None,
+    mv_cache_policy: str | None = None,
+    mv_cache_persist: bool = False,
     retry: RetryPolicy | None = None,
     timeout: float | None = None,
     checkpoint: CheckpointStore | None = None,
@@ -251,6 +261,8 @@ def seeding_ablation(
             CompressionConfig(
                 block_length=block_length, n_vectors=n_vectors, runs=runs,
                 kernel=kernel, mv_cache_size=mv_cache_size,
+                mv_cache_policy=mv_cache_policy,
+                mv_cache_persist=mv_cache_persist,
                 tuning=tuning, mv_feedback=mv_feedback, ea=ea,
             ),
         )
@@ -278,6 +290,8 @@ def subsumption_ablation(
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
     tuning: TuningProfile | None = None,
     mv_feedback: bool | None = None,
+    mv_cache_policy: str | None = None,
+    mv_cache_persist: bool = False,
     retry: RetryPolicy | None = None,
     timeout: float | None = None,
 ) -> list[AblationPoint]:
@@ -290,6 +304,8 @@ def subsumption_ablation(
     config = CompressionConfig(
         block_length=block_length, n_vectors=n_vectors, runs=runs,
         kernel=kernel, mv_cache_size=mv_cache_size,
+        mv_cache_policy=mv_cache_policy,
+        mv_cache_persist=mv_cache_persist,
         tuning=tuning, mv_feedback=mv_feedback, ea=ea,
     )
     blocks = test_set.blocks(block_length)
@@ -332,6 +348,8 @@ def decoder_cost_study(
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
     tuning: TuningProfile | None = None,
     mv_feedback: bool | None = None,
+    mv_cache_policy: str | None = None,
+    mv_cache_persist: bool = False,
 ) -> dict[str, dict[str, float]]:
     """Payload vs code-table cost for 9C and the EA decoder.
 
@@ -347,6 +365,8 @@ def decoder_cost_study(
         runs=1,
         kernel=kernel,
         mv_cache_size=mv_cache_size,
+        mv_cache_policy=mv_cache_policy,
+        mv_cache_persist=mv_cache_persist,
         tuning=tuning,
         mv_feedback=mv_feedback,
         ea=EAParameters(stagnation_limit=30, max_evaluations=1200),

@@ -172,6 +172,7 @@ def encode_outcome(outcome: RunOutcome) -> dict[str, Any]:
             "mv_cache_hits": int(ea.mv_cache_hits),
             "mv_cache_misses": int(ea.mv_cache_misses),
             "mv_cache_hit_rate": float(ea.mv_cache_hit_rate),
+            "mv_cache_warm_loaded": int(ea.mv_cache_warm_loaded),
         },
     }
 
@@ -198,6 +199,9 @@ def decode_outcome(record: dict[str, Any], task: RunTask) -> RunOutcome:
         mv_cache_hits=int(ea["mv_cache_hits"]),
         mv_cache_misses=int(ea["mv_cache_misses"]),
         mv_cache_hit_rate=float(ea["mv_cache_hit_rate"]),
+        # .get: journals written before the warm-start field existed
+        # decode as cold starts.
+        mv_cache_warm_loaded=int(ea.get("mv_cache_warm_loaded", 0)),
     )
     return RunOutcome(
         run_index=int(record["run_index"]),

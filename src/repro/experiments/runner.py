@@ -187,6 +187,8 @@ def _config_jobs(
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
     tuning: TuningProfile | None = None,
     mv_feedback: bool | None = None,
+    mv_cache_policy: str | None = None,
+    mv_cache_persist: bool = False,
 ) -> list[_EAConfigJob]:
     """Build self-seeded run tasks for every (label, K, L) of a row.
 
@@ -208,6 +210,8 @@ def _config_jobs(
             runs=budget.runs,
             kernel=kernel,
             mv_cache_size=mv_cache_size,
+            mv_cache_policy=mv_cache_policy,
+            mv_cache_persist=mv_cache_persist,
             tuning=tuning,
             mv_feedback=mv_feedback,
             ea=budget.ea_parameters(),
@@ -298,6 +302,8 @@ def run_row(
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
     tuning: TuningProfile | None = None,
     mv_feedback: bool | None = None,
+    mv_cache_policy: str | None = None,
+    mv_cache_persist: bool = False,
     retry: RetryPolicy | None = None,
     timeout: float | None = None,
     checkpoint: CheckpointStore | None = None,
@@ -314,8 +320,10 @@ def run_row(
     machine-measured :class:`repro.tuning.TuningProfile` inside every
     run's config (so process workers tune identically) and
     ``mv_feedback`` forces the runtime MV-cache engagement monitor on
-    or off.  All four price bit-identically, so the table is
-    byte-identical under any choice.
+    or off.  ``mv_cache_policy`` selects the cache's eviction policy
+    and ``mv_cache_persist`` warms every run from (and refreshes) the
+    persisted on-disk cache.  All of these price bit-identically, so
+    the table is byte-identical under any choice.
 
     ``retry`` and ``timeout`` make the row's EA fan-out fault
     tolerant (see :class:`repro.parallel.RetryPolicy`); ``checkpoint``
@@ -357,7 +365,7 @@ def run_row(
     search_set = _subsample(test_set, budget.search_bit_cap, seed)
     jobs = _config_jobs(
         search_set, configurations, budget, seed, kernel, mv_cache_size,
-        tuning, mv_feedback,
+        tuning, mv_feedback, mv_cache_policy, mv_cache_persist,
     )
     stats = FaultToleranceStats()
     cache = (

@@ -126,6 +126,8 @@ def _build(
     mv_cache_size: int,
     tuning: TuningProfile | None,
     mv_feedback: bool | None,
+    mv_cache_policy: str | None = None,
+    mv_cache_persist: bool = False,
     retry: RetryPolicy | None = None,
     timeout: float | None = None,
     checkpoint: CheckpointStore | None = None,
@@ -165,6 +167,8 @@ def _build(
                 mv_cache_size=mv_cache_size,
                 tuning=tuning,
                 mv_feedback=mv_feedback,
+                mv_cache_policy=mv_cache_policy,
+                mv_cache_persist=mv_cache_persist,
                 retry=retry,
                 timeout=timeout,
                 checkpoint=checkpoint,
@@ -182,6 +186,8 @@ def _build(
                 row, kind, budget=budget, seed=seed, backend=backend,
                 kernel=kernel, mv_cache_size=mv_cache_size,
                 tuning=tuning, mv_feedback=mv_feedback,
+                mv_cache_policy=mv_cache_policy,
+                mv_cache_persist=mv_cache_persist,
                 retry=retry, timeout=timeout, checkpoint=checkpoint,
             )
             results.append(result)
@@ -205,6 +211,8 @@ def build_table1(
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
     tuning: TuningProfile | None = None,
     mv_feedback: bool | None = None,
+    mv_cache_policy: str | None = None,
+    mv_cache_persist: bool = False,
     retry: RetryPolicy | None = None,
     timeout: float | None = None,
     checkpoint: CheckpointStore | None = None,
@@ -233,9 +241,11 @@ def build_table1(
         mv_cache_size,
         tuning,
         mv_feedback,
-        retry,
-        timeout,
-        checkpoint,
+        mv_cache_policy=mv_cache_policy,
+        mv_cache_persist=mv_cache_persist,
+        retry=retry,
+        timeout=timeout,
+        checkpoint=checkpoint,
     )
 
 
@@ -249,6 +259,8 @@ def build_table2(
     mv_cache_size: int = DEFAULT_MV_CACHE_SIZE,
     tuning: TuningProfile | None = None,
     mv_feedback: bool | None = None,
+    mv_cache_policy: str | None = None,
+    mv_cache_persist: bool = False,
     retry: RetryPolicy | None = None,
     timeout: float | None = None,
     checkpoint: CheckpointStore | None = None,
@@ -268,9 +280,11 @@ def build_table2(
         mv_cache_size,
         tuning,
         mv_feedback,
-        retry,
-        timeout,
-        checkpoint,
+        mv_cache_policy=mv_cache_policy,
+        mv_cache_persist=mv_cache_persist,
+        retry=retry,
+        timeout=timeout,
+        checkpoint=checkpoint,
     )
 
 

@@ -124,6 +124,15 @@ class TuningProfile:
     * ``huffman_lockstep_min_rows`` — frequency-matrix row count at
       which the lockstep-vectorized two-queue merge overtakes the
       per-row scalar merge.
+
+    Cache retention (see :mod:`repro.core.cache`):
+
+    * ``mv_cache_policy`` — the MV match-column cache's eviction
+      policy (``lru``/``lfu``/``2q``/``segmented``; ``None`` keeps the
+      shipped default).  Like every other field it is semantically
+      inert — a policy decides which columns a full cache keeps, never
+      what a column contains — so the tuner may pick whichever policy
+      measured the best hit rate on this machine's workloads.
     """
 
     version: int = PROFILE_VERSION
@@ -139,6 +148,7 @@ class TuningProfile:
     mv_feedback_min_hit_rate: float = 0.25
     mv_feedback_patience: int = 10
     mv_feedback_reprobe_period: int = 50
+    mv_cache_policy: str | None = None
     source: str = "builtin-defaults"
     created: str = ""
     probe_seconds: float = 0.0
@@ -169,6 +179,17 @@ class TuningProfile:
                 "mv_feedback_min_hit_rate must be within [0, 1], "
                 f"got {self.mv_feedback_min_hit_rate}"
             )
+        if self.mv_cache_policy is not None:
+            # Imported lazily: the core package imports this module at
+            # load time, so a top-level import would be circular.
+            from ..core.cache.policies import POLICY_CHOICES
+
+            if self.mv_cache_policy not in POLICY_CHOICES:
+                raise ValueError(
+                    f"mv_cache_policy must be one of "
+                    f"{', '.join(POLICY_CHOICES)} or None, "
+                    f"got {self.mv_cache_policy!r}"
+                )
 
     def with_updates(self, **changes) -> "TuningProfile":
         """Return a copy with the given fields replaced."""
@@ -188,6 +209,7 @@ class TuningProfile:
         "mv_feedback_min_hit_rate",
         "mv_feedback_patience",
         "mv_feedback_reprobe_period",
+        "mv_cache_policy",
     )
 
     def to_dict(self) -> dict:

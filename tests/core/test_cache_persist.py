@@ -1,0 +1,315 @@
+"""On-disk MV-cache persistence: roundtrips and the failure contract.
+
+The asymmetric contract under test: a valid persisted cache warms the
+next run (pure wall-clock win, byte-identical rates), while *any*
+defective file — truncated, corrupt, wrong version, wrong table,
+wrong kernel — is discarded with a warning and costs only a cold
+start.  Persistence can never poison a result.
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import BlockSet
+from repro.core.cache import (
+    CACHE_VERSION,
+    POLICY_CHOICES,
+    block_table_digest,
+    cache_file_path,
+    describe_cache_file,
+    load_mv_cache,
+    save_mv_cache,
+)
+from repro.core.fitness import BatchCompressionRateFitness, MVMatchCache
+from repro.tuning.profile import TuningProfile
+
+DIGEST = "a" * 64
+OTHER_DIGEST = "b" * 64
+
+
+def column(value, width=3):
+    data = np.zeros(width, dtype=np.uint8)
+    data[0] = value
+    return data
+
+
+def filled_cache(policy="lru", capacity=8, entries=5, int_keys=True):
+    cache = MVMatchCache(capacity, policy=policy)
+    for value in range(entries):
+        key = value if int_keys else value.to_bytes(9, "little")
+        cache.put(key, column(value))
+    return cache
+
+
+def collect_warnings(calls):
+    return calls.append
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("policy", POLICY_CHOICES)
+    @pytest.mark.parametrize("int_keys", (True, False), ids=("int", "bytes"))
+    def test_save_load_per_policy_and_key_kind(
+        self, tmp_path, policy, int_keys
+    ):
+        cache = filled_cache(policy=policy, int_keys=int_keys)
+        path = save_mv_cache(cache, DIGEST, "bitpack", 8, directory=tmp_path)
+        assert path is not None and path.is_file()
+        assert path.name == f"{'a' * 16}-bitpack-K8-v{CACHE_VERSION}.npz"
+        fresh = MVMatchCache(8, policy=policy)
+        warned = []
+        loaded = load_mv_cache(
+            fresh, DIGEST, "bitpack", 8, column_width=3,
+            directory=tmp_path, warn=collect_warnings(warned),
+        )
+        assert warned == []
+        assert loaded == len(cache) == fresh.warm_loaded
+        assert fresh.hits == fresh.misses == fresh.evictions == 0
+        for value in range(5):
+            key = value if int_keys else value.to_bytes(9, "little")
+            assert fresh.get(key).tolist() == column(value).tolist()
+
+    def test_empty_cache_saves_nothing(self, tmp_path):
+        assert (
+            save_mv_cache(MVMatchCache(4), DIGEST, "gemm", 8, directory=tmp_path)
+            is None
+        )
+        assert list(tmp_path.iterdir()) == []
+
+    def test_load_into_smaller_cache_keeps_hottest(self, tmp_path):
+        cache = filled_cache(capacity=8, entries=6)
+        for _ in range(3):
+            assert cache.get(1) is not None
+            assert cache.get(4) is not None
+        save_mv_cache(cache, DIGEST, "gemm", 8, directory=tmp_path)
+        small = MVMatchCache(2)
+        warned = []
+        load_mv_cache(
+            small, DIGEST, "gemm", 8, column_width=3,
+            directory=tmp_path, warn=collect_warnings(warned),
+        )
+        assert warned == []
+        assert len(small) == 2
+        assert small.get(1) is not None
+        assert small.get(4) is not None
+
+    def test_missing_file_is_silent_cold_start(self, tmp_path):
+        warned = []
+        assert (
+            load_mv_cache(
+                MVMatchCache(4), DIGEST, "gemm", 8, column_width=3,
+                directory=tmp_path, warn=collect_warnings(warned),
+            )
+            == 0
+        )
+        assert warned == []
+
+    def test_concurrent_writers_last_rename_wins(self, tmp_path):
+        """Two savers of one key race harmlessly: each write publishes
+        a complete file, the last one is what a later load observes."""
+        first = filled_cache(entries=3)
+        second = filled_cache(entries=5)
+        path1 = save_mv_cache(first, DIGEST, "gemm", 8, directory=tmp_path)
+        loaded_between = MVMatchCache(8)
+        assert (
+            load_mv_cache(
+                loaded_between, DIGEST, "gemm", 8, column_width=3,
+                directory=tmp_path,
+            )
+            == 3
+        )
+        path2 = save_mv_cache(second, DIGEST, "gemm", 8, directory=tmp_path)
+        assert path1 == path2
+        final = MVMatchCache(8)
+        warned = []
+        assert (
+            load_mv_cache(
+                final, DIGEST, "gemm", 8, column_width=3,
+                directory=tmp_path, warn=collect_warnings(warned),
+            )
+            == 5
+        )
+        assert warned == []
+
+
+class TestFailureContract:
+    """Every defect: one warning, zero loaded entries, cache untouched."""
+
+    def expect_reject(self, tmp_path, reason_fragment, **load_overrides):
+        cache = MVMatchCache(8)
+        warned = []
+        load_arguments = dict(
+            digest=DIGEST, kernel="gemm", block_length=8, column_width=3,
+            directory=tmp_path, warn=collect_warnings(warned),
+        )
+        load_arguments.update(load_overrides)
+        loaded = load_mv_cache(cache, **load_arguments)
+        assert loaded == 0
+        assert len(cache) == 0 and cache.warm_loaded == 0
+        assert len(warned) == 1 and "ignoring persisted MV cache" in warned[0]
+        assert reason_fragment in warned[0]
+
+    def test_truncated_file(self, tmp_path):
+        path = save_mv_cache(
+            filled_cache(), DIGEST, "gemm", 8, directory=tmp_path
+        )
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        self.expect_reject(tmp_path, "unreadable")
+
+    def test_garbage_file(self, tmp_path):
+        cache_file_path(DIGEST, "gemm", 8, tmp_path).parent.mkdir(
+            parents=True, exist_ok=True
+        )
+        cache_file_path(DIGEST, "gemm", 8, tmp_path).write_bytes(
+            b"not an npz archive"
+        )
+        self.expect_reject(tmp_path, "unreadable")
+
+    def test_version_mismatch(self, tmp_path, monkeypatch):
+        import repro.core.cache.persist as persist_module
+
+        monkeypatch.setattr(persist_module, "CACHE_VERSION", 99)
+        stale = save_mv_cache(
+            filled_cache(), DIGEST, "gemm", 8, directory=tmp_path
+        )
+        monkeypatch.undo()
+        # The v99 file sits where the v1 name would resolve.
+        stale.rename(cache_file_path(DIGEST, "gemm", 8, tmp_path))
+        self.expect_reject(tmp_path, "format version")
+
+    def test_digest_mismatch(self, tmp_path):
+        """A file renamed onto another table's key is caught by the
+        full digest embedded in its metadata."""
+        written = save_mv_cache(
+            filled_cache(), DIGEST, "gemm", 8, directory=tmp_path
+        )
+        written.rename(cache_file_path(OTHER_DIGEST, "gemm", 8, tmp_path))
+        self.expect_reject(tmp_path, "digest mismatch", digest=OTHER_DIGEST)
+
+    def test_kernel_mismatch_in_renamed_file(self, tmp_path):
+        written = save_mv_cache(
+            filled_cache(), DIGEST, "gemm", 8, directory=tmp_path
+        )
+        written.rename(cache_file_path(DIGEST, "bitpack", 8, tmp_path))
+        self.expect_reject(tmp_path, "kernel mismatch", kernel="bitpack")
+
+    def test_column_width_mismatch(self, tmp_path):
+        save_mv_cache(filled_cache(), DIGEST, "gemm", 8, directory=tmp_path)
+        self.expect_reject(tmp_path, "column width", column_width=7)
+
+    def test_foreign_npz(self, tmp_path):
+        path = cache_file_path(DIGEST, "gemm", 8, tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez(path, meta=np.asarray(json.dumps({"format": "other"})),
+                 columns=np.zeros((1, 3), dtype=np.uint8))
+        self.expect_reject(tmp_path, "not a repro MV cache file")
+
+    def test_describe_cache_file_reports_corruption(self, tmp_path):
+        path = save_mv_cache(
+            filled_cache(), DIGEST, "gemm", 8, directory=tmp_path
+        )
+        info = describe_cache_file(path)
+        assert info["format"] == "repro-mv-cache"
+        assert info["entries"] == 5
+        assert info["policy"] == "lru"
+        path.write_bytes(b"garbage")
+        assert "error" in describe_cache_file(path)
+
+
+def small_blocks(seed=0, n_bits=2400):
+    rng = np.random.default_rng(seed)
+    return BlockSet.from_trit_array(
+        rng.integers(0, 3, n_bits).astype(np.int8), 8
+    )
+
+
+ENGAGED = TuningProfile(
+    mv_dedup_min_genomes=1, mv_dedup_min_table=1, mv_dedup_min_distinct=1
+)
+
+
+class TestFitnessIntegration:
+    """The fitness-level warm path: persist after a run, warm the next."""
+
+    def make_fitness(self, blocks, tmp_path, **overrides):
+        arguments = dict(
+            n_vectors=5, block_length=8, kernel="gemm", tuning=ENGAGED,
+            mv_cache_persist=True, mv_cache_dir=tmp_path,
+        )
+        arguments.update(overrides)
+        return BatchCompressionRateFitness(blocks, **arguments)
+
+    def test_cold_persist_warm_reload_identical_rates(self, tmp_path):
+        rng = np.random.default_rng(17)
+        blocks = small_blocks()
+        genomes = rng.integers(0, 3, size=(24, 5 * 8), dtype=np.int8)
+        cold = self.make_fitness(blocks, tmp_path)
+        cold_rates = cold.evaluate_batch(genomes)
+        assert cold.mv_cache_stats.warm_loaded == 0
+        assert cold.persist_mv_cache() is not None
+
+        warm = self.make_fitness(blocks, tmp_path)
+        assert warm.mv_cache_stats.warm_loaded > 0
+        warm_rates = warm.evaluate_batch(genomes)
+        assert (warm_rates == cold_rates).all()
+        assert warm.mv_cache_stats.misses == 0  # fully served from disk
+
+    def test_corrupt_file_warns_and_prices_cold(self, tmp_path):
+        rng = np.random.default_rng(17)
+        blocks = small_blocks()
+        genomes = rng.integers(0, 3, size=(24, 5 * 8), dtype=np.int8)
+        cold = self.make_fitness(blocks, tmp_path)
+        cold_rates = cold.evaluate_batch(genomes)
+        path = cold.persist_mv_cache()
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.warns(UserWarning, match="ignoring persisted MV cache"):
+            recovered = self.make_fitness(blocks, tmp_path)
+        assert recovered.mv_cache_stats.warm_loaded == 0
+        assert (recovered.evaluate_batch(genomes) == cold_rates).all()
+
+    def test_other_table_never_cross_warms(self, tmp_path):
+        cold = self.make_fitness(small_blocks(seed=1), tmp_path)
+        cold.evaluate_batch(
+            np.random.default_rng(0).integers(
+                0, 3, size=(24, 5 * 8), dtype=np.int8
+            )
+        )
+        assert cold.persist_mv_cache() is not None
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # wrong table must be *silent*
+            other = self.make_fitness(small_blocks(seed=2), tmp_path)
+        assert other.mv_cache_stats.warm_loaded == 0
+
+    def test_persist_off_writes_nothing(self, tmp_path):
+        fitness = self.make_fitness(blocks := small_blocks(), tmp_path,
+                                    mv_cache_persist=False)
+        fitness.evaluate_batch(
+            np.random.default_rng(0).integers(
+                0, 3, size=(24, 5 * 8), dtype=np.int8
+            )
+        )
+        assert fitness.persist_mv_cache() is None
+        assert list(tmp_path.iterdir()) == []
+        assert blocks is fitness.blocks
+
+    def test_warm_load_respects_smaller_capacity(self, tmp_path):
+        rng = np.random.default_rng(17)
+        blocks = small_blocks()
+        genomes = rng.integers(0, 3, size=(24, 5 * 8), dtype=np.int8)
+        big = self.make_fitness(blocks, tmp_path)
+        rates = big.evaluate_batch(genomes)
+        saved = len(big.mv_cache)
+        assert big.persist_mv_cache() is not None
+        small = self.make_fitness(blocks, tmp_path, mv_cache_size=5)
+        assert small.mv_cache_stats.warm_loaded == 5 < saved
+        assert (small.evaluate_batch(genomes) == rates).all()
+
+    def test_digest_is_table_sensitive(self):
+        assert block_table_digest(small_blocks(seed=1)) != block_table_digest(
+            small_blocks(seed=2)
+        )
+        assert block_table_digest(small_blocks(seed=1)) == block_table_digest(
+            small_blocks(seed=1)
+        )

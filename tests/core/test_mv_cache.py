@@ -1,4 +1,4 @@
-"""MV-level match-column caching: dedup, LRU cache, factored parity.
+"""MV-level match-column caching: dedup, eviction policies, parity.
 
 The PR-4 contract: pricing through the unique-MV dedup path — per-MV
 match columns from :meth:`CoveringKernel.match_columns`, cached across
@@ -8,6 +8,11 @@ per-generation kernels under every kernel, every cache size (including
 eviction pressure), and every batch composition (100% duplicates
 included).  Seeded EA runs therefore cannot drift when the cache is
 enabled, resized, or disabled.
+
+PR-7 extends the contract over the eviction-policy axis: a cached
+match column is immutable for a given block table, so *which* entries
+a policy retains can only move the hit rate, never a rate — pinned
+here by running the same parity suites across every registered policy.
 """
 
 from unittest import mock
@@ -19,6 +24,12 @@ from hypothesis import strategies as st
 
 import repro.core.fitness as fitness_module
 from repro.core.blocks import BlockSet
+from repro.core.cache import (
+    DEFAULT_POLICY,
+    POLICY_CHOICES,
+    EvictionPolicy,
+    make_policy,
+)
 from repro.core.config import CompressionConfig, EAParameters
 from repro.core.covering import cover_masks
 from repro.core.fitness import (
@@ -108,6 +119,125 @@ class TestMVMatchCache:
         cache.put(b"a", np.zeros(3, dtype=np.uint8))
         with pytest.raises(ValueError, match="one block table"):
             cache.put(b"b", np.zeros(5, dtype=np.uint8))
+
+
+def column(value):
+    return np.array([value], dtype=np.uint8)
+
+
+class TestEvictionPolicies:
+    """Policy bookkeeping: retention order, not pricing (that's below)."""
+
+    def test_registry(self):
+        assert DEFAULT_POLICY in POLICY_CHOICES
+        for name in POLICY_CHOICES:
+            policy = make_policy(name, 4)
+            assert isinstance(policy, EvictionPolicy)
+            assert policy.name == name
+            assert policy.capacity == 4
+        with pytest.raises(ValueError, match="unknown eviction policy"):
+            make_policy("fifo", 4)
+        with pytest.raises(ValueError, match="capacity"):
+            make_policy("lru", 0)
+
+    @pytest.mark.parametrize("name", POLICY_CHOICES)
+    def test_cache_accepts_policy_by_name_and_instance(self, name):
+        assert MVMatchCache(4, policy=name).policy_name == name
+        # An instance brings its own capacity.
+        cache = MVMatchCache(4, policy=make_policy(name, 2))
+        assert cache.capacity == 2
+
+    @pytest.mark.parametrize("name", POLICY_CHOICES)
+    def test_basic_retention_contract(self, name):
+        """Every policy: capacity respected, present keys retrievable."""
+        cache = MVMatchCache(3, policy=name)
+        for value in range(8):
+            cache.put(value, column(value))
+            assert cache.get(value).tolist() == [value]
+        assert len(cache) == 3
+        assert cache.evictions == 5
+        retained = [key for key in range(8) if cache.get(key) is not None]
+        assert len(retained) == 3
+        for key in retained:
+            assert cache.get(key).tolist() == [key]
+
+    def test_lfu_keeps_frequent_key_through_scan(self):
+        """A hot key survives a cold scan that would flush an LRU."""
+        lru = MVMatchCache(3, policy="lru")
+        lfu = MVMatchCache(3, policy="lfu")
+        for cache in (lru, lfu):
+            cache.put(b"hot", column(1))
+            for _ in range(5):
+                assert cache.get(b"hot") is not None
+            for value in range(10, 16):  # one-shot cold scan
+                cache.put(value, column(value))
+        assert lru.get(b"hot") is None
+        assert lfu.get(b"hot").tolist() == [1]
+
+    def test_2q_scan_resistance_and_ghost_readmission(self):
+        cache = MVMatchCache(8, policy="2q")
+        cache.put(b"hot", column(1))
+        assert cache.get(b"hot") is not None  # promoted to main
+        for value in range(100, 140):  # long cold scan
+            cache.put(value, column(value))
+        assert cache.get(b"hot").tolist() == [1]
+        # A key evicted from probation sits in the ghost list: its
+        # column is gone (miss) but readmission lands it in main.
+        # The newest ghost (the oldest may itself age out of the
+        # bounded ghost list during the readmitting put's eviction).
+        policy = cache._policy
+        ghosted = next(reversed(policy._ghost))
+        assert cache.get(ghosted) is None
+        cache.put(ghosted, column(9))
+        assert ghosted in policy._main
+
+    def test_segmented_promotes_on_second_touch(self):
+        cache = MVMatchCache(4, policy="segmented")
+        cache.put(b"a", column(1))
+        cache.put(b"b", column(2))
+        assert cache.get(b"a") is not None  # promoted to protected
+        for value in range(20, 26):
+            cache.put(value, column(value))
+        # Probationary "b" was flushed by the scan; protected "a" holds.
+        assert cache.get(b"b") is None
+        assert cache.get(b"a").tolist() == [1]
+
+    @pytest.mark.parametrize("name", POLICY_CHOICES)
+    def test_export_state_roundtrips(self, name):
+        cache = MVMatchCache(4, policy=name)
+        for value in range(6):
+            cache.put(value, column(value))
+        cache.get(5)
+        keys, columns = cache.export_state()
+        assert len(keys) == len(cache) == columns.shape[0]
+        fresh = MVMatchCache(4, policy=name)
+        fresh.load_state(keys, columns)
+        assert fresh.warm_loaded == len(cache)
+        assert fresh.hits == fresh.misses == fresh.evictions == 0
+        for key in keys:
+            assert fresh.get(key).tolist() == cache.get(key).tolist()
+
+    @pytest.mark.parametrize("name", POLICY_CHOICES)
+    def test_load_into_smaller_cache_keeps_hottest(self, name):
+        """items() is coldest-first, so truncation drops the cold end."""
+        cache = MVMatchCache(4, policy=name)
+        for value in range(4):
+            cache.put(value, column(value))
+        for _ in range(3):  # keys 2 and 3 are the hot set
+            assert cache.get(2) is not None
+            assert cache.get(3) is not None
+        keys, columns = cache.export_state()
+        small = MVMatchCache(2, policy=name)
+        small.load_state(keys, columns)
+        assert len(small) == 2
+        assert small.warm_loaded == 2
+        assert small.get(2).tolist() == [2]
+        assert small.get(3).tolist() == [3]
+
+    def test_export_empty_cache(self):
+        keys, columns = MVMatchCache(4).export_state()
+        assert keys == []
+        assert columns.shape[0] == 0
 
 
 class TestFactoredCoverParity:
@@ -291,6 +421,28 @@ class TestDedupFitnessParity:
         assert stats.size <= 3
         assert stats.evictions > 0
 
+    @pytest.mark.parametrize("policy", POLICY_CHOICES)
+    def test_eviction_policy_never_changes_rates(self, policy, always_dedup):
+        """Same rates under every policy, under eviction pressure."""
+        rng = np.random.default_rng(21)
+        blocks = random_blocks(rng, 8)
+        fused = BatchCompressionRateFitness(
+            blocks, n_vectors=6, block_length=8, mv_cache_size=0
+        )
+        cached = BatchCompressionRateFitness(
+            blocks, n_vectors=6, block_length=8, mv_cache_size=4,
+            mv_cache_policy=policy,
+        )
+        for _ in range(5):
+            genomes = rng.integers(0, 3, size=(7, 6 * 8), dtype=np.int8)
+            assert (
+                cached.evaluate_batch(genomes)
+                == fused.evaluate_batch(genomes)
+            ).all()
+        stats = cached.mv_cache_stats
+        assert stats.policy == policy
+        assert stats.evictions > 0
+
     def test_wide_blocks_use_bytes_keys(self, always_dedup):
         """K > 32 rows dedup through the lexsort + bytes-key path."""
         rng = np.random.default_rng(4)
@@ -350,6 +502,32 @@ class TestSeededRunParity:
             for ours, theirs in zip(result.runs, reference.runs):
                 assert ours.mv_set == theirs.mv_set
 
+    @pytest.mark.parametrize("policy", POLICY_CHOICES)
+    def test_optimizer_results_policy_invariant(self, policy, always_dedup):
+        """Seeded results are byte-identical under every eviction
+        policy — an eviction can only cost a recomputation."""
+        rng = np.random.default_rng(13)
+        blocks = random_blocks(rng, 8)
+
+        def run(**overrides):
+            settings = dict(
+                block_length=8,
+                n_vectors=6,
+                runs=2,
+                mv_cache_size=4,  # heavy eviction pressure
+                ea=EAParameters(stagnation_limit=10, max_evaluations=250),
+            )
+            settings.update(overrides)
+            config = CompressionConfig(**settings)
+            return EAMVOptimizer(config, seed=77).optimize(blocks)
+
+        reference = run(mv_cache_size=0)
+        result = run(mv_cache_policy=policy)
+        assert result.mean_rate == reference.mean_rate
+        assert result.best_rate == reference.best_rate
+        for ours, theirs in zip(result.runs, reference.runs):
+            assert ours.mv_set == theirs.mv_set
+
     def test_ea_result_reports_mv_cache_stats(self, always_dedup):
         rng = np.random.default_rng(2)
         blocks = random_blocks(rng, 8)
@@ -385,6 +563,12 @@ class TestConfigAndStats:
                 blocks, n_vectors=4, block_length=8, mv_cache_size=-2
             )
 
+    def test_config_validates_mv_cache_policy(self):
+        with pytest.raises(ValueError, match="unknown MV cache policy"):
+            CompressionConfig(mv_cache_policy="mru")
+        for name in POLICY_CHOICES:
+            assert CompressionConfig(mv_cache_policy=name).mv_cache_policy == name
+
     def test_stats_shape_when_disabled(self):
         rng = np.random.default_rng(0)
         blocks = random_blocks(rng, 8)
@@ -395,6 +579,42 @@ class TestConfigAndStats:
         assert stats.capacity == 0
         assert stats.hit_rate == 0.0
         assert stats.rows_saved_rate == 0.0
+        assert stats.policy == ""
+        assert stats.warm_loaded == 0
+
+    def test_zero_lookup_rates_are_zero_not_nan(self):
+        """Regression: every rate is 0.0 (never NaN or a division
+        error) when the cache exists but nothing was ever looked up."""
+        rng = np.random.default_rng(0)
+        blocks = random_blocks(rng, 8)
+        fitness = BatchCompressionRateFitness(
+            blocks, n_vectors=4, block_length=8  # cache on, untouched
+        )
+        stats = fitness.mv_cache_stats
+        assert stats.hits == stats.misses == 0
+        assert stats.hit_rate == 0.0
+        assert stats.rows_saved_rate == 0.0
+        assert stats.policy == DEFAULT_POLICY
+
+    def test_zero_lookup_ea_result_hit_rate_is_zero(self):
+        """EAResult.mv_cache_hit_rate at zero activity: 0.0, not NaN."""
+        rng = np.random.default_rng(8)
+        blocks = random_blocks(rng, 8)
+        config = CompressionConfig(
+            block_length=8,
+            n_vectors=4,
+            runs=1,
+            mv_cache_size=0,
+            ea=EAParameters(stagnation_limit=3, max_evaluations=40),
+        )
+        ea_result = (
+            EAMVOptimizer(config, seed=3).optimize(blocks).runs[0].ea_result
+        )
+        assert ea_result.mv_cache_hits == 0
+        assert ea_result.mv_cache_misses == 0
+        assert ea_result.mv_cache_hit_rate == 0.0
+        assert not np.isnan(ea_result.mv_cache_hit_rate)
+        assert ea_result.mv_cache_warm_loaded == 0
 
     def test_rows_saved_rate_counts_all_dedup_savings(self, always_dedup):
         rng = np.random.default_rng(1)

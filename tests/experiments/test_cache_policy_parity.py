@@ -1,0 +1,68 @@
+"""Table-level byte parity across the cache policy/persistence matrix.
+
+The acceptance bar for the persistent, policy-pluggable MV cache: a
+seeded table is *byte-identical* whichever eviction policy prices it,
+whether persistence is off, cold, or warming from a previous run's
+file, and whether the rows execute serially or in a process pool that
+shares the persisted cache directory.  Timing aside, the cache
+subsystem must be invisible in every measured number.
+"""
+
+import pytest
+
+from repro.core.cache import POLICY_CHOICES
+from repro.experiments.tables import build_table1, format_table
+from repro.parallel import ProcessBackend
+
+from .test_runner import MICRO
+
+CIRCUITS = ("s298",)
+SEED = 11
+
+
+def rendered_table(**overrides):
+    arguments = dict(circuits=CIRCUITS, budget=MICRO, seed=SEED)
+    arguments.update(overrides)
+    return format_table(build_table1(**arguments))
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return rendered_table(mv_cache_size=0)
+
+
+class TestPolicyParity:
+    @pytest.mark.parametrize("policy", POLICY_CHOICES)
+    def test_policies_render_identical_tables(self, policy, reference):
+        assert rendered_table(mv_cache_policy=policy) == reference
+
+    def test_tiny_cache_eviction_pressure(self, reference):
+        for policy in POLICY_CHOICES:
+            assert (
+                rendered_table(mv_cache_policy=policy, mv_cache_size=3)
+                == reference
+            )
+
+
+@pytest.mark.slow
+class TestPersistenceParity:
+    def test_cold_then_warm_then_process_pool(
+        self, tmp_path, monkeypatch, reference
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        # Cold start populates the cache directory ...
+        assert rendered_table(mv_cache_persist=True) == reference
+        # ... the warm rerun consumes it (same bytes out) ...
+        assert rendered_table(mv_cache_persist=True) == reference
+        # ... and a process pool both warms from and refreshes the
+        # same files, under a non-default policy and explicit kernels.
+        for kernel in ("auto", "bitpack", "gemm"):
+            assert (
+                rendered_table(
+                    mv_cache_persist=True,
+                    mv_cache_policy="2q",
+                    kernel=kernel,
+                    backend=ProcessBackend(2),
+                )
+                == reference
+            )

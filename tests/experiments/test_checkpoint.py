@@ -99,6 +99,24 @@ class TestOutcomeRoundTrip:
         assert restored.mv_set == outcome.mv_set
         assert restored.ea_result.evaluations == outcome.ea_result.evaluations
         assert restored.ea_result.history == ()
+        assert (
+            restored.ea_result.mv_cache_warm_loaded
+            == outcome.ea_result.mv_cache_warm_loaded
+        )
+
+    def test_decodes_journal_written_before_warm_start_field(self, tmp_path):
+        """Journals predating ``mv_cache_warm_loaded`` decode as cold
+        starts instead of raising — old resume journals stay usable."""
+        task = _tasks()[0]
+        outcome = execute_run_task(task)
+        document = json.loads(json.dumps(encode_outcome(outcome)))
+        del document["ea"]["mv_cache_warm_loaded"]
+        journal = RunJournal.open(tmp_path / "j.jsonl")
+        journal.record(task_fingerprint(task), document)
+        restored = RunTaskCache(journal=journal).get(task)
+        assert restored is not None
+        assert restored.ea_result.mv_cache_warm_loaded == 0
+        assert restored.rate == outcome.rate
 
 
 class TestRunJournal:

@@ -153,6 +153,131 @@ class TestMVCacheSizeFlag:
         assert len(set(outputs.values())) == 1  # byte-identical output
 
 
+class TestMVCachePolicyFlags:
+    """--mv-cache-policy / --mv-cache-persist on every command."""
+
+    def test_defaults(self):
+        for argv in (
+            ["table1"],
+            ["table2"],
+            ["compress", "file.txt"],
+            ["atpg", "c17"],
+            ["ablate", "kl"],
+            ["report"],
+        ):
+            arguments = build_parser().parse_args(argv)
+            assert arguments.mv_cache_policy is None
+            assert arguments.mv_cache_persist is False
+
+    def test_policy_choices_parsed(self):
+        from repro.core.cache import POLICY_CHOICES
+
+        for policy in POLICY_CHOICES:
+            arguments = build_parser().parse_args(
+                ["table1", "--mv-cache-policy", policy]
+            )
+            assert arguments.mv_cache_policy == policy
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--mv-cache-policy", "mru"])
+
+    def test_persist_negation(self):
+        arguments = build_parser().parse_args(
+            ["compress", "f", "--mv-cache-persist", "--no-mv-cache-persist"]
+        )
+        assert arguments.mv_cache_persist is False
+
+    def test_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--mv-cache-policy" in help_text
+        assert "--mv-cache-persist" in help_text
+
+    def test_compress_output_policy_invariant(self, tmp_path, capsys):
+        from repro.core.cache import POLICY_CHOICES
+
+        path = tmp_path / "patterns.txt"
+        path.write_text(
+            "\n".join(["11001100XXXX", "110011001111", "XXXX11001100"] * 6)
+        )
+        args = ["compress", str(path), "--k", "4", "--l", "6", "--runs", "1",
+                "--stagnation", "5", "--max-evaluations", "120", "--seed", "3",
+                "--mv-cache-size", "4"]
+        outputs = set()
+        for policy in POLICY_CHOICES:
+            assert main([*args, "--mv-cache-policy", policy]) == 0
+            outputs.add(capsys.readouterr().out)
+        assert len(outputs) == 1  # byte-identical output
+
+    def test_compress_warm_start_reported_and_output_invariant(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """The CI smoke contract: a --mv-cache-persist rerun reports a
+        warm start on stderr, with stdout byte-identical to cold."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        path = tmp_path / "patterns.txt"
+        path.write_text(
+            "\n".join(["11001100XXXX", "110011001111", "XXXX11001100"] * 6)
+        )
+        from repro.tuning.profile import (
+            TuningProfile,
+            current_fingerprint,
+            save_profile,
+        )
+
+        # Low dedup thresholds so the toy workload engages the cache.
+        profile_path = save_profile(
+            TuningProfile(
+                mv_dedup_min_genomes=1,
+                mv_dedup_min_table=1,
+                mv_dedup_min_distinct=1,
+                fingerprint=current_fingerprint(),
+            ),
+            tmp_path / "profile.json",
+        )
+        args = ["compress", str(path), "--k", "4", "--l", "6", "--runs", "1",
+                "--stagnation", "5", "--max-evaluations", "120", "--seed", "3",
+                "--profile", str(profile_path), "--mv-cache-persist"]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "mv cache: cold start" in cold.err
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert "mv cache: warm start" in warm.err
+        assert warm.out == cold.out
+
+
+class TestCacheCommand:
+    def test_list_info_clear_roundtrip(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.core.cache import save_mv_cache
+        from repro.core.fitness import MVMatchCache
+
+        assert main(["cache", "list"]) == 0
+        assert "(empty)" in capsys.readouterr().out
+        cache = MVMatchCache(4)
+        import numpy as np
+
+        cache.put(7, np.array([1], dtype=np.uint8))
+        save_mv_cache(cache, "f" * 64, "gemm", 8)
+        assert main(["cache", "list"]) == 0
+        listing = capsys.readouterr().out
+        assert f"{'f' * 16}-gemm-K8-v1.npz" in listing
+        assert "1 file(s)" in listing
+        assert main(["cache", "info"]) == 0
+        info = capsys.readouterr().out
+        assert "policy: lru" in info
+        assert "entries: 1" in info
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1 file(s)" in capsys.readouterr().out
+        assert main(["cache", "list"]) == 0
+        assert "(empty)" in capsys.readouterr().out
+
+    def test_explicit_dir_flag(self, tmp_path, capsys):
+        assert main(["cache", "list", "--dir", str(tmp_path / "none")]) == 0
+        assert "(empty)" in capsys.readouterr().out
+
+
 class TestResolvedBackends:
     def test_jobs_one_resolves_serial(self):
         from repro.cli import _resolve_backend
