@@ -40,7 +40,7 @@ from repro.core.fitness import (
     BatchCompressionRateFitness,
     CompressionRateFitness,
 )
-from repro.core.kernels import available_kernels, select_kernel_name
+from repro.core.kernels import select_kernel_name, usable_kernels
 from repro.ea.genome import random_genome
 from repro.testdata.synthetic import SyntheticSpec, synthetic_test_set
 
@@ -76,7 +76,9 @@ KERNEL_WORKLOADS = {
     ),
 }
 
-KERNELS = tuple(available_kernels())
+# Only kernels this machine can actually run: a toolchain-less
+# container benches the array kernels, a full one adds `native`.
+KERNELS = tuple(usable_kernels())
 
 
 def reference_scalar_fitness(blocks, n_vectors, block_length):

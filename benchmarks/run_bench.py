@@ -227,7 +227,7 @@ def bench_kernels(name: str, repeats: int) -> dict:
         / best_seconds(lambda f=fitness: f.evaluate_batch(genomes), repeats)
         for kernel, fitness in fitnesses.items()
     }
-    return {
+    row = {
         "workload": name,
         "block_length": block_length,
         "n_vectors": n_vectors,
@@ -243,13 +243,23 @@ def bench_kernels(name: str, repeats: int) -> dict:
             batch_size, blocks.n_distinct, n_vectors, block_length
         ),
     }
+    if "native" in throughput:
+        row["speedup_native_vs_bitpack"] = round(
+            throughput["native"] / throughput["bitpack"], 2
+        )
+    return row
 
 
-def bench_stages(name: str, repeats: int) -> dict:
-    """Per-stage seconds of one batched call (default configuration)."""
+def bench_stages(name: str, repeats: int, kernel: str = "auto") -> dict:
+    """Per-stage seconds of one batched call under one kernel choice.
+
+    The default row uses ``auto`` (the shipped configuration — with a
+    toolchain that resolves to ``native``); explicit rows pin a named
+    kernel so the breakdown records what ``auto`` replaced.
+    """
     blocks, block_length, n_vectors, genomes = build_kernel_workload(name)
     fitness = BatchCompressionRateFitness(
-        blocks, n_vectors=n_vectors, block_length=block_length
+        blocks, n_vectors=n_vectors, block_length=block_length, kernel=kernel
     )
     timings = stage_timings(fitness, genomes, repeats)
     total = sum(timings.values())
@@ -544,7 +554,13 @@ def emit_fitness_artifact(output: Path, repeats: int) -> None:
             bench_kernels(name, repeats) for name in sorted(KERNEL_WORKLOADS)
         ],
         "stage_breakdown": [
-            bench_stages(name, repeats) for name in sorted(KERNEL_WORKLOADS)
+            bench_stages(name, repeats, kernel=kernel)
+            for name in sorted(KERNEL_WORKLOADS)
+            # With a toolchain, auto resolves to native; a pinned
+            # bitpack row records what the compiled loop replaced.
+            for kernel in (
+                ("auto", "bitpack") if "native" in KERNELS else ("auto",)
+            )
         ],
         "mv_cache": [
             bench_mv_cache(name, repeats) for name in MV_CACHE_WORKLOADS
@@ -570,12 +586,17 @@ def emit_fitness_artifact(output: Path, repeats: int) -> None:
             f"{row['workload']:>7} kernels: "
             + "  ".join(f"{kernel}={rates[kernel]}/s" for kernel in sorted(rates))
             + f"  bitpack/gemm ×{row['speedup_bitpack_vs_gemm']}"
+            + (
+                f"  native/bitpack ×{row['speedup_native_vs_bitpack']}"
+                if "speedup_native_vs_bitpack" in row
+                else ""
+            )
             + f"  (auto → {row['auto_selects']})"
         )
     for row in document["stage_breakdown"]:
         fractions = row["fraction"]
         print(
-            f"{row['workload']:>7} stages: "
+            f"{row['workload']:>7} stages ({row['kernel']}): "
             + "  ".join(
                 f"{stage}={fractions[stage]:.0%}" for stage in fractions
             )

@@ -10,7 +10,11 @@ Commands
 ``ablate``      Run one of the ablation studies on a calibrated test set.
 ``tune``        Probe this machine's kernel/cache crossovers and write
                 a tuning profile for the other commands' ``--profile``.
-``cache``       Inspect or clear the persisted MV-cache directory
+``kernels``     List the covering-kernel backends with availability
+                (e.g. ``native: unavailable — no C compiler found``)
+                and, with ``--shape C,D,L,K``, the ``auto`` pick.
+``cache``       Inspect or clear the on-disk caches — persisted MV
+                caches and native kernel builds
                 (``list``/``info``/``clear``).
 
 Examples
@@ -671,6 +675,8 @@ def _tune_command(arguments: argparse.Namespace) -> int:
         "thresholds: "
         f"bitpack_min_distinct={profile.bitpack_min_distinct}  "
         f"bitpack_wide_min_distinct={profile.bitpack_wide_min_distinct}  "
+        f"native_min_distinct={profile.native_min_distinct}  "
+        f"native_wide_min_distinct={profile.native_wide_min_distinct}  "
         f"mv_dedup_min_genomes={profile.mv_dedup_min_genomes}  "
         f"mv_dedup_min_table={profile.mv_dedup_min_table}  "
         f"mv_dedup_min_distinct={profile.mv_dedup_min_distinct}  "
@@ -695,41 +701,84 @@ def _tune_command(arguments: argparse.Namespace) -> int:
 
 def _cache_command(arguments: argparse.Namespace) -> int:
     from .core.cache import describe_cache_file, mv_cache_dir
+    from .core.kernels.build import describe_build_file, native_build_dir
 
-    directory = (
-        Path(arguments.dir) if arguments.dir is not None else mv_cache_dir()
-    )
-    files = (
-        sorted(directory.glob("*.npz")) if directory.is_dir() else []
-    )
+    # Cache entries are .npz (persisted MV caches) and .so (native
+    # kernel builds); .json build sidecars and stray .lock files ride
+    # along on `clear` but are not listed as entries of their own.
+    def entries(directory: Path) -> list[Path]:
+        if not directory.is_dir():
+            return []
+        return sorted(directory.glob("*.npz")) + sorted(directory.glob("*.so"))
+
+    if arguments.dir is not None:
+        directories = [Path(arguments.dir)]
+    else:
+        directories = [mv_cache_dir(), native_build_dir()]
+
     if arguments.action == "list":
-        print(f"cache directory: {directory}")
-        if not files:
-            print("(empty)")
-            return 0
-        total = 0
-        for path in files:
-            size = path.stat().st_size
-            total += size
-            print(f"{size:>12,d}  {path.name}")
-        print(f"{total:>12,d}  total in {len(files)} file(s)")
+        for directory in directories:
+            files = entries(directory)
+            print(f"cache directory: {directory}")
+            if not files:
+                print("(empty)")
+                continue
+            total = 0
+            for path in files:
+                size = path.stat().st_size
+                total += size
+                print(f"{size:>12,d}  {path.name}")
+            print(f"{total:>12,d}  total in {len(files)} file(s)")
         return 0
     if arguments.action == "info":
-        if not files:
-            print(f"cache directory: {directory}")
-            print("(empty)")
-            return 0
-        for path in files:
-            info = describe_cache_file(path)
-            print(f"{path.name}:")
-            for key in sorted(info):
-                if key != "file":
-                    print(f"  {key}: {info[key]}")
+        for directory in directories:
+            files = entries(directory)
+            if not files:
+                print(f"cache directory: {directory}")
+                print("(empty)")
+                continue
+            for path in files:
+                info = (
+                    describe_cache_file(path)
+                    if path.suffix == ".npz"
+                    else describe_build_file(path)
+                )
+                print(f"{path.name}:")
+                for key in sorted(info):
+                    if key != "file":
+                        print(f"  {key}: {info[key]}")
         return 0
     # clear
-    for path in files:
-        path.unlink()
-    print(f"removed {len(files)} file(s) from {directory}")
+    for directory in directories:
+        removed = 0
+        if directory.is_dir():
+            for pattern in ("*.npz", "*.so", "*.json", "*.lock"):
+                for path in sorted(directory.glob(pattern)):
+                    path.unlink()
+                    removed += 1
+        print(f"removed {removed} file(s) from {directory}")
+    return 0
+
+
+def _kernels_command(arguments: argparse.Namespace) -> int:
+    from .core.kernels import kernel_availability, select_kernel_name
+
+    for name, reason in sorted(kernel_availability().items()):
+        if reason is None:
+            print(f"{name}: available")
+        else:
+            print(f"{name}: unavailable — {reason}")
+    if arguments.shape is not None:
+        try:
+            c, d, l, k = (int(part) for part in arguments.shape.split(","))
+        except ValueError:
+            print(
+                f"invalid --shape {arguments.shape!r}; expected C,D,L,K",
+                file=sys.stderr,
+            )
+            return 2
+        pick = select_kernel_name(c, d, l, k)
+        print(f"auto pick for shape C={c}, D={d}, L={l}, K={k}: {pick}")
     return 0
 
 
@@ -826,11 +875,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the before/after genomes/s summary after writing",
     )
 
+    kernels = commands.add_parser(
+        "kernels",
+        help=(
+            "list covering-kernel backends with availability, and the "
+            "auto pick for a workload shape"
+        ),
+    )
+    kernels.add_argument(
+        "--shape",
+        default=None,
+        metavar="C,D,L,K",
+        help=(
+            "also print the auto kernel pick for this workload shape "
+            "(genome batch, distinct blocks, MVs per genome, block length)"
+        ),
+    )
+
     cache = commands.add_parser(
         "cache",
         help=(
-            "inspect or clear the persisted MV-cache files written by "
-            "--mv-cache-persist"
+            "inspect or clear the on-disk caches: persisted MV caches "
+            "(--mv-cache-persist) and native kernel builds"
         ),
     )
     cache.add_argument(
@@ -847,8 +913,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help=(
-            "cache directory to operate on (default: the mv_cache "
-            "directory under REPRO_CACHE_DIR)"
+            "single cache directory to operate on (default: both the "
+            "mv_cache and native directories under REPRO_CACHE_DIR)"
         ),
     )
     return parser
@@ -871,6 +937,8 @@ def main(argv: list[str] | None = None) -> int:
         return _report_command(arguments)
     if arguments.command == "tune":
         return _tune_command(arguments)
+    if arguments.command == "kernels":
+        return _kernels_command(arguments)
     if arguments.command == "cache":
         return _cache_command(arguments)
     raise AssertionError(f"unhandled command {arguments.command!r}")

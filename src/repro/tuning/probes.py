@@ -9,6 +9,12 @@ curves cross (FFTW-style measure-then-dispatch):
   narrow (one fused lane word) and wide (K > 64) blocks → the
   ``bitpack_min_distinct`` / ``bitpack_wide_min_distinct`` auto
   cutovers;
+* :func:`probe_native_crossover` — the batched fitness under the
+  ``bitpack`` (incumbent array kernel) vs cc-compiled ``native``
+  kernel across the same narrow + wide sweeps → the
+  ``native_min_distinct`` / ``native_wide_min_distinct`` auto
+  cutovers; skipped (shipped defaults kept) when this machine has no
+  C toolchain;
 * :func:`probe_mv_dedup` — the fused kernels vs the unique-MV dedup
   path on convergent (high-duplicate) batches across (C, D) → the
   ``mv_dedup_min_*`` engagement shapes, plus the feedback monitor's
@@ -40,7 +46,7 @@ import numpy as np
 
 from ..core.blocks import BlockSet, pack_bits_to_words
 from ..core.fitness import DEFAULT_MV_CACHE_SIZE, BatchCompressionRateFitness
-from ..core.kernels import BitpackKernel
+from ..core.kernels import BitpackKernel, NativeKernel, kernel_unavailable_reason
 from ..core.trits import DC
 from ..ea.genome import random_genome
 from .profile import TuningProfile, current_fingerprint
@@ -50,6 +56,7 @@ __all__ = [
     "probe_huffman_lockstep",
     "probe_kernel_crossover",
     "probe_mv_dedup",
+    "probe_native_crossover",
     "probe_shard_size",
     "run_probes",
     "tuning_summary",
@@ -215,6 +222,55 @@ def probe_kernel_crossover(
     wide_ds = (256, 512, 1024) if quick else (256, 512, 1024, 2048, 4096)
     narrow = sweep(12, 32, 32, narrow_ds, "kernel_narrow")
     wide = sweep(96, 16, 16, wide_ds, "kernel_wide")
+    return narrow, wide, measurements
+
+
+def probe_native_crossover(
+    quick: bool = False,
+    repeats: int = 3,
+    timer: Timer = time.perf_counter,
+) -> tuple[int, int, dict[str, float]]:
+    """(native_min_distinct, native_wide_min_distinct, measurements).
+
+    The incumbent is ``bitpack`` — the fastest array kernel on the
+    shapes where the native kernel matters — and the challenger is the
+    cc-compiled ``native`` kernel, over the same narrow/wide sweeps as
+    :func:`probe_kernel_crossover`.  Only callable when the native
+    kernel is available; :func:`run_probes` gates on availability and
+    keeps the shipped defaults otherwise.
+    """
+    measurements: dict[str, float] = {}
+
+    def sweep(block_length, n_vectors, batch, d_values, tag):
+        points = []
+        for n_distinct in d_values:
+            rng = np.random.default_rng(1500 + n_distinct + block_length)
+            blocks = _probe_blocks(n_distinct, block_length, rng)
+            genomes = _probe_genomes(batch, n_vectors, block_length, rng)
+            seconds = {}
+            for kernel in ("bitpack", "native"):
+                fitness = BatchCompressionRateFitness(
+                    blocks,
+                    n_vectors=n_vectors,
+                    block_length=block_length,
+                    kernel=kernel,
+                    mv_cache_size=0,
+                    tuning=_BASELINE,
+                )
+                seconds[kernel] = _best_seconds(
+                    lambda f=fitness: f.evaluate_batch(genomes), repeats, timer
+                )
+                measurements[f"{tag}/d{n_distinct}/{kernel}"] = seconds[kernel]
+            points.append((n_distinct, seconds["bitpack"], seconds["native"]))
+        crossover = crossover_point(points)
+        return crossover if crossover is not None else _fallback_threshold(
+            max(d_values)
+        )
+
+    narrow_ds = (128, 256, 512, 1024) if quick else (64, 128, 256, 512, 1024, 2048)
+    wide_ds = (256, 512, 1024) if quick else (256, 512, 1024, 2048, 4096)
+    narrow = sweep(12, 32, 32, narrow_ds, "native_narrow")
+    wide = sweep(96, 16, 16, wide_ds, "native_wide")
     return narrow, wide, measurements
 
 
@@ -447,6 +503,23 @@ def run_probes(
     measurements.update(kernel_measured)
     note(f"  bitpack from D>={narrow} (narrow), D>={wide} (wide)")
 
+    defaults = TuningProfile()
+    native_reason = kernel_unavailable_reason(NativeKernel.name)
+    if native_reason is None:
+        note("probing bitpack-vs-native crossover ...")
+        native_narrow, native_wide, native_measured = probe_native_crossover(
+            quick, repeats, timer
+        )
+        measurements.update(native_measured)
+        note(
+            f"  native from D>={native_narrow} (narrow), "
+            f"D>={native_wide} (wide)"
+        )
+    else:
+        native_narrow = defaults.native_min_distinct
+        native_wide = defaults.native_wide_min_distinct
+        note(f"skipping native-kernel probe: {native_reason}")
+
     note("probing MV-dedup engagement break-even ...")
     (
         min_genomes,
@@ -475,11 +548,12 @@ def run_probes(
     note(f"  lockstep from {lockstep_rows} rows")
 
     gemm_us, bitand_us = _timing_signature(timer)
-    defaults = TuningProfile()
     return TuningProfile(
         fingerprint=current_fingerprint(gemm_us=gemm_us, bitand_us=bitand_us),
         bitpack_min_distinct=narrow,
         bitpack_wide_min_distinct=wide,
+        native_min_distinct=native_narrow,
+        native_wide_min_distinct=native_wide,
         scalar_max_work=defaults.scalar_max_work,
         mv_dedup_min_genomes=min_genomes,
         mv_dedup_min_table=min_table,

@@ -95,6 +95,12 @@ class TuningProfile:
       in at most two uint64 words);
     * ``bitpack_wide_min_distinct`` — the same cutover for wide blocks
       (K > 64), where GEMM keeps its compute density longer;
+    * ``native_min_distinct`` / ``native_wide_min_distinct`` —
+      distinct-block floors above which the cc-compiled ``native``
+      kernel takes precedence over both array kernels (narrow / wide
+      lanes); only consulted when the native kernel is available on
+      this machine, so a profile tuned with a compiler stays valid
+      without one;
     * ``scalar_max_work`` — D·L ceiling under which a single uncached
       covering stays on the plain Python loop.
 
@@ -139,6 +145,8 @@ class TuningProfile:
     fingerprint: MachineFingerprint | None = None
     bitpack_min_distinct: int = 256
     bitpack_wide_min_distinct: int = 2048
+    native_min_distinct: int = 1
+    native_wide_min_distinct: int = 1
     scalar_max_work: int = 512
     mv_dedup_min_genomes: int = 16
     mv_dedup_min_table: int = 512
@@ -158,6 +166,8 @@ class TuningProfile:
         positive = (
             "bitpack_min_distinct",
             "bitpack_wide_min_distinct",
+            "native_min_distinct",
+            "native_wide_min_distinct",
             "scalar_max_work",
             "mv_dedup_min_genomes",
             "mv_dedup_min_table",
@@ -200,6 +210,8 @@ class TuningProfile:
     _THRESHOLD_FIELDS = (
         "bitpack_min_distinct",
         "bitpack_wide_min_distinct",
+        "native_min_distinct",
+        "native_wide_min_distinct",
         "scalar_max_work",
         "mv_dedup_min_genomes",
         "mv_dedup_min_table",

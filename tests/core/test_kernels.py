@@ -24,12 +24,15 @@ from repro.core.kernels import (
     BitpackKernel,
     CoveringKernel,
     GemmKernel,
+    NativeKernel,
     ScalarKernel,
     available_kernels,
     get_kernel,
+    kernel_unavailable_reason,
     register_kernel,
     resolve_kernel,
     select_kernel_name,
+    usable_kernels,
 )
 from repro.core.optimizer import EAMVOptimizer
 from repro.parallel import ThreadBackend
@@ -39,7 +42,28 @@ from repro.testdata.synthetic import (
     wide_block_test_set,
 )
 
-KERNEL_NAMES = ("gemm", "bitpack", "scalar")
+# The native kernel joins the parity suites only where it can run:
+# asking availability here compiles on first use (warming the build
+# cache for the whole session) and yields the skip reason otherwise.
+NATIVE_UNAVAILABLE = kernel_unavailable_reason("native")
+KERNEL_NAMES = ("gemm", "bitpack", "scalar") + (
+    ("native",) if NATIVE_UNAVAILABLE is None else ()
+)
+requires_native = pytest.mark.skipif(
+    NATIVE_UNAVAILABLE is not None,
+    reason=f"native kernel unavailable: {NATIVE_UNAVAILABLE}",
+)
+
+
+@pytest.fixture
+def no_native(monkeypatch):
+    """Force the no-compiler path for the duration of one test."""
+    from repro.core.kernels import native as native_module
+
+    monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
+    native_module._reset_native_state()
+    yield
+    native_module._reset_native_state()
 
 
 def random_workload(rng, block_length):
@@ -123,7 +147,9 @@ class TestCrossKernelParity:
             else:  # the batch early-exit contract
                 assert (reference[0][row] == -1).all()
                 assert (reference[1][row] == 0).all()
-        for name in ("gemm", "bitpack"):
+        for name in KERNEL_NAMES:
+            if name == "scalar":
+                continue
             for ours, theirs in zip(per_kernel[name], reference):
                 assert (ours == theirs).all(), name
 
@@ -153,7 +179,9 @@ class TestCrossKernelParity:
             assert (uncovered > 0).all(), name
             assert (assignment == -1).all(), name
             assert (frequencies == 0).all(), name
-        for name in ("gemm", "bitpack"):
+        for name in KERNEL_NAMES:
+            if name == "scalar":
+                continue
             for ours, theirs in zip(results[name], results["scalar"]):
                 assert (ours == theirs).all()
 
@@ -268,7 +296,9 @@ class TestRegistry:
         with pytest.raises(ValueError):
             register_kernel("", GemmKernel)
 
-    def test_auto_heuristic_shapes(self):
+    def test_auto_heuristic_shapes(self, no_native):
+        # The array-kernel heuristic, exactly as before the native
+        # kernel existed (pinned by forcing the no-compiler path).
         # Tiny one-off covering → scalar.
         assert select_kernel_name(1, 8, 4, 8) == ScalarKernel.name
         # Narrow lanes over a tiny table → gemm (cache-resident BLAS).
@@ -281,12 +311,82 @@ class TestRegistry:
         # Wide lanes over a huge table → back to bitpack.
         assert select_kernel_name(256, 4096, 64, 96) == BitpackKernel.name
 
+    @requires_native
+    def test_auto_prefers_native_when_available(self):
+        # The compiled loop measured fastest on every batched shape on
+        # this container class, so with a toolchain present the
+        # default floors hand every non-scalar shape to it.
+        assert select_kernel_name(1, 8, 4, 8) == ScalarKernel.name
+        for shape in (
+            (256, 100, 64, 12),
+            (256, 900, 64, 12),
+            (256, 5000, 64, 64),
+            (256, 400, 64, 96),
+            (256, 4096, 64, 96),
+        ):
+            assert select_kernel_name(*shape) == NativeKernel.name, shape
+
+    @requires_native
+    def test_profile_can_raise_native_floors(self):
+        from repro.tuning import TuningProfile
+
+        profile = TuningProfile(
+            native_min_distinct=10_000, native_wide_min_distinct=10_000
+        )
+        assert (
+            select_kernel_name(256, 900, 64, 12, profile=profile)
+            == BitpackKernel.name
+        )
+        assert (
+            select_kernel_name(256, 400, 64, 96, profile=profile)
+            == GemmKernel.name
+        )
+
     def test_kernels_repr_names(self):
         for name in KERNEL_NAMES:
             kern = get_kernel(name)
             assert isinstance(kern, CoveringKernel)
             assert kern.name == name
             assert name in repr(kern)
+
+
+class TestAvailabilityResolution:
+    """Unavailable kernels: explicit requests fail, auto skips quietly."""
+
+    def test_native_always_registered(self):
+        # Registration is not usability: the name stays valid
+        # configuration even on a toolchain-less machine.
+        assert "native" in available_kernels()
+
+    def test_explicit_unavailable_kernel_raises(self, no_native):
+        with pytest.raises(ValueError, match="unavailable on this machine"):
+            resolve_kernel(
+                "native", n_genomes=32, n_distinct=900,
+                n_vectors=32, block_length=12,
+            )
+
+    def test_auto_silently_skips_unavailable(self, no_native):
+        kern = resolve_kernel(
+            "auto", n_genomes=32, n_distinct=900,
+            n_vectors=32, block_length=12,
+        )
+        assert kern.name == BitpackKernel.name
+        assert "native" not in usable_kernels()
+        assert kernel_unavailable_reason("native") is not None
+
+    def test_unknown_name_still_raises(self):
+        with pytest.raises(ValueError, match="unknown covering kernel"):
+            kernel_unavailable_reason("nonsense")
+
+    @requires_native
+    def test_native_usable_with_compiler(self):
+        assert "native" in usable_kernels()
+        assert kernel_unavailable_reason("native") is None
+        kern = resolve_kernel(
+            "native", n_genomes=32, n_distinct=900,
+            n_vectors=32, block_length=12,
+        )
+        assert kern.name == NativeKernel.name
 
 
 class TestFitnessKernelChoice:
@@ -310,8 +410,8 @@ class TestFitnessKernelChoice:
             )
             rates[name] = fitness.evaluate_batch(genomes)
             assert fitness.kernel_name == name
-        assert (rates["gemm"] == rates["bitpack"]).all()
-        assert (rates["gemm"] == rates["scalar"]).all()
+        for name in KERNEL_NAMES[1:]:
+            assert (rates["gemm"] == rates[name]).all(), name
 
     def test_auto_resolves_on_first_batch(self):
         rng = np.random.default_rng(3)
@@ -390,7 +490,7 @@ class TestWideBlockEndToEnd:
             assert decoded.blocks_decoded == blocks.n_blocks
             payloads.append(compressed.payload)
         # Seeded search + emission is byte-identical across kernels.
-        assert payloads[0] == payloads[1] == payloads[2]
+        assert all(payload == payloads[0] for payload in payloads[1:])
 
     def test_wide_rate_prices_like_compressor(self):
         blocks = wide_block_test_set().blocks(WIDE_BLOCK_LENGTH)

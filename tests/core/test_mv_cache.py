@@ -41,11 +41,16 @@ from repro.core.kernels import (
     cover_from_match_columns,
     cover_packed_columns,
     get_kernel,
+    kernel_unavailable_reason,
     pack_match_columns,
 )
 from repro.core.optimizer import EAMVOptimizer
 
-KERNEL_NAMES = ("gemm", "bitpack", "scalar")
+# Factored-parity suites run the native kernel too when this machine
+# can compile it (no compiler → it simply drops out of the list).
+KERNEL_NAMES = ("gemm", "bitpack", "scalar") + (
+    ("native",) if kernel_unavailable_reason("native") is None else ()
+)
 CACHE_SIZES = (0, 5, DEFAULT_MV_CACHE_SIZE)  # off / eviction pressure / default
 
 

@@ -3,7 +3,10 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.core.kernels import kernel_unavailable_reason
 from repro.parallel import ProcessBackend, SerialBackend, ThreadBackend
+
+NATIVE_OK = kernel_unavailable_reason("native") is None
 
 
 class TestParser:
@@ -103,7 +106,10 @@ class TestKernelFlag:
         args = ["compress", str(path), "--k", "4", "--l", "6", "--runs", "1",
                 "--stagnation", "5", "--max-evaluations", "120", "--seed", "3"]
         outputs = {}
-        for kernel in ("auto", "gemm", "bitpack", "scalar"):
+        kernels = ("auto", "gemm", "bitpack", "scalar") + (
+            ("native",) if NATIVE_OK else ()
+        )
+        for kernel in kernels:
             assert main([*args, "--kernel", kernel]) == 0
             outputs[kernel] = capsys.readouterr().out
         assert len(set(outputs.values())) == 1  # byte-identical output
@@ -276,6 +282,73 @@ class TestCacheCommand:
     def test_explicit_dir_flag(self, tmp_path, capsys):
         assert main(["cache", "list", "--dir", str(tmp_path / "none")]) == 0
         assert "(empty)" in capsys.readouterr().out
+
+    def test_default_mode_governs_both_cache_directories(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["cache", "list"]) == 0
+        listing = capsys.readouterr().out
+        assert str(tmp_path / "mv_cache") in listing
+        assert str(tmp_path / "native") in listing
+
+    @pytest.mark.skipif(not NATIVE_OK, reason="no C compiler")
+    def test_native_builds_listed_and_cleared(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.core.kernels.build import compile_cached
+        from repro.core.kernels.native import NATIVE_C_SOURCE
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        compile_cached(NATIVE_C_SOURCE, tmp_path / "native")
+        assert main(["cache", "list"]) == 0
+        listing = capsys.readouterr().out
+        assert ".so" in listing
+        assert main(["cache", "info"]) == 0
+        info = capsys.readouterr().out
+        assert "compiler:" in info
+        assert "source_sha256:" in info
+        assert main(["cache", "clear"]) == 0
+        cleared = capsys.readouterr().out
+        assert "removed 2 file(s)" in cleared  # .so + .json sidecar
+        assert list((tmp_path / "native").iterdir()) == []
+
+
+class TestKernelsCommand:
+    def test_lists_every_backend_with_availability(self, capsys):
+        assert main(["kernels"]) == 0
+        output = capsys.readouterr().out
+        for name in ("gemm", "bitpack", "scalar"):
+            assert f"{name}: available" in output
+        if NATIVE_OK:
+            assert "native: available" in output
+        else:
+            assert "native: unavailable —" in output
+
+    def test_reports_unavailability_reason(self, monkeypatch, capsys):
+        from repro.core.kernels import native as native_module
+
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
+        native_module._reset_native_state()
+        try:
+            assert main(["kernels"]) == 0
+            output = capsys.readouterr().out
+            assert "native: unavailable — disabled via REPRO_NATIVE_DISABLE" in output
+        finally:
+            native_module._reset_native_state()
+
+    def test_shape_prints_auto_pick(self, capsys):
+        assert main(["kernels", "--shape", "32,3300,64,12"]) == 0
+        output = capsys.readouterr().out
+        expected = "native" if NATIVE_OK else "bitpack"
+        assert (
+            f"auto pick for shape C=32, D=3300, L=64, K=12: {expected}"
+            in output
+        )
+
+    def test_bad_shape_is_a_usage_error(self, capsys):
+        assert main(["kernels", "--shape", "1,2,3"]) == 2
+        assert "expected C,D,L,K" in capsys.readouterr().err
 
 
 class TestResolvedBackends:

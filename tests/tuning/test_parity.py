@@ -12,14 +12,20 @@ import pytest
 
 from repro.core.config import CompressionConfig, EAParameters
 from repro.core.fitness import BatchCompressionRateFitness
-from repro.core.kernels import BitpackKernel, resolve_kernel, select_kernel_name
+from repro.core.kernels import (
+    BitpackKernel,
+    kernel_unavailable_reason,
+    resolve_kernel,
+    select_kernel_name,
+)
 from repro.core.optimizer import EAMVOptimizer
 from repro.ea.genome import random_genome
 from repro.testdata.synthetic import SyntheticSpec, synthetic_test_set
 from repro.tuning.feedback import MVCacheFeedback
 from repro.tuning.profile import TuningProfile, use_profile
 
-KERNELS = ("gemm", "bitpack", "scalar")
+NATIVE_OK = kernel_unavailable_reason("native") is None
+KERNELS = ("gemm", "bitpack", "scalar") + (("native",) if NATIVE_OK else ())
 
 # Thresholds shifted hard in both directions: everything engages
 # everywhere / nothing engages anywhere.  If any threshold leaked into
@@ -31,6 +37,8 @@ EAGER_PROFILE = TuningProfile(
     mv_dedup_min_genomes=1,
     mv_dedup_min_table=1,
     mv_dedup_min_distinct=1,
+    native_min_distinct=1 << 30,  # keep the array plumbing observable
+    native_wide_min_distinct=1 << 30,
     bitpack_shard_size=16,
     huffman_lockstep_min_rows=1,
     mv_feedback_min_hit_rate=0.05,
@@ -38,6 +46,8 @@ EAGER_PROFILE = TuningProfile(
 LAZY_PROFILE = TuningProfile(
     bitpack_min_distinct=1 << 30,
     bitpack_wide_min_distinct=1 << 30,
+    native_min_distinct=1 << 30,
+    native_wide_min_distinct=1 << 30,
     scalar_max_work=1 << 30,
     mv_dedup_min_genomes=1 << 30,
     mv_dedup_min_table=1 << 30,
@@ -146,13 +156,18 @@ class TestThresholdPlumbing:
     """Profiles must actually steer the decisions they claim to steer."""
 
     def test_select_kernel_honors_profile(self):
-        # Shape that defaults route to bitpack (narrow lanes, D >= 256).
-        assert select_kernel_name(32, 1024, 32, 12) == "bitpack"
+        # Shape that defaults route to bitpack (narrow lanes, D >= 256)
+        # — or to native when this machine can compile it.
+        assert select_kernel_name(32, 1024, 32, 12) == (
+            "native" if NATIVE_OK else "bitpack"
+        )
         assert (
             select_kernel_name(32, 1024, 32, 12, profile=LAZY_PROFILE)
             == "gemm"
         )
-        assert select_kernel_name(32, 64, 32, 12) == "gemm"
+        assert select_kernel_name(32, 64, 32, 12) == (
+            "native" if NATIVE_OK else "gemm"
+        )
         assert (
             select_kernel_name(32, 64, 32, 12, profile=EAGER_PROFILE)
             == "bitpack"
@@ -161,7 +176,9 @@ class TestThresholdPlumbing:
     def test_select_kernel_honors_active_profile(self):
         with use_profile(LAZY_PROFILE):
             assert select_kernel_name(32, 1024, 32, 12) == "gemm"
-        assert select_kernel_name(32, 1024, 32, 12) == "bitpack"
+        assert select_kernel_name(32, 1024, 32, 12) == (
+            "native" if NATIVE_OK else "bitpack"
+        )
 
     def test_resolve_kernel_applies_profile_shard_size(self):
         kernel = resolve_kernel("bitpack", 32, 4096, 32, 12, profile=EAGER_PROFILE)

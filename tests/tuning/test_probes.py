@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.kernels import kernel_unavailable_reason
 from repro.tuning.probes import (
     crossover_point,
     probe_huffman_lockstep,
@@ -86,6 +87,18 @@ class TestDeterminism:
         )
         assert profile.bitpack_min_distinct == 128
         assert profile.bitpack_wide_min_distinct == 256
+        if kernel_unavailable_reason("native") is None:
+            # native probed: ties → challenger from the smallest point.
+            assert profile.native_min_distinct == 128
+            assert profile.native_wide_min_distinct == 256
+        else:
+            # no toolchain: the shipped defaults pass through unprobed.
+            defaults = TuningProfile()
+            assert profile.native_min_distinct == defaults.native_min_distinct
+            assert (
+                profile.native_wide_min_distinct
+                == defaults.native_wide_min_distinct
+            )
         assert profile.mv_dedup_min_genomes == 2
         assert profile.mv_dedup_min_table == 128
         assert profile.huffman_lockstep_min_rows == 16

@@ -177,6 +177,11 @@ class TestDefaultsStayInSync:
             profile.bitpack_wide_min_distinct
             == kernels_module.BITPACK_WIDE_MIN_DISTINCT
         )
+        assert profile.native_min_distinct == kernels_module.NATIVE_MIN_DISTINCT
+        assert (
+            profile.native_wide_min_distinct
+            == kernels_module.NATIVE_WIDE_MIN_DISTINCT
+        )
         assert profile.scalar_max_work == kernels_module.SCALAR_MAX_WORK
 
     def test_dedup_thresholds(self):
