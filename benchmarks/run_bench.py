@@ -715,6 +715,40 @@ def emit_parallel_artifact(output: Path, repeats: int) -> None:
     )
 
 
+def emit_serve_artifact(output: Path) -> None:
+    from bench_serve import serve_report
+
+    document = {
+        "benchmark": "serve daemon (warm state + cross-request batching)",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        # One process, one machine: daemon throughput is bounded by
+        # cpu_count — on a single core the win is warm state and
+        # fewer kernel passes, not parallelism.
+        "cpu_count": os.cpu_count(),
+        "tuning_profile": _profile_note(),
+        **serve_report(),
+    }
+    atomic_write_json(output, document)
+    cold = document["cold_per_request"]["requests_per_second"]
+    print(f"cold per-request: {cold}/s")
+    print(
+        f"warm serial: {document['warm_serial']['requests_per_second']}/s  "
+        f"×{document['warm_serial']['speedup_vs_cold']} vs cold"
+    )
+    for row in document["daemon"]:
+        print(
+            f"daemon c={row['concurrency']:>2}: "
+            f"{row['requests_per_second']:>7}/s  "
+            f"mean occupancy {row['mean_batch_occupancy']}"
+        )
+    print(
+        f"wrote {output} (cpu_count={document['cpu_count']}; "
+        f"warm+batched@64 ×{document['speedup_warm_batched_64_vs_cold']} "
+        "vs cold)"
+    )
+
+
 def main() -> None:
     root = Path(__file__).resolve().parent.parent
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -731,14 +765,29 @@ def main() -> None:
         help="where to write the parallel-scaling JSON artifact",
     )
     parser.add_argument(
+        "--serve-output",
+        type=Path,
+        default=root / "BENCH_serve.json",
+        help="where to write the serve-daemon JSON artifact",
+    )
+    parser.add_argument(
         "--repeats", type=int, default=7, help="best-of-N timing repeats"
     )
     only = parser.add_mutually_exclusive_group()
     only.add_argument(
-        "--fitness-only", action="store_true", help="skip the parallel artifact"
+        "--fitness-only",
+        action="store_true",
+        help="emit only the fitness artifact",
     )
     only.add_argument(
-        "--parallel-only", action="store_true", help="skip the fitness artifact"
+        "--parallel-only",
+        action="store_true",
+        help="emit only the parallel artifact",
+    )
+    only.add_argument(
+        "--serve-only",
+        action="store_true",
+        help="emit only the serve-daemon artifact",
     )
     only.add_argument(
         "--check",
@@ -785,12 +834,16 @@ def main() -> None:
                 args.output, args.repeats, args.check_tolerance
             )
         )
-    if not args.parallel_only:
+    if not args.parallel_only and not args.serve_only:
         emit_fitness_artifact(args.output, args.repeats)
-    if not args.fitness_only:
+    if not args.fitness_only and not args.serve_only:
         # Multi-run EA timings are much coarser than single-kernel ones;
         # cap the repeats so a refresh stays in minutes.
         emit_parallel_artifact(args.parallel_output, min(args.repeats, 3))
+    if not args.fitness_only and not args.parallel_only:
+        # Whole-request timings over HTTP: repeats would re-measure
+        # connection jitter, so the serve bench times one full sweep.
+        emit_serve_artifact(args.serve_output)
 
 
 if __name__ == "__main__":

@@ -16,6 +16,12 @@ Commands
 ``cache``       Inspect or clear the on-disk caches — persisted MV
                 caches and native kernel builds
                 (``list``/``info``/``clear``).
+``serve``       Run the long-lived compression daemon: warm per-table
+                state, cross-request batching, ``/compress`` ``/fitness``
+                ``/tables`` ``/healthz`` ``/stats`` (see docs/serve.md).
+``request``     Execute one serve-protocol JSON request offline and
+                print the canonical response — the byte-parity
+                reference for served responses.
 
 Examples
 --------
@@ -760,6 +766,111 @@ def _cache_command(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _build_service(arguments: argparse.Namespace):
+    """A :class:`~repro.serve.CompressionService` from the shared flags.
+
+    One builder for ``serve`` and ``request`` is half the parity
+    contract: the daemon and the offline runner resolve flags into
+    identical warm-state configuration, so the same request body
+    prices through identically-configured engines on both paths.
+    """
+    from .serve import CompressionService, WarmRegistry
+
+    tuning = _resolve_tuning(arguments)
+    retry, timeout = _resolve_fault_tolerance(arguments)
+    registry = WarmRegistry(
+        mv_cache_size=arguments.mv_cache_size,
+        mv_cache_policy=arguments.mv_cache_policy,
+        mv_cache_persist=arguments.mv_cache_persist,
+        tuning=tuning,
+    )
+    service = CompressionService(
+        registry, kernel=arguments.kernel, retry=retry
+    )
+    return service, timeout
+
+
+def _serve_command(arguments: argparse.Namespace) -> int:
+    import os
+    import signal
+    import threading
+
+    from .serve import ServeDaemon
+
+    service, timeout = _build_service(arguments)
+    jobs = arguments.jobs if arguments.jobs > 0 else (os.cpu_count() or 1)
+    daemon = ServeDaemon(
+        service,
+        host=arguments.host,
+        port=arguments.port,
+        jobs=jobs,
+        batch_window_ms=arguments.batch_window_ms,
+        max_batch=arguments.max_batch,
+        max_queue=arguments.max_queue,
+        request_timeout=timeout,
+    )
+    host, port = daemon.address
+
+    def _drain(signum, frame) -> None:
+        # shutdown() blocks until drained, and serve_forever() owns
+        # this thread — hand the drain to a helper thread so the
+        # accept loop can wind down underneath it.
+        threading.Thread(
+            target=daemon.shutdown, kwargs={"drain": True}, daemon=True
+        ).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    print(
+        f"repro serve: listening on http://{host}:{port} "
+        f"(jobs={jobs}, batch window {arguments.batch_window_ms}ms, "
+        f"max batch {arguments.max_batch}, queue {arguments.max_queue}); "
+        "SIGTERM drains",
+        file=sys.stderr,
+    )
+    daemon.serve_forever()
+    print("repro serve: drained and stopped", file=sys.stderr)
+    return 0
+
+
+def _request_command(arguments: argparse.Namespace) -> int:
+    import json
+
+    from .serve import ProtocolError, canonical_json
+
+    service, _ = _build_service(arguments)
+    raw = (
+        sys.stdin.read()
+        if arguments.file == "-"
+        else Path(arguments.file).read_text()
+    )
+    try:
+        body = json.loads(raw)
+    except json.JSONDecodeError as error:
+        print(f"error: invalid JSON request: {error}", file=sys.stderr)
+        return 1
+    endpoint = arguments.endpoint
+    if endpoint is None:
+        if isinstance(body, dict) and "genomes" in body:
+            endpoint = "fitness"
+        elif isinstance(body, dict) and "seed" in body:
+            endpoint = "compress"
+        else:
+            endpoint = "tables"
+    try:
+        if endpoint == "fitness":
+            payload = service.run_fitness(body)
+        elif endpoint == "compress":
+            payload = service.run_compress(body)
+        else:
+            payload = service.register_table(body)
+    except ProtocolError as error:
+        print(f"error: {error.message}", file=sys.stderr)
+        return 1
+    sys.stdout.buffer.write(canonical_json(payload))
+    return 0
+
+
 def _kernels_command(arguments: argparse.Namespace) -> int:
     from .core.kernels import kernel_availability, select_kernel_name
 
@@ -917,6 +1028,75 @@ def build_parser() -> argparse.ArgumentParser:
             "mv_cache and native directories under REPRO_CACHE_DIR)"
         ),
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help=(
+            "run the long-lived compression daemon: warm per-table "
+            "state and cross-request batching over stdlib HTTP"
+        ),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8477,
+        help="TCP port; 0 picks a free one (default 8477)",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help=(
+            "how long the coalescer holds the first fitness request of "
+            "a batch open for same-table company before flushing "
+            "(batching is byte-inert — served responses are identical "
+            "at any window; default 5)"
+        ),
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="flush a batch early once it holds N requests (default 64)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        metavar="N",
+        help=(
+            "admission bound: past N queued requests new ones are "
+            "rejected with 429 instead of accumulating (default 256)"
+        ),
+    )
+    _add_execution_arguments(serve)
+
+    request = commands.add_parser(
+        "request",
+        help=(
+            "execute one serve-protocol JSON request offline and print "
+            "the canonical response (the serve byte-parity reference)"
+        ),
+    )
+    request.add_argument(
+        "file", help="request JSON file, or - to read from stdin"
+    )
+    request.add_argument(
+        "--endpoint",
+        choices=("tables", "fitness", "compress"),
+        default=None,
+        help=(
+            "which endpoint semantics to apply (default: inferred — "
+            "'genomes' means fitness, 'seed' means compress, otherwise "
+            "tables)"
+        ),
+    )
+    _add_execution_arguments(request)
     return parser
 
 
@@ -941,6 +1121,10 @@ def main(argv: list[str] | None = None) -> int:
         return _kernels_command(arguments)
     if arguments.command == "cache":
         return _cache_command(arguments)
+    if arguments.command == "serve":
+        return _serve_command(arguments)
+    if arguments.command == "request":
+        return _request_command(arguments)
     raise AssertionError(f"unhandled command {arguments.command!r}")
 
 

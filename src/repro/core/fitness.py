@@ -41,6 +41,7 @@ negative constant, far below any reachable rate.
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from dataclasses import dataclass
@@ -185,6 +186,16 @@ class MVMatchCache:
     retained entries to and from the persisted on-disk form
     (:mod:`repro.core.cache.persist`), coldest entry first so a reload
     into a smaller cache keeps the hottest columns.
+
+    The cache is thread-safe: every public method holds one internal
+    lock, so a single instance can back many concurrent fitness
+    engines (the serve daemon shares one per block table).  Policies
+    themselves stay lock-free — all mutation routes through these
+    methods.  Concurrent readers must use :meth:`fetch`, which fuses
+    lookup + column gather into one atomic step; the split
+    :meth:`lookup`/:meth:`columns_at` pair is only safe when no other
+    thread can insert between the two calls, because an insert may
+    recycle an evicted slot out from under the gather.
     """
 
     def __init__(
@@ -197,6 +208,7 @@ class MVMatchCache:
             self._policy = make_policy(policy, capacity)
             self._capacity = capacity
         self._store: np.ndarray | None = None  # (capacity, ⌈D/8⌉) uint8
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -213,7 +225,8 @@ class MVMatchCache:
         return self._policy.name
 
     def __len__(self) -> int:
-        return len(self._policy)
+        with self._lock:
+            return len(self._policy)
 
     def _ensure_store(self, column_width: int) -> None:
         if self._store is None:
@@ -235,29 +248,39 @@ class MVMatchCache:
         """The cached packed column for ``key``, refreshing its priority.
 
         Returns a copy: a view into the slot store would be silently
-        overwritten when a later insert recycles the slot (the batch
-        path uses :meth:`lookup`/:meth:`columns_at`, whose
-        read-before-insert contract makes views safe there).
+        overwritten when a later insert recycles the slot.
         """
-        slot = self._policy.lookup(key)
-        if slot is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return self._store[slot].copy()
+        with self._lock:
+            slot = self._policy.lookup(key)
+            if slot is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return self._store[slot].copy()
 
     def put(self, key: int | bytes, column: np.ndarray) -> None:
         """Insert ``key``'s packed column, evicting the policy's victim."""
         column = np.asarray(column, dtype=np.uint8)
-        self._ensure_store(column.shape[-1])
-        slot = self._policy.lookup(key)  # overwrite refreshes priority
-        if slot is None:
-            slot = self._claim_slot(key)
-        self._store[slot] = column
+        with self._lock:
+            self._ensure_store(column.shape[-1])
+            slot = self._policy.lookup(key)  # overwrite refreshes priority
+            if slot is None:
+                slot = self._claim_slot(key)
+            self._store[slot] = column
 
     def lookup(self, keys: list) -> np.ndarray:
         """Store slot per key (``-1`` for misses), counting and
-        priority-refreshing hits — the batch counterpart of :meth:`get`."""
+        priority-refreshing hits — the batch counterpart of :meth:`get`.
+
+        Single-threaded use only: the returned slots go stale as soon
+        as any other thread inserts.  Concurrent callers want
+        :meth:`fetch`.
+        """
+        with self._lock:
+            return self._lookup_slots(keys)
+
+    def _lookup_slots(self, keys: list) -> np.ndarray:
+        """Slot per key under the caller's lock, updating counters."""
         policy = self._policy
         slots = np.empty(len(keys), dtype=np.int64)
         hits = 0
@@ -277,9 +300,27 @@ class MVMatchCache:
 
         Only valid for slots just returned by :meth:`lookup` and read
         *before* the next :meth:`insert` (an insert may recycle an
-        evicted slot).
+        evicted slot) — which also rules out any concurrent inserter.
         """
-        return self._store[slots]
+        with self._lock:
+            return self._store[slots]
+
+    def fetch(self, keys: list) -> tuple[np.ndarray, np.ndarray | None]:
+        """Atomic batch lookup + gather: ``(hit_mask, hit_columns)``.
+
+        One lock acquisition covers the slot lookup, the hit/miss
+        counters *and* the column gather, so no concurrent insert can
+        recycle a slot between lookup and read — the safe concurrent
+        counterpart of the :meth:`lookup`/:meth:`columns_at` pair.
+        ``hit_columns`` are the packed columns of the hit keys in key
+        order (a copy, valid indefinitely), or ``None`` when nothing
+        hit.
+        """
+        with self._lock:
+            slots = self._lookup_slots(keys)
+            hit = slots >= 0
+            columns = self._store[slots[hit]].copy() if hit.any() else None
+        return hit, columns
 
     def insert(self, keys: list, columns: np.ndarray) -> None:
         """Bulk :meth:`put` of freshly priced columns (one per key).
@@ -288,22 +329,26 @@ class MVMatchCache:
         may be claimed several times; only the *newest* claim still
         owns its slot, so duplicates are resolved to the last
         occurrence before the vectorized store write (numpy leaves
-        repeated-index assignment order unspecified).
+        repeated-index assignment order unspecified).  Concurrent
+        inserts of the same key are harmless: the match column is a
+        pure function of (key, block table), so both writers store the
+        same bytes.
         """
         columns = np.asarray(columns, dtype=np.uint8)
-        self._ensure_store(columns.shape[-1])
-        policy = self._policy
-        slots = np.empty(len(keys), dtype=np.int64)
-        for index, key in enumerate(keys):
-            slot = policy.lookup(key)
-            if slot is None:
-                slot = self._claim_slot(key)
-            slots[index] = slot
-        unique_slots, reversed_first = np.unique(
-            slots[::-1], return_index=True
-        )
-        last_rows = len(keys) - 1 - reversed_first
-        self._store[unique_slots] = columns[last_rows]
+        with self._lock:
+            self._ensure_store(columns.shape[-1])
+            policy = self._policy
+            slots = np.empty(len(keys), dtype=np.int64)
+            for index, key in enumerate(keys):
+                slot = policy.lookup(key)
+                if slot is None:
+                    slot = self._claim_slot(key)
+                slots[index] = slot
+            unique_slots, reversed_first = np.unique(
+                slots[::-1], return_index=True
+            )
+            last_rows = len(keys) - 1 - reversed_first
+            self._store[unique_slots] = columns[last_rows]
 
     # -- persistence --------------------------------------------------
 
@@ -315,14 +360,15 @@ class MVMatchCache:
         policy, and under a smaller capacity the coldest entries are
         the ones dropped.
         """
-        pairs = list(self._policy.items())
-        if not pairs:
-            return [], np.empty((0, 0), dtype=np.uint8)
-        keys = [key for key, _ in pairs]
-        slots = np.fromiter(
-            (slot for _, slot in pairs), dtype=np.int64, count=len(pairs)
-        )
-        return keys, self._store[slots].copy()
+        with self._lock:
+            pairs = list(self._policy.items())
+            if not pairs:
+                return [], np.empty((0, 0), dtype=np.uint8)
+            keys = [key for key, _ in pairs]
+            slots = np.fromiter(
+                (slot for _, slot in pairs), dtype=np.int64, count=len(pairs)
+            )
+            return keys, self._store[slots].copy()
 
     def load_state(self, keys: list, columns: np.ndarray) -> None:
         """Hydrate from persisted ``(keys, columns)``, coldest first.
@@ -333,14 +379,15 @@ class MVMatchCache:
         resident after the load.
         """
         columns = np.asarray(columns, dtype=np.uint8)
-        self._ensure_store(columns.shape[-1])
-        policy = self._policy
-        for index, key in enumerate(keys):
-            slot = policy.lookup(key)
-            if slot is None:
-                slot, _ = policy.claim(key)
-            self._store[slot] = columns[index]
-        self.warm_loaded = len(policy)
+        with self._lock:
+            self._ensure_store(columns.shape[-1])
+            policy = self._policy
+            for index, key in enumerate(keys):
+                slot = policy.lookup(key)
+                if slot is None:
+                    slot, _ = policy.claim(key)
+                self._store[slot] = columns[index]
+            self.warm_loaded = len(policy)
 
 
 class _StageClock:
@@ -365,7 +412,10 @@ class BatchCompressionRateFitness:
     ``"auto"`` resolves from the workload shape (C, D, L, K) when the
     first batch arrives.  ``mv_cache_size`` bounds the persistent
     :class:`MVMatchCache` behind the unique-MV dedup path; ``0`` (or
-    ``None``) prices through the fused per-generation kernels instead.
+    ``None``) prices through the fused per-generation kernels instead,
+    and an explicit ``mv_cache`` instance overrides both — the route by
+    which the serve daemon shares one warm thread-safe cache across
+    every request touching the same block table.
     With the cache enabled, the dedup path engages per batch shape —
     generation-scale batches or very large distinct tables — and tiny
     batches on small tables keep the fused kernels, whose single pass
@@ -404,6 +454,7 @@ class BatchCompressionRateFitness:
         mv_cache_policy: str | None = None,
         mv_cache_persist: bool = False,
         mv_cache_dir: Path | None = None,
+        mv_cache: MVMatchCache | None = None,
     ) -> None:
         if blocks.block_length != block_length:
             raise ValueError(
@@ -432,11 +483,20 @@ class BatchCompressionRateFitness:
             mv_cache_policy = self._tuning.mv_cache_policy
         if mv_cache_policy is None:
             mv_cache_policy = DEFAULT_POLICY
-        self._mv_cache = (
-            MVMatchCache(mv_cache_size, policy=mv_cache_policy)
-            if mv_cache_size
-            else None
-        )
+        if mv_cache is not None:
+            # An injected (typically shared, e.g. the serve daemon's
+            # warm registry) cache wins over size/policy construction.
+            # Sharing is sound for the same reason persistence is: a
+            # match column is a pure function of (MV, block table), so
+            # a warmer cache can only skip kernel work, never change a
+            # priced result.
+            self._mv_cache = mv_cache
+        else:
+            self._mv_cache = (
+                MVMatchCache(mv_cache_size, policy=mv_cache_policy)
+                if mv_cache_size
+                else None
+            )
         self._mv_cache_persist = bool(mv_cache_persist) and self._mv_cache is not None
         self._mv_cache_dir = mv_cache_dir
         self._table_digest_memo: str | None = None
@@ -699,14 +759,14 @@ class BatchCompressionRateFitness:
             clock.mark("pack")
 
         cache = self._mv_cache
-        hits_before, misses_before = cache.hits, cache.misses
         packed_width = -(-self._blocks.n_distinct // 8)
         packed_columns = np.empty((n_unique, packed_width), dtype=np.uint8)
-        slots = cache.lookup(keys)
-        hit = slots >= 0
-        if hit.any():
-            # Gather before insert: an insert may recycle these slots.
-            packed_columns[hit] = cache.columns_at(slots[hit])
+        # fetch() is one atomic lookup + gather: safe when the cache is
+        # shared across threads (a concurrent insert can recycle slots
+        # between a split lookup/columns_at pair).
+        hit, hit_columns = cache.fetch(keys)
+        if hit_columns is not None:
+            packed_columns[hit] = hit_columns
         if not hit.all():
             miss = np.flatnonzero(~hit)
             columns = kernel.match_columns(
@@ -716,10 +776,11 @@ class BatchCompressionRateFitness:
             packed_columns[miss] = fresh
             cache.insert([keys[index] for index in miss], fresh)
         if self._mv_feedback is not None:
-            # This batch's own hit/miss delta is the monitor's signal.
-            self._mv_feedback.observe(
-                cache.hits - hits_before, cache.misses - misses_before
-            )
+            # This batch's own hit/miss counts are the monitor's signal
+            # (counted from the fetch itself, not global counter deltas,
+            # which concurrent sharers would pollute).
+            n_hits = int(hit.sum())
+            self._mv_feedback.observe(n_hits, len(keys) - n_hits)
         if clock:
             clock.mark("match")
 
@@ -881,6 +942,7 @@ class CompressionRateFitness:
         mv_cache_policy: str | None = None,
         mv_cache_persist: bool = False,
         mv_cache_dir: Path | None = None,
+        mv_cache: MVMatchCache | None = None,
     ) -> None:
         self._batch = BatchCompressionRateFitness(
             blocks,
@@ -895,6 +957,7 @@ class CompressionRateFitness:
             mv_cache_policy=mv_cache_policy,
             mv_cache_persist=mv_cache_persist,
             mv_cache_dir=mv_cache_dir,
+            mv_cache=mv_cache,
         )
         self._n_vectors = n_vectors
         self._block_length = block_length

@@ -38,6 +38,7 @@ compiler can cost speed, never a run.
 from __future__ import annotations
 
 import ctypes
+import os
 import sys
 import tempfile
 from dataclasses import dataclass
@@ -57,7 +58,12 @@ from .base import (
 )
 from .build import NativeBuildError, load_native_library
 
-__all__ = ["NATIVE_C_SOURCE", "NativeKernel", "native_status"]
+__all__ = [
+    "NATIVE_C_SOURCE",
+    "NativeKernel",
+    "native_status",
+    "native_warning_emitted",
+]
 
 # Genome chunks bound the (chunk, D) rank matrix handed back by the C
 # core (same budget as the array kernels' chunking).
@@ -194,8 +200,17 @@ _ABI_VERSION = 1
 # One attempt per process — a compile failure is not going to heal
 # between fitness calls — and ONE stderr warning when it fails, so a
 # toolchain-less machine sees exactly one line, not one per command.
+# The warning is additionally debounced across the whole process
+# *tree* through an environment marker: a long-lived daemon (or a
+# process-pool backend) respawns workers that inherit the parent's
+# environment, and each respawn re-warning would turn one missing
+# toolchain into a stderr flood.  The marker is set by whichever
+# process warns first; children see it and stay quiet.  The
+# unavailability reason itself stays queryable via
+# :func:`native_status` (the serve daemon surfaces it in ``/stats``).
 _LOADED: tuple[ctypes.CDLL | None, str | None] | None = None
 _WARNED = False
+_WARNED_MARKER_ENV = "REPRO_NATIVE_WARNED"
 
 
 def _load_library() -> tuple[ctypes.CDLL | None, str | None]:
@@ -214,8 +229,9 @@ def _load_library() -> tuple[ctypes.CDLL | None, str | None]:
             _LOADED = (library, None)
         except NativeBuildError as error:
             _LOADED = (None, str(error))
-            if not _WARNED:
+            if not _WARNED and _WARNED_MARKER_ENV not in os.environ:
                 _WARNED = True
+                os.environ[_WARNED_MARKER_ENV] = "1"
                 print(
                     f"warning: native kernel unavailable ({error}); "
                     "auto kernel selection falls back to the array kernels",
@@ -235,11 +251,22 @@ def native_status() -> tuple[bool, str | None]:
     return library is not None, reason
 
 
+def native_warning_emitted() -> bool:
+    """Whether the unavailable warning fired in this process tree.
+
+    True when this process warned or inherited the environment marker
+    from an ancestor that did — the flag the serve daemon's ``/stats``
+    reports so operators can see a swallowed warning.
+    """
+    return _WARNED or _WARNED_MARKER_ENV in os.environ
+
+
 def _reset_native_state() -> None:
     """Forget the process-wide load attempt (tests only)."""
     global _LOADED, _WARNED
     _LOADED = None
     _WARNED = False
+    os.environ.pop(_WARNED_MARKER_ENV, None)
 
 
 def _as_uint64_pointer(array: np.ndarray):

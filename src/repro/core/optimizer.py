@@ -38,7 +38,7 @@ from ..parallel import (
 from .blocks import BlockSet
 from .compressor import CompressedTestSet, compress_blocks
 from .config import CompressionConfig
-from .fitness import BatchCompressionRateFitness
+from .fitness import BatchCompressionRateFitness, MVMatchCache
 from .matching import MVSet
 from .nine_c import nine_c_mv_set
 from .trits import DC
@@ -140,12 +140,21 @@ def _seed_genomes(
     return [genome]
 
 
-def execute_run_task(task: RunTask) -> RunOutcome:
+def execute_run_task(
+    task: RunTask, mv_cache: "MVMatchCache | None" = None
+) -> RunOutcome:
     """Run one independent EA search — the backend work unit.
 
     Module-level (hence picklable for :class:`ProcessBackend`) and
     deterministic: the outcome depends only on the task's fields,
     never on global state, worker identity, or completion order.
+
+    ``mv_cache`` optionally injects a shared (thread-safe) match-column
+    cache instead of the per-run one the config would build — the serve
+    daemon's warm-state path.  Semantically inert: a warmer cache can
+    only skip kernel work, so the outcome is byte-identical with or
+    without it (thread backends only; a lock-bearing cache cannot
+    cross a process boundary).
     """
     config = task.config
     rng = np.random.default_rng(task.seed_sequence)
@@ -156,6 +165,7 @@ def execute_run_task(task: RunTask) -> RunOutcome:
         strategy=config.strategy,
         kernel=config.kernel,
         mv_cache_size=config.mv_cache_size,
+        mv_cache=mv_cache,
         # The profile rides in the config so process workers (which
         # never inherit the CLI's process-wide active profile) tune
         # identically to the serial path; likewise the cache policy

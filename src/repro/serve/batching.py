@@ -1,0 +1,264 @@
+"""Cross-request batching: coalesce same-table fitness requests.
+
+The batched fitness engine is fastest when it prices one large
+``(C, L·K)`` matrix per kernel pass, but served requests arrive as
+many small matrices.  The :class:`Coalescer` bridges the two: an
+admission queue gathers concurrent requests for the same
+:class:`~repro.serve.state.FitnessKey` (table digest + evaluation
+shape) and a single dispatcher thread flushes each group when its
+batching window expires (``window_ms``) or it reaches ``max_batch``
+requests — whichever comes first — pricing the concatenated matrix in
+**one** ``evaluate_batch`` call and fanning the sliced rates back
+through per-request futures.
+
+Why this cannot change results: ``evaluate_batch`` is documented (and
+parity-pinned) to be *identical, element for element, to calling the
+single-genome path on each row*.  Concatenation and slicing are
+therefore invisible — any interleaving of requests produces the same
+per-request rates as serial execution, which is the serve determinism
+contract.  Groups are keyed by the full :class:`FitnessKey`, so
+requests against different tables (or shapes) can never share a
+matrix.
+
+Backpressure: at most ``max_queue`` requests may be waiting across
+all groups; past that, :meth:`submit` raises :class:`QueueFullError`
+and the daemon answers 429 instead of accumulating unbounded state.
+``stop(drain=True)`` flushes everything still queued before the
+dispatcher exits — the SIGTERM path — so accepted requests are always
+answered.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+
+__all__ = ["BatchStats", "Coalescer", "QueueFullError"]
+
+
+class QueueFullError(Exception):
+    """Admission queue at capacity; the daemon answers 429."""
+
+
+class _Group:
+    """Requests for one key awaiting a flush."""
+
+    __slots__ = ("key", "deadline", "matrices", "futures")
+
+    def __init__(self, key, deadline: float) -> None:
+        self.key = key
+        self.deadline = deadline
+        self.matrices: list[np.ndarray] = []
+        self.futures: list[Future] = []
+
+
+class BatchStats:
+    """Coalescing effectiveness counters (surfaced via `/stats`)."""
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.rejected = 0
+        self.flushes = 0
+        self.window_flushes = 0
+        self.size_flushes = 0
+        self.drain_flushes = 0
+        self.batched_requests = 0  # requests that shared a flush
+        self.occupancy_sum = 0
+        self.occupancy_max = 0
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Requests per flush (0.0 before the first flush)."""
+        return self.occupancy_sum / self.flushes if self.flushes else 0.0
+
+    def as_dict(self, queue_depth: int) -> dict:
+        return {
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "flushes": self.flushes,
+            "window_flushes": self.window_flushes,
+            "size_flushes": self.size_flushes,
+            "drain_flushes": self.drain_flushes,
+            "batched_requests": self.batched_requests,
+            "mean_occupancy": self.mean_occupancy,
+            "max_occupancy": self.occupancy_max,
+            "queue_depth": queue_depth,
+        }
+
+
+class Coalescer:
+    """Single-dispatcher admission queue batching same-key requests.
+
+    ``evaluate(key, stacked_matrix) -> rates`` is the pricing hook —
+    in the daemon it resolves the key's warm engine and calls its
+    ``evaluate_batch``.  It runs on the dispatcher thread, so one
+    engine never sees concurrent callers.
+    """
+
+    def __init__(
+        self,
+        evaluate,
+        window_ms: float = 5.0,
+        max_batch: int = 64,
+        max_queue: int = 256,
+    ) -> None:
+        if window_ms < 0:
+            raise ValueError("window_ms must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self._evaluate = evaluate
+        self._window = window_ms / 1000.0
+        self._max_batch = max_batch
+        self._max_queue = max_queue
+        self._cond = threading.Condition()
+        self._groups: dict = {}
+        self._queued = 0
+        self._running = False
+        self._drain = True
+        self._thread: threading.Thread | None = None
+        self.stats = BatchStats()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet flushed."""
+        with self._cond:
+            return self._queued
+
+    def start(self) -> None:
+        """Start the dispatcher thread (idempotent)."""
+        with self._cond:
+            if self._running:
+                return
+            self._running = True
+        self._thread = threading.Thread(
+            target=self._dispatch, name="repro-coalescer", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the dispatcher; with ``drain``, flush everything first.
+
+        Without ``drain``, still-queued futures fail with
+        :class:`QueueFullError` so no waiter hangs.
+        """
+        with self._cond:
+            if not self._running and self._thread is None:
+                return
+            self._running = False
+            self._drain = drain
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def submit(self, key, genomes: np.ndarray) -> Future:
+        """Admit one request; the future resolves to its rate array."""
+        future: Future = Future()
+        with self._cond:
+            if not self._running:
+                raise QueueFullError("coalescer is not accepting requests")
+            if self._queued + 1 > self._max_queue:
+                self.stats.rejected += 1
+                raise QueueFullError(
+                    f"admission queue full ({self._max_queue} requests)"
+                )
+            group = self._groups.get(key)
+            if group is None:
+                group = _Group(key, time.monotonic() + self._window)
+                self._groups[key] = group
+            group.matrices.append(genomes)
+            group.futures.append(future)
+            self._queued += 1
+            self.stats.submitted += 1
+            self._cond.notify_all()
+        return future
+
+    # -- dispatcher ----------------------------------------------------
+
+    def _dispatch(self) -> None:
+        while True:
+            with self._cond:
+                while self._running and not self._groups:
+                    self._cond.wait()
+                if not self._running and not self._groups:
+                    return
+                if not self._running:
+                    # Stopping: flush (or fail) everything queued now.
+                    groups = list(self._groups.values())
+                    self._groups.clear()
+                    self._queued = 0
+                    drain = self._drain
+                else:
+                    group = self._due_group()
+                    if group is None:
+                        continue  # timed out back into the wait loop
+                    self._groups.pop(group.key)
+                    self._queued -= len(group.futures)
+                    groups, drain = None, False
+            if groups is not None:
+                for stale in groups:
+                    if drain:
+                        self._flush(stale, "drain")
+                    else:
+                        error = QueueFullError("coalescer stopped")
+                        for future in stale.futures:
+                            future.set_exception(error)
+                return
+            reason = (
+                "size" if len(group.futures) >= self._max_batch else "window"
+            )
+            self._flush(group, reason)
+
+    def _due_group(self):
+        """The next group to flush, or ``None`` after an indecisive wait.
+
+        Called under the lock.  A group is due when full
+        (``max_batch``) or when its window deadline has passed;
+        otherwise wait until the earliest deadline and re-decide.
+        """
+        for group in self._groups.values():
+            if len(group.futures) >= self._max_batch:
+                return group
+        group = min(self._groups.values(), key=lambda g: g.deadline)
+        now = time.monotonic()
+        if group.deadline <= now:
+            return group
+        self._cond.wait(timeout=group.deadline - now)
+        return None
+
+    def _flush(self, group: _Group, reason: str) -> None:
+        """Price one group in a single batch call; fan results back."""
+        occupancy = len(group.futures)
+        stats = self.stats
+        stats.flushes += 1
+        stats.occupancy_sum += occupancy
+        stats.occupancy_max = max(stats.occupancy_max, occupancy)
+        if reason == "window":
+            stats.window_flushes += 1
+        elif reason == "size":
+            stats.size_flushes += 1
+        else:
+            stats.drain_flushes += 1
+        if occupancy > 1:
+            stats.batched_requests += occupancy
+        try:
+            stacked = (
+                group.matrices[0]
+                if occupancy == 1
+                else np.concatenate(group.matrices, axis=0)
+            )
+            rates = np.asarray(self._evaluate(group.key, stacked))
+        except BaseException as error:  # fan the failure to every waiter
+            for future in group.futures:
+                future.set_exception(error)
+            return
+        offset = 0
+        for matrix, future in zip(group.matrices, group.futures):
+            count = matrix.shape[0]
+            future.set_result(rates[offset : offset + count])
+            offset += count

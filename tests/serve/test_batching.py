@@ -1,0 +1,203 @@
+"""Tests for the cross-request coalescer."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.batching import BatchStats, Coalescer, QueueFullError
+
+# A window so long the dispatcher never flushes on its own: flushes in
+# these tests happen only via max_batch or an explicit stop(drain).
+NEVER = 60_000.0
+
+
+def row_sums(key, matrix):
+    return matrix.sum(axis=1).astype(float)
+
+
+class TestAdmission:
+    def test_submit_before_start_is_rejected(self):
+        coalescer = Coalescer(row_sums)
+        with pytest.raises(QueueFullError):
+            coalescer.submit("k", np.zeros((1, 4), dtype=np.int8))
+
+    def test_queue_full_rejects_and_counts(self):
+        coalescer = Coalescer(row_sums, window_ms=NEVER, max_queue=2)
+        coalescer.start()
+        try:
+            one = coalescer.submit("k", np.ones((1, 4), dtype=np.int8))
+            two = coalescer.submit("k", np.ones((2, 4), dtype=np.int8))
+            with pytest.raises(QueueFullError):
+                coalescer.submit("k", np.ones((1, 4), dtype=np.int8))
+            assert coalescer.stats.rejected == 1
+            assert coalescer.queue_depth == 2
+        finally:
+            coalescer.stop(drain=True)
+        # Accepted requests still resolve through the drain flush.
+        assert one.result(timeout=5).tolist() == [4.0]
+        assert two.result(timeout=5).tolist() == [4.0, 4.0]
+
+    def test_submit_after_stop_is_rejected(self):
+        coalescer = Coalescer(row_sums)
+        coalescer.start()
+        coalescer.stop(drain=True)
+        with pytest.raises(QueueFullError):
+            coalescer.submit("k", np.zeros((1, 4), dtype=np.int8))
+
+
+class TestFlushing:
+    def test_window_flush(self):
+        coalescer = Coalescer(row_sums, window_ms=20.0)
+        coalescer.start()
+        try:
+            future = coalescer.submit("k", np.ones((2, 3), dtype=np.int8))
+            assert future.result(timeout=5).tolist() == [3.0, 3.0]
+            assert coalescer.stats.window_flushes == 1
+            assert coalescer.queue_depth == 0
+        finally:
+            coalescer.stop(drain=True)
+
+    def test_max_batch_flush_batches_all_requests(self):
+        coalescer = Coalescer(row_sums, window_ms=NEVER, max_batch=3)
+        coalescer.start()
+        try:
+            futures = [
+                coalescer.submit("k", np.full((1, 4), fill, dtype=np.int8))
+                for fill in (0, 1, 2)
+            ]
+            results = [f.result(timeout=5).tolist() for f in futures]
+        finally:
+            coalescer.stop(drain=True)
+        assert results == [[0.0], [4.0], [8.0]]
+        stats = coalescer.stats
+        assert stats.size_flushes == 1
+        assert stats.flushes == 1
+        assert stats.occupancy_max == 3
+        assert stats.batched_requests == 3
+        assert stats.mean_occupancy == 3.0
+
+    def test_mixed_keys_never_share_a_flush(self):
+        calls = []
+
+        def record(key, matrix):
+            calls.append((key, matrix.copy()))
+            return row_sums(key, matrix)
+
+        coalescer = Coalescer(record, window_ms=NEVER, max_batch=2)
+        coalescer.start()
+        try:
+            a1 = coalescer.submit("a", np.full((1, 2), 1, dtype=np.int8))
+            b1 = coalescer.submit("b", np.full((1, 2), 2, dtype=np.int8))
+            a2 = coalescer.submit("a", np.full((1, 2), 3, dtype=np.int8))
+            b2 = coalescer.submit("b", np.full((1, 2), 4, dtype=np.int8))
+            assert a1.result(timeout=5).tolist() == [2.0]
+            assert a2.result(timeout=5).tolist() == [6.0]
+            assert b1.result(timeout=5).tolist() == [4.0]
+            assert b2.result(timeout=5).tolist() == [8.0]
+        finally:
+            coalescer.stop(drain=True)
+        assert len(calls) == 2
+        by_key = {key: matrix for key, matrix in calls}
+        assert set(by_key) == {"a", "b"}
+        assert by_key["a"].tolist() == [[1, 1], [3, 3]]
+        assert by_key["b"].tolist() == [[2, 2], [4, 4]]
+
+    def test_drain_flushes_queued_requests(self):
+        coalescer = Coalescer(row_sums, window_ms=NEVER)
+        coalescer.start()
+        future = coalescer.submit("k", np.ones((1, 5), dtype=np.int8))
+        coalescer.stop(drain=True)
+        assert future.result(timeout=5).tolist() == [5.0]
+        assert coalescer.stats.drain_flushes == 1
+
+    def test_stop_without_drain_fails_queued_futures(self):
+        coalescer = Coalescer(row_sums, window_ms=NEVER)
+        coalescer.start()
+        future = coalescer.submit("k", np.ones((1, 5), dtype=np.int8))
+        coalescer.stop(drain=False)
+        with pytest.raises(QueueFullError):
+            future.result(timeout=5)
+
+    def test_evaluate_failure_fans_to_every_waiter(self):
+        def explode(key, matrix):
+            raise RuntimeError("kernel fell over")
+
+        coalescer = Coalescer(explode, window_ms=NEVER, max_batch=2)
+        coalescer.start()
+        try:
+            one = coalescer.submit("k", np.zeros((1, 2), dtype=np.int8))
+            two = coalescer.submit("k", np.zeros((1, 2), dtype=np.int8))
+            for future in (one, two):
+                with pytest.raises(RuntimeError, match="kernel fell over"):
+                    future.result(timeout=5)
+        finally:
+            coalescer.stop(drain=False)
+
+
+class TestParity:
+    def test_coalesced_results_match_serial(self):
+        """Any interleaving slices back to per-request serial results."""
+        rng = np.random.default_rng(7)
+        matrices = [
+            rng.integers(0, 3, size=(rows, 6)).astype(np.int8)
+            for rows in (1, 3, 2, 5, 1, 4, 2, 3)
+        ]
+        serial = [row_sums("k", matrix).tolist() for matrix in matrices]
+
+        coalescer = Coalescer(row_sums, window_ms=NEVER, max_batch=len(matrices))
+        coalescer.start()
+        futures = [None] * len(matrices)
+        barrier = threading.Barrier(len(matrices))
+
+        def send(index):
+            barrier.wait()
+            futures[index] = coalescer.submit("k", matrices[index])
+
+        threads = [
+            threading.Thread(target=send, args=(i,))
+            for i in range(len(matrices))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        try:
+            coalesced = [f.result(timeout=5).tolist() for f in futures]
+        finally:
+            coalescer.stop(drain=True)
+        # Submission order is nondeterministic, so compare by matrix:
+        # each request got exactly its own rows back.
+        for index, matrix in enumerate(matrices):
+            assert coalesced[index] == row_sums("k", matrix).tolist()
+        assert sorted(map(tuple, coalesced)) == sorted(map(tuple, serial))
+        assert coalescer.stats.flushes >= 1
+
+
+class TestStats:
+    def test_mean_occupancy_before_any_flush(self):
+        assert BatchStats().mean_occupancy == 0.0
+
+    def test_as_dict_fields(self):
+        stats = BatchStats().as_dict(queue_depth=4)
+        assert stats["queue_depth"] == 4
+        for field in (
+            "submitted",
+            "rejected",
+            "flushes",
+            "window_flushes",
+            "size_flushes",
+            "drain_flushes",
+            "batched_requests",
+            "mean_occupancy",
+            "max_occupancy",
+        ):
+            assert field in stats
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            Coalescer(row_sums, window_ms=-1.0)
+        with pytest.raises(ValueError):
+            Coalescer(row_sums, max_batch=0)
+        with pytest.raises(ValueError):
+            Coalescer(row_sums, max_queue=0)

@@ -1,0 +1,92 @@
+"""Tests for the serve wire protocol primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import EncodingStrategy
+from repro.core.matching import MVSet
+from repro.serve.protocol import (
+    ProtocolError,
+    canonical_json,
+    decode_genomes,
+    encode_mv_set,
+    parse_strategy,
+    require,
+)
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        a = canonical_json({"b": 1, "a": [1.5, "x"]})
+        b = canonical_json({"a": [1.5, "x"], "b": 1})
+        assert a == b
+
+    def test_no_whitespace_one_trailing_newline(self):
+        body = canonical_json({"k": [1, 2]})
+        assert body == b'{"k":[1,2]}\n'
+
+    def test_float_rendering_is_repr_stable(self):
+        value = 100.0 * (96 - 23) / 96
+        assert canonical_json(value) == (repr(value) + "\n").encode()
+
+
+class TestRequire:
+    def test_missing_field(self):
+        with pytest.raises(ProtocolError) as info:
+            require({}, "seed", int)
+        assert info.value.status == 400
+        assert "seed" in info.value.message
+
+    def test_wrong_type(self):
+        with pytest.raises(ProtocolError):
+            require({"seed": "7"}, "seed", int)
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(ProtocolError):
+            require({"seed": True}, "seed", int)
+
+    def test_non_object_body(self):
+        with pytest.raises(ProtocolError):
+            require(["not", "a", "dict"], "seed", int)
+
+
+class TestStrategy:
+    def test_known(self):
+        assert parse_strategy("huffman") is EncodingStrategy.HUFFMAN
+
+    def test_unknown_is_400(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_strategy("zstd")
+        assert info.value.status == 400
+
+    def test_fixed_is_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_strategy("fixed")
+
+
+class TestGenomeCodec:
+    def test_round_trip_through_mv_set(self):
+        mv_set = MVSet.from_strings(["01U", "UUU"])
+        texts = encode_mv_set(mv_set)
+        assert texts == ["01U", "UUU"]
+        matrix = decode_genomes(["".join(texts)], 6)
+        np.testing.assert_array_equal(
+            matrix[0], mv_set.to_genome().astype(np.int8)
+        )
+
+    def test_x_and_dash_accepted_on_input(self):
+        matrix = decode_genomes(["01X-"], 4)
+        assert matrix.tolist() == [[0, 1, 2, 2]]
+
+    def test_length_mismatch_is_400(self):
+        with pytest.raises(ProtocolError) as info:
+            decode_genomes(["01U"], 6)
+        assert info.value.status == 400
+
+    def test_bad_character_is_400(self):
+        with pytest.raises(ProtocolError):
+            decode_genomes(["01Z"], 3)
+
+    def test_empty_list_is_400(self):
+        with pytest.raises(ProtocolError):
+            decode_genomes([], 3)

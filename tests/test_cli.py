@@ -688,3 +688,129 @@ class TestFaultToleranceFlags:
         # (everything after the progress block) must be byte-identical.
         assert second.out.split("\n\n", 1)[1] == first.out.split("\n\n", 1)[1]
         assert "resumed=" in second.err  # second run served from journal
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        arguments = build_parser().parse_args(["serve"])
+        assert arguments.command == "serve"
+        assert arguments.host == "127.0.0.1"
+        assert arguments.port == 8477
+        assert arguments.batch_window_ms == 5.0
+        assert arguments.max_batch == 64
+        assert arguments.max_queue == 256
+        assert arguments.jobs == 1
+        assert arguments.kernel == "auto"
+
+    def test_serve_overrides(self):
+        arguments = build_parser().parse_args(
+            ["serve", "--port", "0", "--jobs", "4", "--batch-window-ms",
+             "2.5", "--max-batch", "8", "--max-queue", "32",
+             "--kernel", "bitpack", "--mv-cache-persist"]
+        )
+        assert arguments.port == 0
+        assert arguments.jobs == 4
+        assert arguments.batch_window_ms == 2.5
+        assert arguments.max_batch == 8
+        assert arguments.max_queue == 32
+        assert arguments.kernel == "bitpack"
+        assert arguments.mv_cache_persist
+
+    def test_request_defaults(self):
+        arguments = build_parser().parse_args(["request", "body.json"])
+        assert arguments.command == "request"
+        assert arguments.file == "body.json"
+        assert arguments.endpoint is None
+
+    def test_request_endpoint_choices(self):
+        arguments = build_parser().parse_args(
+            ["request", "-", "--endpoint", "fitness"]
+        )
+        assert arguments.endpoint == "fitness"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["request", "-", "--endpoint", "nope"])
+
+    def test_serve_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--batch-window-ms" in help_text
+        assert "byte-inert" in help_text
+
+
+class TestRequestCommand:
+    TABLE = {
+        "patterns": ["01X10X", "X10011", "110100", "0XX01X"],
+        "block_length": 3,
+        "name": "cli-test",
+    }
+
+    def _write(self, tmp_path, body):
+        import json
+
+        path = tmp_path / "body.json"
+        path.write_text(json.dumps(body))
+        return str(path)
+
+    def test_tables_request(self, tmp_path, capsys):
+        import json
+
+        assert main(["request", self._write(tmp_path, self.TABLE)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["block_length"] == 3
+        assert len(payload["digest"]) == 64
+
+    def test_fitness_request_matches_service(self, tmp_path, capsys):
+        from repro.serve import (
+            CompressionService,
+            WarmRegistry,
+            canonical_json,
+        )
+
+        body = {
+            "table": self.TABLE,
+            "n_vectors": 3,
+            "genomes": ["01U1U0UUU", "UUUUUUUUU"],
+        }
+        path = self._write(tmp_path, body)
+        assert main(["request", path, "--kernel", "bitpack"]) == 0
+        out = capsys.readouterr().out
+        reference = CompressionService(
+            WarmRegistry(), kernel="bitpack"
+        ).run_fitness(body)
+        assert out.encode() == canonical_json(reference)
+
+    def test_compress_request_is_deterministic(self, tmp_path, capsys):
+        body = {
+            "table": self.TABLE,
+            "seed": 5,
+            "config": {
+                "n_vectors": 3,
+                "runs": 1,
+                "ea": {"population_size": 8, "max_generations": 2},
+            },
+        }
+        path = self._write(tmp_path, body)
+        assert main(["request", path]) == 0
+        first = capsys.readouterr().out
+        assert main(["request", path]) == 0
+        assert capsys.readouterr().out == first
+        import json
+
+        assert json.loads(first)["seed"] == 5
+
+    def test_invalid_json_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["request", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "invalid JSON" in captured.err
+
+    def test_protocol_error_fails_cleanly(self, tmp_path, capsys):
+        body = {"table": self.TABLE, "n_vectors": 3}  # no genomes
+        assert main(["request", self._write(tmp_path, body),
+                     "--endpoint", "fitness"]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "error:" in captured.err
