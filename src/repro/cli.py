@@ -355,6 +355,28 @@ def _table_command(arguments: argparse.Namespace, which: int) -> int:
     return 0
 
 
+def _print_pareto_front(blocks, config, arguments: argparse.Namespace) -> int:
+    """Run the NSGA-II mode and print the merged Pareto front."""
+    from .experiments import (
+        OBJECTIVE_SETS,
+        build_pareto_front,
+        pareto_markdown,
+    )
+
+    retry, timeout = _resolve_fault_tolerance(arguments)
+    result = build_pareto_front(
+        blocks,
+        config,
+        OBJECTIVE_SETS[arguments.objectives],
+        seed=arguments.seed,
+        backend=_resolve_backend(arguments),
+        retry=retry,
+        timeout=timeout,
+    )
+    print(pareto_markdown(result), end="")
+    return 0
+
+
 def _compress_command(arguments: argparse.Namespace) -> int:
     tuning = _resolve_tuning(arguments)
     mv_feedback = _resolve_mv_feedback(arguments)
@@ -385,6 +407,10 @@ def _compress_command(arguments: argparse.Namespace) -> int:
             max_evaluations=arguments.max_evaluations,
         ),
     )
+    if arguments.objectives != "rate":
+        return _print_pareto_front(
+            test_set.blocks(arguments.k), config, arguments
+        )
     optimizer = EAMVOptimizer(
         config, seed=arguments.seed, backend=_resolve_backend(arguments)
     )
@@ -436,6 +462,10 @@ def _atpg_command(arguments: argparse.Namespace) -> int:
         mv_cache_persist=arguments.mv_cache_persist,
         ea=EAParameters(stagnation_limit=30, max_evaluations=1200),
     )
+    if arguments.objectives != "rate":
+        return _print_pareto_front(
+            test_set.blocks(arguments.k), config, arguments
+        )
     retry, timeout = _resolve_fault_tolerance(arguments)
     result = EAMVOptimizer(
         config, seed=arguments.seed, backend=_resolve_backend(arguments)
@@ -914,6 +944,15 @@ def build_parser() -> argparse.ArgumentParser:
     compress.add_argument("--stagnation", type=int, default=50)
     compress.add_argument("--max-evaluations", type=int, default=2000)
     compress.add_argument("--seed", type=int, default=2005)
+    compress.add_argument(
+        "--objectives",
+        choices=("rate", "rate+area", "rate+area+time"),
+        default="rate",
+        help=(
+            "optimize a single rate objective (default) or run the "
+            "NSGA-II multi-objective mode and print the Pareto front"
+        ),
+    )
     _add_execution_arguments(compress)
 
     atpg = commands.add_parser("atpg", help="ATPG + compression demo")
@@ -921,6 +960,15 @@ def build_parser() -> argparse.ArgumentParser:
     atpg.add_argument("--k", type=int, default=12)
     atpg.add_argument("--l", type=int, default=64)
     atpg.add_argument("--seed", type=int, default=2005)
+    atpg.add_argument(
+        "--objectives",
+        choices=("rate", "rate+area", "rate+area+time"),
+        default="rate",
+        help=(
+            "optimize a single rate objective (default) or run the "
+            "NSGA-II multi-objective mode and print the Pareto front"
+        ),
+    )
     _add_execution_arguments(atpg)
 
     ablate = commands.add_parser("ablate", help="run an ablation study")

@@ -29,14 +29,18 @@ import heapq
 import itertools
 import math
 from collections.abc import Hashable, Mapping
+from typing import NamedTuple
 
 import numpy as np
 
 from .prefix import PrefixCode
 
 __all__ = [
+    "HuffmanLengthStats",
     "huffman_code_lengths",
     "huffman_code",
+    "huffman_length_stats",
+    "huffman_length_stats_batch",
     "huffman_total_bits",
     "huffman_total_bits_batch",
     "weighted_length",
@@ -220,6 +224,127 @@ def huffman_total_bits_batch(
     if single.any():
         totals[single] = leaves[single, 0]
     return totals.astype(np.int64)
+
+
+class HuffmanLengthStats(NamedTuple):
+    """Aggregate code-length statistics of one optimal Huffman tree.
+
+    ``n_active`` — symbols with a codeword (frequency > 0);
+    ``total_bits`` — weighted length ``Σ freq·len``;
+    ``sum_lengths`` — unweighted length sum ``Σ len`` (the decoder
+    table's codeword storage); ``max_length`` — the longest codeword.
+    Each field is a scalar for :func:`huffman_length_stats` and a
+    per-row ``int64`` array for :func:`huffman_length_stats_batch`.
+    """
+
+    n_active: object
+    total_bits: object
+    sum_lengths: object
+    max_length: object
+
+
+def _merge_stats(leaves: list[int]) -> tuple[int, int, int, int]:
+    """Two-queue merge over ascending frequencies, tracking lengths.
+
+    Besides the running weight of each pending merged node (as in
+    :func:`_merge_total`), tracks its leaf count and height: every merge
+    deepens each leaf beneath it by one, so ``Σ len`` accumulates the
+    merged leaf counts and the root's height is the longest codeword.
+    Ties prefer the leaf queue, which reproduces the length *multiset*
+    of :func:`huffman_code_lengths` (leaves there carry smaller heap
+    tie-breakers than any merged node).
+    """
+    n_active = len(leaves)
+    if n_active == 0:
+        return (0, 0, 0, 0)
+    if n_active == 1:
+        return (1, int(leaves[0]), 1, 1)
+    merged_weight: list[int] = []
+    merged_leaves: list[int] = []
+    merged_height: list[int] = []
+    leaf_head = merge_head = 0
+    total = sum_lengths = 0
+    for _ in range(n_active - 1):
+        pair_weight = 0
+        pair_leaves = 0
+        pair_height = 0
+        for _half in range(2):
+            if merge_head >= len(merged_weight) or (
+                leaf_head < n_active
+                and leaves[leaf_head] <= merged_weight[merge_head]
+            ):
+                pair_weight += leaves[leaf_head]
+                pair_leaves += 1
+                leaf_head += 1
+            else:
+                pair_weight += merged_weight[merge_head]
+                pair_leaves += merged_leaves[merge_head]
+                pair_height = max(pair_height, merged_height[merge_head])
+                merge_head += 1
+        merged_weight.append(pair_weight)
+        merged_leaves.append(pair_leaves)
+        merged_height.append(pair_height + 1)
+        total += pair_weight
+        sum_lengths += pair_leaves
+    return (n_active, int(total), int(sum_lengths), int(merged_height[-1]))
+
+
+def huffman_length_stats(frequencies: np.ndarray) -> HuffmanLengthStats:
+    """Aggregate Huffman length statistics of one frequency array.
+
+    Zero frequencies are inactive; a single active symbol is priced at
+    length 1, exactly as in :func:`huffman_code_lengths`.  The returned
+    aggregates (count, ``Σ freq·len``, ``Σ len``, ``max len``) match
+    what :func:`huffman_code_lengths` would yield symbol-by-symbol —
+    this is the scalar reference for the decoder-model objective
+    columns (see :mod:`repro.core.decoder_hw`).
+
+    >>> huffman_length_stats(np.asarray([5, 3, 2]))
+    HuffmanLengthStats(n_active=3, total_bits=15, sum_lengths=5, max_length=2)
+    """
+    freqs = np.asarray(frequencies)
+    if freqs.ndim != 1:
+        raise ValueError("frequencies must be one-dimensional")
+    if freqs.size and int(freqs.min()) < 0:
+        raise ValueError("frequencies must be non-negative")
+    return HuffmanLengthStats(*_merge_stats(np.sort(freqs[freqs > 0]).tolist()))
+
+
+def huffman_length_stats_batch(frequency_matrix: np.ndarray) -> HuffmanLengthStats:
+    """Row-wise :func:`huffman_length_stats` over a ``(C, L)`` matrix.
+
+    Backs the batched multi-objective adapter: one call yields, for
+    every genome of a generation, the codeword count, the coded-stream
+    size ``Σ freq·len``, the decoder table's stored-codeword bits
+    ``Σ len``, and the longest codeword.  Returns a
+    :class:`HuffmanLengthStats` of four ``(C,)`` ``int64`` arrays.
+
+    Pareto pricing batches are generation-sized (tens of rows), so this
+    uses one batched sort plus the per-row scalar merge — the same
+    small-batch strategy :func:`huffman_total_bits_batch` routes
+    through below its lockstep cutover.
+
+    >>> stats = huffman_length_stats_batch(np.asarray([[5, 3, 2], [0, 7, 0]]))
+    >>> [column.tolist() for column in stats]
+    [[3, 1], [15, 7], [5, 1], [2, 1]]
+    """
+    freqs = np.asarray(frequency_matrix)
+    if freqs.ndim != 2:
+        raise ValueError("frequency matrix must be two-dimensional")
+    n_rows = freqs.shape[0]
+    if freqs.size == 0:
+        zeros = np.zeros(n_rows, dtype=np.int64)
+        return HuffmanLengthStats(zeros, zeros.copy(), zeros.copy(), zeros.copy())
+    if int(freqs.min()) < 0:
+        raise ValueError("frequencies must be non-negative")
+    presorted = np.sort(freqs, axis=1).tolist()
+    stats = [
+        _merge_stats([leaf for leaf in row if leaf > 0]) for row in presorted
+    ]
+    columns = np.asarray(stats, dtype=np.int64).reshape(n_rows, 4)
+    return HuffmanLengthStats(
+        columns[:, 0], columns[:, 1], columns[:, 2], columns[:, 3]
+    )
 
 
 def huffman_code(frequencies: Mapping[Hashable, int]) -> PrefixCode:

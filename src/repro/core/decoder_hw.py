@@ -21,13 +21,23 @@ suitable for comparing decoder variants — not a synthesis result.
 from __future__ import annotations
 
 import math
+from collections.abc import Hashable, Mapping
 from dataclasses import dataclass
+
+import numpy as np
 
 from .compressor import CompressedTestSet
 from .encoding import EncodingTable
 from .matching import MVSet
 
-__all__ = ["DecoderModel", "decoder_model"]
+__all__ = [
+    "DecoderModel",
+    "decoder_model",
+    "decoder_model_for",
+    "decoder_area_units_batch",
+    "test_application_cycles",
+    "test_application_cycles_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +74,22 @@ class DecoderModel:
     def state_register_bits(self) -> int:
         """Flops needed to hold the FSM state."""
         return max(1, math.ceil(math.log2(max(self.fsm_states, 2))))
+
+    @property
+    def area_units(self) -> int:
+        """Total storage-bit proxy for decoder area.
+
+        The flop/bit count a reconfigurable decoder must provide: the
+        FSM state register, the fill counter, the K-bit output buffer,
+        and the configuration table.  This is the *area* objective of
+        the multi-objective EA mode (see ``docs/multi-objective.md``).
+        """
+        return (
+            self.state_register_bits
+            + self.fill_counter_bits
+            + self.output_buffer_bits
+            + self.table_bits
+        )
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -131,3 +157,84 @@ def decoder_model(mv_set: MVSet, table: EncodingTable) -> DecoderModel:
 def decoder_model_for(compressed: CompressedTestSet) -> DecoderModel:
     """Convenience: the decoder model of a compressed test set."""
     return decoder_model(compressed.mv_set, compressed.table)
+
+
+def _ceil_log2(values: np.ndarray) -> np.ndarray:
+    """Exact element-wise ``ceil(log2(v))`` for positive integers.
+
+    Uses pure integer bit-length arithmetic (``ceil(log2(v)) ==
+    (v - 1).bit_length()`` for ``v ≥ 1``) so the result can never be
+    perturbed by float rounding — these values feed byte-reproducible
+    objective vectors.
+    """
+    flat = np.asarray(values, dtype=np.int64).ravel()
+    out = np.fromiter(
+        ((int(v) - 1).bit_length() for v in flat), dtype=np.int64, count=flat.size
+    )
+    return out.reshape(np.shape(values))
+
+
+def decoder_area_units_batch(
+    n_codewords: np.ndarray,
+    sum_codeword_bits: np.ndarray,
+    max_fills: np.ndarray,
+    block_length: int,
+) -> np.ndarray:
+    """Vectorized :attr:`DecoderModel.area_units` from aggregate stats.
+
+    Batched counterpart of building each row's :class:`DecoderModel`
+    from its encoding table: ``n_codewords`` rows' codeword counts,
+    ``sum_codeword_bits`` their ``Σ len`` (codeword storage), and
+    ``max_fills`` the largest ``NU`` among *coded* MVs.  Huffman trees
+    are full, so a row with ``n`` codewords has ``n − 1`` internal FSM
+    states for ``n ≥ 2`` and one for the degenerate single-codeword
+    tree — identical to counting the canonical decode tree's nodes.
+    Returns ``int64`` area units per row; parity with the scalar model
+    is pinned by ``tests/core/test_decoder_hw.py``.
+    """
+    n = np.asarray(n_codewords, dtype=np.int64)
+    sum_bits = np.asarray(sum_codeword_bits, dtype=np.int64)
+    fills = np.asarray(max_fills, dtype=np.int64)
+    fsm_states = np.where(n >= 2, n - 1, np.where(n == 1, 1, 0))
+    state_register_bits = np.maximum(1, _ceil_log2(np.maximum(fsm_states, 2)))
+    fill_counter_bits = np.where(
+        fills == 0, 0, np.maximum(1, _ceil_log2(np.maximum(fills, 1) + 1))
+    )
+    table_bits = sum_bits + 2 * block_length * n
+    return state_register_bits + fill_counter_bits + block_length + table_bits
+
+
+def test_application_cycles(
+    frequencies: Mapping[Hashable, int],
+    lengths: Mapping[Hashable, int],
+    block_length: int,
+) -> int:
+    """Test-application-time proxy of one coded test set, in cycles.
+
+    The decoder consumes one coded bit per cycle (``Σ freq·len``) and
+    then shifts each decoded K-bit block out (``K`` cycles per block);
+    fill bits are generated on chip and cost no tester cycles.  This is
+    the *time* objective of the multi-objective EA mode.
+    """
+    coded_bits = sum(
+        frequencies.get(symbol, 0) * length for symbol, length in lengths.items()
+    )
+    n_blocks = sum(
+        frequency for symbol, frequency in frequencies.items() if symbol in lengths
+    )
+    return coded_bits + block_length * n_blocks
+
+
+def test_application_cycles_batch(
+    codeword_bits: np.ndarray,
+    total_frequency: np.ndarray,
+    block_length: int,
+) -> np.ndarray:
+    """Vectorized :func:`test_application_cycles` from aggregate stats.
+
+    ``codeword_bits`` is each row's ``Σ freq·len`` and
+    ``total_frequency`` its block count ``Σ freq``.
+    """
+    return np.asarray(codeword_bits, dtype=np.int64) + block_length * np.asarray(
+        total_frequency, dtype=np.int64
+    )

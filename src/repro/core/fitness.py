@@ -49,7 +49,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..coding.huffman import huffman_total_bits_batch
+from ..coding.huffman import huffman_length_stats_batch, huffman_total_bits_batch
 from ..tuning.feedback import MVCacheFeedback, MVFeedbackStats
 from ..tuning.profile import TuningProfile, get_active_profile
 from .blocks import BlockSet, mask_word_count, pack_bits_to_words
@@ -61,6 +61,7 @@ from .cache import (
     make_policy,
     save_mv_cache,
 )
+from .decoder_hw import decoder_area_units_batch, test_application_cycles_batch
 from .encoding import EncodingStrategy, build_encoding_table
 from .kernels import (
     AUTO_KERNEL,
@@ -76,11 +77,18 @@ from .trits import DC, ONE, ZERO
 __all__ = [
     "DEFAULT_MV_CACHE_SIZE",
     "INVALID_FITNESS",
+    "OBJECTIVE_COLUMNS",
     "BatchCompressionRateFitness",
     "CompressionRateFitness",
     "MVCacheStats",
     "MVMatchCache",
 ]
+
+# Column order of ``BatchCompressionRateFitness.evaluate_objectives``:
+# compression rate (%), decoder area (storage bits), test-application
+# time (tester cycles).  Objective *subsets* are selected by name in
+# ``repro.ea.multi_objective``; the adapter always emits all three.
+OBJECTIVE_COLUMNS = ("rate", "area", "time")
 
 INVALID_FITNESS = -1.0e6  # far below 100·(orig−comp)/orig for any valid encoding
 
@@ -833,29 +841,17 @@ class BatchCompressionRateFitness:
             return False
         return True
 
-    def evaluate_batch(
-        self, genomes: np.ndarray, timings: dict | None = None
-    ) -> np.ndarray:
-        """Compression rate (%) for every genome row; one kernel pass.
+    def _cover_generation(
+        self, matrix: np.ndarray, clock: _StageClock | None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cover every genome row of a ``(C, L·K)`` matrix in one pass.
 
-        Rows whose MVs cannot cover every input block come back as
-        ``invalid_fitness``.  Identical, element for element, to
-        calling the single-genome path on each row.  ``timings``, if a
-        dict, accumulates per-stage wall seconds (``pack`` / ``match``
-        / ``cover`` / ``huffman``; the fused ``mv_cache_size=0`` path
-        reports its combined kernel pass under ``cover``).
+        The shared covering front half of :meth:`evaluate_batch` and
+        :meth:`evaluate_objectives`: returns per-genome MV use
+        ``frequencies`` ``(C, L)``, ``uncovered`` block counts ``(C,)``
+        and per-MV ``n_unspecified`` counts ``(C, L)``.
         """
-        matrix = self._genome_matrix(genomes)
         n_genomes = matrix.shape[0]
-        self.evaluations += n_genomes
-        if n_genomes == 0:
-            return np.empty(0, dtype=np.float64)
-        if self._strategy is EncodingStrategy.HUFFMAN_SUBSUME:
-            return np.asarray(
-                [self._evaluate_with_subsumption(row) for row in matrix],
-                dtype=np.float64,
-            )
-        clock = _StageClock(timings) if timings is not None else None
         grid = matrix.reshape(n_genomes, self._n_vectors, self._block_length)
         n_unspecified = (grid == DC).sum(axis=2).astype(np.int64)
         orders = np.argsort(n_unspecified, axis=1, kind="stable")
@@ -880,6 +876,34 @@ class BatchCompressionRateFitness:
             )
             if clock:
                 clock.mark("cover")
+        return frequencies, uncovered, n_unspecified
+
+    def evaluate_batch(
+        self, genomes: np.ndarray, timings: dict | None = None
+    ) -> np.ndarray:
+        """Compression rate (%) for every genome row; one kernel pass.
+
+        Rows whose MVs cannot cover every input block come back as
+        ``invalid_fitness``.  Identical, element for element, to
+        calling the single-genome path on each row.  ``timings``, if a
+        dict, accumulates per-stage wall seconds (``pack`` / ``match``
+        / ``cover`` / ``huffman``; the fused ``mv_cache_size=0`` path
+        reports its combined kernel pass under ``cover``).
+        """
+        matrix = self._genome_matrix(genomes)
+        n_genomes = matrix.shape[0]
+        self.evaluations += n_genomes
+        if n_genomes == 0:
+            return np.empty(0, dtype=np.float64)
+        if self._strategy is EncodingStrategy.HUFFMAN_SUBSUME:
+            return np.asarray(
+                [self._evaluate_with_subsumption(row) for row in matrix],
+                dtype=np.float64,
+            )
+        clock = _StageClock(timings) if timings is not None else None
+        frequencies, uncovered, n_unspecified = self._cover_generation(
+            matrix, clock
+        )
         rates = np.full(n_genomes, self._invalid_fitness, dtype=np.float64)
         valid = uncovered == 0
         if valid.any():
@@ -898,6 +922,61 @@ class BatchCompressionRateFitness:
         if clock:
             clock.mark("huffman")
         return rates
+
+    def evaluate_objectives(self, genomes: np.ndarray) -> np.ndarray:
+        """``(C, 3)`` objective matrix: rate (%), area (bits), time (cycles).
+
+        The multi-objective adapter: ONE covering pass (the same shared
+        :meth:`_cover_generation` front half as :meth:`evaluate_batch`,
+        so the MV cache, dedup path and kernels amortize across
+        objectives), then vectorized decoder-model columns from the
+        batched Huffman length statistics.  Column order is
+        :data:`OBJECTIVE_COLUMNS`; the rate column is bit-identical to
+        :meth:`evaluate_batch` on the same rows.  Rows whose MVs cannot
+        cover every block come back as ``(invalid_fitness, inf, inf)``.
+        """
+        matrix = self._genome_matrix(genomes)
+        n_genomes = matrix.shape[0]
+        self.evaluations += n_genomes
+        if n_genomes == 0:
+            return np.empty((0, 3), dtype=np.float64)
+        if self._strategy is EncodingStrategy.HUFFMAN_SUBSUME:
+            raise ValueError(
+                "multi-objective evaluation does not support the "
+                "HUFFMAN_SUBSUME strategy (no batched decoder model for "
+                "subsumption-merged tables)"
+            )
+        frequencies, uncovered, n_unspecified = self._cover_generation(
+            matrix, None
+        )
+        objectives = np.empty((n_genomes, 3), dtype=np.float64)
+        objectives[:, 0] = self._invalid_fitness
+        objectives[:, 1:] = np.inf
+        valid = uncovered == 0
+        if valid.any():
+            valid_freqs = frequencies[valid]
+            stats = huffman_length_stats_batch(valid_freqs)
+            fill_bits = (valid_freqs * n_unspecified[valid]).sum(axis=1)
+            compressed = stats.total_bits + fill_bits
+            original = self._blocks.original_bits
+            objectives[valid, 0] = 100.0 * (original - compressed) / original
+            # The fill counter sizes to the largest NU among *coded*
+            # MVs (frequency > 0), as in ``decoder_model``.
+            max_fills = np.where(valid_freqs > 0, n_unspecified[valid], 0).max(
+                axis=1
+            )
+            objectives[valid, 1] = decoder_area_units_batch(
+                stats.n_active,
+                stats.sum_lengths,
+                max_fills,
+                self._block_length,
+            )
+            objectives[valid, 2] = test_application_cycles_batch(
+                stats.total_bits,
+                valid_freqs.sum(axis=1),
+                self._block_length,
+            )
+        return objectives
 
     def _evaluate_with_subsumption(self, genome: np.ndarray) -> float:
         """Slower path that applies the Section 3.3 subsumption merges."""

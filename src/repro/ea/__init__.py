@@ -8,6 +8,20 @@ from .engine import (
     GenerationStats,
 )
 from .genome import TRIT_ALPHABET_SIZE, random_genome, validate_genome
+from .multi_objective import (
+    MAXIMIZED_OBJECTIVES,
+    MOGenerationStats,
+    MOIndividual,
+    MultiObjectiveEngine,
+    MultiObjectiveResult,
+    ParetoPoint,
+    crowding_distance,
+    dominates,
+    fast_non_dominated_sort,
+    hypervolume,
+    minimization_form,
+    non_dominated_mask,
+)
 from .operators import (
     one_point_crossover,
     point_mutation,
@@ -34,6 +48,18 @@ __all__ = [
     "TRIT_ALPHABET_SIZE",
     "random_genome",
     "validate_genome",
+    "MAXIMIZED_OBJECTIVES",
+    "MOGenerationStats",
+    "MOIndividual",
+    "MultiObjectiveEngine",
+    "MultiObjectiveResult",
+    "ParetoPoint",
+    "crowding_distance",
+    "dominates",
+    "fast_non_dominated_sort",
+    "hypervolume",
+    "minimization_form",
+    "non_dominated_mask",
     "one_point_crossover",
     "point_mutation",
     "reproduce",

@@ -12,6 +12,8 @@ from repro.coding.huffman import (
     entropy_bound,
     huffman_code,
     huffman_code_lengths,
+    huffman_length_stats,
+    huffman_length_stats_batch,
     huffman_total_bits,
     huffman_total_bits_batch,
     weighted_length,
@@ -204,3 +206,78 @@ class TestHuffmanTotalBits:
         totals = huffman_total_bits_batch(matrix)
         for row in range(n_rows):
             assert totals[row] == huffman_total_bits(matrix[row])
+
+
+class TestHuffmanLengthStats:
+    """Aggregate length statistics must match the dict code exactly.
+
+    The multi-objective decoder model is built from these aggregates,
+    so any drift from ``huffman_code_lengths`` would silently skew the
+    area/time objectives.
+    """
+
+    def test_classic_example(self):
+        stats = huffman_length_stats(np.asarray([5, 3, 2]))
+        assert stats == (3, 15, 5, 2)  # lengths {1, 2, 2}
+
+    def test_single_symbol(self):
+        assert huffman_length_stats(np.asarray([0, 42, 0])) == (1, 42, 1, 1)
+
+    def test_empty_and_all_zero(self):
+        assert huffman_length_stats(np.asarray([], dtype=np.int64)) == (
+            0, 0, 0, 0,
+        )
+        assert huffman_length_stats(np.zeros(4, dtype=np.int64)) == (0, 0, 0, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            huffman_length_stats(np.asarray([3, -1]))
+        with pytest.raises(ValueError):
+            huffman_length_stats(np.zeros((2, 2), dtype=np.int64))
+        with pytest.raises(ValueError):
+            huffman_length_stats_batch(np.zeros(4, dtype=np.int64))
+
+    def test_empty_batch(self):
+        stats = huffman_length_stats_batch(np.zeros((0, 8), dtype=np.int64))
+        assert all(column.shape == (0,) for column in stats)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                 max_size=60)
+    )
+    def test_matches_dict_code_lengths(self, freqs):
+        as_map = {i: f for i, f in enumerate(freqs)}
+        lengths = huffman_code_lengths(as_map)
+        stats = huffman_length_stats(np.asarray(freqs))
+        assert stats.n_active == len(lengths)
+        assert stats.total_bits == weighted_length(lengths, as_map)
+        assert stats.sum_lengths == sum(lengths.values())
+        assert stats.max_length == (max(lengths.values()) if lengths else 0)
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    def test_batch_matches_scalar_rows(self, n_rows, n_symbols, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(0, 500, (n_rows, n_symbols))
+        matrix[rng.random(matrix.shape) < 0.3] = 0
+        batched = huffman_length_stats_batch(matrix)
+        for row in range(n_rows):
+            scalar = huffman_length_stats(matrix[row])
+            assert (
+                batched.n_active[row],
+                batched.total_bits[row],
+                batched.sum_lengths[row],
+                batched.max_length[row],
+            ) == scalar
+
+    def test_total_bits_column_matches_total_bits_batch(self):
+        rng = np.random.default_rng(23)
+        matrix = rng.integers(0, 300, (50, 20))
+        matrix[rng.random(matrix.shape) < 0.4] = 0
+        stats = huffman_length_stats_batch(matrix)
+        assert np.array_equal(
+            stats.total_bits, huffman_total_bits_batch(matrix)
+        )

@@ -1,12 +1,23 @@
 """Tests for the decoder hardware model."""
 
 
+import numpy as np
+
 from repro.core.blocks import BlockSet
 from repro.core.compressor import compress_blocks
-from repro.core.decoder_hw import decoder_model, decoder_model_for
+from repro.core.decoder_hw import (
+    decoder_area_units_batch,
+    decoder_model,
+    decoder_model_for,
+    test_application_cycles as application_cycles,
+    test_application_cycles_batch as application_cycles_batch,
+)
 from repro.core.encoding import EncodingStrategy, build_encoding_table
+from repro.core.fitness import INVALID_FITNESS, BatchCompressionRateFitness
 from repro.core.matching import MVSet
 from repro.core.nine_c import NINE_C_CODEWORDS, nine_c_mv_set
+from repro.core.trits import DC
+from repro.testdata.synthetic import SyntheticSpec, synthetic_test_set
 
 
 def nine_c_table(frequencies=None):
@@ -71,3 +82,134 @@ class TestDecoderModel:
         model = decoder_model_for(compressed)
         assert model.output_buffer_bits == 3
         assert model.n_codewords >= 2
+
+
+def _pinned_seeded_compression():
+    """A fixed seeded test set compressed with a fixed random MV set."""
+    test_set = synthetic_test_set(
+        SyntheticSpec(
+            "golden", n_patterns=20, pattern_bits=24, care_density=0.5, seed=7
+        )
+    )
+    blocks = test_set.blocks(4)
+    rng = np.random.default_rng(11)
+    genome = rng.integers(0, 3, 8 * 4)
+    genome[-4:] = DC  # the all-U MV guarantees coverage
+    return blocks, genome, compress_blocks(blocks, MVSet.from_genome(genome, 4))
+
+
+class TestAreaAndTimeGoldenValues:
+    """Pinned objective values on a seeded compression.
+
+    These exact numbers back the byte-reproducibility contract of the
+    multi-objective mode: the decoder-model objectives may never drift.
+    """
+
+    def test_golden_model_fields(self):
+        _, _, compressed = _pinned_seeded_compression()
+        model = decoder_model_for(compressed)
+        assert model.n_codewords == 7
+        assert model.fsm_states == 6
+        assert model.max_codeword_bits == 4
+        assert model.fill_counter_bits == 3
+        assert model.output_buffer_bits == 4
+        assert model.table_bits == 77
+
+    def test_golden_area_units(self):
+        _, _, compressed = _pinned_seeded_compression()
+        # 3 state bits + 3 fill-counter bits + 4 buffer bits + 77 table.
+        assert decoder_model_for(compressed).area_units == 87
+
+    def test_golden_application_cycles(self):
+        _, _, compressed = _pinned_seeded_compression()
+        frequencies = compressed.covering.frequency_map()
+        lengths = {
+            i: len(word) for i, word in compressed.table.codewords.items()
+        }
+        assert application_cycles(frequencies, lengths, 4) == 775
+
+
+class TestDecoderAreaUnitsBatch:
+    def test_more_codewords_never_shrink_area(self):
+        # Grow the table one codeword (of fixed 3-bit length) at a time
+        # while everything else stays put: area must be non-decreasing.
+        n = np.arange(0, 64, dtype=np.int64)
+        areas = decoder_area_units_batch(n, 3 * n, np.full_like(n, 2), 4)
+        assert (np.diff(areas) >= 0).all()
+
+    def test_matches_scalar_model_rows(self):
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            n = int(rng.integers(0, 20))
+            lengths = rng.integers(1, 9, n)
+            max_fills = int(rng.integers(0, 12))
+            block_length = int(rng.integers(1, 16))
+            batched = decoder_area_units_batch(
+                np.asarray([n]),
+                np.asarray([lengths.sum()]),
+                np.asarray([max_fills]),
+                block_length,
+            )
+            # Scalar reference via the closed forms decoder_model uses:
+            # full Huffman trees have n-1 internal nodes (1 when n==1).
+            fsm_states = 0 if n == 0 else (1 if n == 1 else n - 1)
+            state_bits = max(1, (max(fsm_states, 2) - 1).bit_length())
+            fill_bits = 0 if max_fills == 0 else max(1, max_fills.bit_length())
+            table_bits = int(lengths.sum()) + 2 * block_length * n
+            assert batched[0] == (
+                state_bits + fill_bits + block_length + table_bits
+            )
+
+    def test_cycles_batch_matches_scalar(self):
+        frequencies = {0: 5, 1: 3, 2: 2}
+        lengths = {0: 1, 1: 2, 2: 2}
+        scalar = application_cycles(frequencies, lengths, 4)
+        coded_bits = sum(frequencies[i] * lengths[i] for i in frequencies)
+        batched = application_cycles_batch(
+            np.asarray([coded_bits]), np.asarray([sum(frequencies.values())]), 4
+        )
+        assert batched[0] == scalar == 15 + 4 * 10
+
+
+class TestObjectiveAdapterParity:
+    """evaluate_objectives rows == the scalar compress-and-model path."""
+
+    def test_batch_adapter_matches_scalar_path(self):
+        test_set = synthetic_test_set(
+            SyntheticSpec(
+                "parity", n_patterns=24, pattern_bits=24,
+                care_density=0.5, seed=3,
+            )
+        )
+        blocks = test_set.blocks(4)
+        fitness = BatchCompressionRateFitness(
+            blocks, n_vectors=8, block_length=4
+        )
+        rng = np.random.default_rng(17)
+        genomes = rng.integers(0, 3, (40, 8 * 4))
+        genomes[:, -4:] = DC  # pin an all-U MV so every row is valid
+        objectives = fitness.evaluate_objectives(genomes)
+        rates = fitness.evaluate_batch(genomes)
+        assert np.array_equal(objectives[:, 0], rates)
+        for row, genome in enumerate(genomes):
+            compressed = compress_blocks(blocks, MVSet.from_genome(genome, 4))
+            model = decoder_model_for(compressed)
+            frequencies = compressed.covering.frequency_map()
+            lengths = {
+                i: len(word) for i, word in compressed.table.codewords.items()
+            }
+            assert objectives[row, 1] == model.area_units
+            assert objectives[row, 2] == application_cycles(
+                frequencies, lengths, 4
+            )
+
+    def test_uncoverable_rows_are_invalid(self):
+        blocks = BlockSet.from_string("111 000", 3)
+        fitness = BatchCompressionRateFitness(
+            blocks, n_vectors=2, block_length=3
+        )
+        # Two identical fully-specified MVs can never cover both blocks.
+        genome = MVSet.from_strings(["111", "111"]).to_genome()
+        objectives = fitness.evaluate_objectives(np.asarray([genome]))
+        assert objectives[0, 0] == INVALID_FITNESS
+        assert np.isinf(objectives[0, 1]) and np.isinf(objectives[0, 2])

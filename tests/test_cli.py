@@ -814,3 +814,62 @@ class TestRequestCommand:
         captured = capsys.readouterr()
         assert captured.out == ""
         assert "error:" in captured.err
+
+
+class TestObjectivesFlag:
+    """--objectives routes compress/atpg to the Pareto-front mode."""
+
+    PATTERNS = "\n".join(["11001100XXXX", "110011001111", "XXXX11001100"] * 6)
+
+    def _args(self, path):
+        return [
+            "compress", str(path), "--k", "4", "--l", "6", "--runs", "2",
+            "--stagnation", "5", "--max-evaluations", "120", "--seed", "3",
+        ]
+
+    def test_default_is_single_objective(self):
+        for argv in (["compress", "file.txt"], ["atpg", "c17"]):
+            assert build_parser().parse_args(argv).objectives == "rate"
+
+    def test_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compress", "file.txt", "--objectives", "power"]
+            )
+
+    def test_explicit_rate_matches_default_output(self, tmp_path, capsys):
+        path = tmp_path / "patterns.txt"
+        path.write_text(self.PATTERNS)
+        assert main(self._args(path)) == 0
+        default = capsys.readouterr().out
+        assert main([*self._args(path), "--objectives", "rate"]) == 0
+        assert capsys.readouterr().out == default
+        assert "### Pareto front" not in default
+
+    def test_pareto_output_job_and_kernel_invariant(self, tmp_path, capsys):
+        path = tmp_path / "patterns.txt"
+        path.write_text(self.PATTERNS)
+        base = [*self._args(path), "--objectives", "rate+area+time"]
+        outputs = {}
+        variants = {
+            "serial": [],
+            "jobs4": ["--jobs", "4", "--backend", "thread"],
+            "gemm": ["--kernel", "gemm"],
+            "bitpack": ["--kernel", "bitpack"],
+        }
+        for name, extra in variants.items():
+            assert main([*base, *extra]) == 0
+            outputs[name] = capsys.readouterr().out
+        assert len(set(outputs.values())) == 1  # byte-identical fronts
+        assert "### Pareto front (rate, area, time)" in outputs["serial"]
+        assert "hypervolume" in outputs["serial"]
+
+    def test_two_objective_front(self, tmp_path, capsys):
+        path = tmp_path / "patterns.txt"
+        path.write_text(self.PATTERNS)
+        assert main(
+            [*self._args(path), "--objectives", "rate+area"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "### Pareto front (rate, area)" in out
+        assert "Time cycles" not in out

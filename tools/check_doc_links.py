@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the docs resolve.
+
+Scans ``README.md`` plus every ``docs/*.md`` file for markdown links
+and verifies that each *relative* target exists on disk (anchors are
+stripped; external ``http(s)``/``mailto`` targets and intra-page
+``#anchor`` links are skipped).  Prints every broken link and exits
+non-zero if any is found.
+
+Runs in the CI lint lane, which installs nothing beyond ruff — keep
+this script standard-library only and independent of the package.
+
+Run with::
+
+    python tools/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — excluding images' leading "!" is unnecessary: image
+# targets must resolve too.  Nested parentheses in targets do not occur
+# in this repo's docs.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_doc_files(root: Path) -> list[Path]:
+    """The markdown set under contract: README.md and docs/*.md."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [path for path in files if path.is_file()]
+
+
+def broken_links(path: Path, root: Path) -> list[tuple[int, str]]:
+    """(line number, target) pairs whose relative target does not exist."""
+    problems = []
+    for line_number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                problems.append((line_number, target))
+            elif root.resolve() not in resolved.parents and resolved != root.resolve():
+                problems.append((line_number, f"{target} (escapes the repo)"))
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = iter_doc_files(root)
+    if not files:
+        print("no markdown files found — wrong working tree?", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        for line_number, target in broken_links(path, root):
+            failures += 1
+            print(
+                f"{path.relative_to(root)}:{line_number}: broken link -> {target}",
+                file=sys.stderr,
+            )
+    if failures:
+        print(f"{failures} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
